@@ -1,0 +1,128 @@
+"""§II motivation -- the cost of on-chain access control vs. SMACS.
+
+The paper motivates SMACS with the cost of on-chain whitelists: creating a
+simple whitelist with 10 000 addresses costs around $300, and Bluzelle paid
+9.345 ETH (≈$11 949 at the time) to whitelist 7 473 users.  This harness
+measures the per-address cost of the on-chain baseline, projects those two
+figures, and contrasts them with the SMACS equivalent (an off-chain rule
+update costing no gas, plus a constant ~$0.04-0.10 verification per call).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import env_int, report
+from repro.contracts import OnChainWhitelist, WhitelistedVault
+from repro.core import ClientWallet, OwnerWallet, TokenService, TokenType, gas_to_usd
+from repro.core.acr import RuleSet, WhitelistRule
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core.cost import gas_to_ether, usd
+from repro.crypto.keys import KeyPair
+
+SAMPLE_ADDRESSES = env_int("SMACS_WHITELIST_SAMPLE", 50)
+
+
+def _measure_onchain_whitelist(chain):
+    owner = chain.create_account("baseline-owner")
+    whitelist = owner.deploy(OnChainWhitelist).return_value
+    receipts = [
+        owner.transact(whitelist, "add", KeyPair.from_seed(f"baseline-user-{i}").address)
+        for i in range(SAMPLE_ADDRESSES)
+    ]
+    assert all(r.success for r in receipts)
+    return sum(r.gas_used for r in receipts) / len(receipts), whitelist, owner
+
+
+def test_baseline_per_address_cost_and_projections(benchmark, bench_chain):
+    results = {}
+    benchmark.pedantic(
+        lambda: results.update(per_address=_measure_onchain_whitelist(bench_chain)[0]),
+        rounds=1, iterations=1,
+    )
+    per_address_gas = results["per_address"]
+    projected_10k_usd = gas_to_usd(int(per_address_gas * 10_000))
+    projected_bluzelle_eth = gas_to_ether(int(per_address_gas * 7_473))
+    benchmark.extra_info.update(
+        {"per_address_gas": round(per_address_gas),
+         "projected_10k_usd": round(projected_10k_usd, 2),
+         "projected_bluzelle_eth": round(projected_bluzelle_eth, 3)}
+    )
+
+    lines = ["§II motivation -- on-chain whitelist baseline",
+             f"per-address gas:                {per_address_gas:,.0f}",
+             f"10 000 addresses (USD):         {usd(projected_10k_usd)}",
+             f"7 473 addresses (ETH, Bluzelle): {projected_bluzelle_eth:.3f}"]
+    report("baseline_whitelist_cost", lines)
+
+    # Shape: whitelisting 10k users on-chain costs hundreds of dollars.
+    assert projected_10k_usd > 50
+    # And a non-trivial amount of ether for the Bluzelle-sized list.
+    assert projected_bluzelle_eth > 0.5
+
+
+def test_smacs_whitelist_update_is_free_onchain(benchmark, bench_chain):
+    """The same policy in SMACS: a rule update with zero on-chain footprint."""
+    owner = bench_chain.create_account("smacs-owner")
+    service = TokenService(keypair=KeyPair.from_seed("baseline-ts"), rules=RuleSet(),
+                           clock=bench_chain.clock)
+    recorder = OwnerWallet(owner, service).deploy_protected(ProtectedRecorder).return_value
+    users = [KeyPair.from_seed(f"smacs-user-{i}").address for i in range(10_000)]
+    height_before = bench_chain.height
+    slots_before = bench_chain.state.storage_slot_count(recorder.this)
+
+    benchmark(service.update_rules,
+              lambda rules: rules.add_rule(WhitelistRule(users, name="big-whitelist")))
+
+    assert bench_chain.height == height_before
+    assert bench_chain.state.storage_slot_count(recorder.this) == slots_before
+
+
+def test_cost_crossover_baseline_vs_smacs(benchmark, bench_chain):
+    """Who wins: per-user on-chain whitelisting vs. per-call token verification.
+
+    SMACS shifts cost from list management (per user) to verification (per
+    call).  The baseline pays ~45k gas per whitelisted user plus ~30-50k per
+    gated call; SMACS pays nothing per user and ~165k per call.  SMACS wins
+    whenever users make few calls each (the common token-sale pattern);
+    the baseline catches up only when each user transacts many times.
+    """
+    rows = {}
+
+    def measure():
+        per_address_gas, whitelist, owner = _measure_onchain_whitelist(bench_chain)
+        vault = owner.deploy(WhitelistedVault, whitelist.this).return_value
+        user = bench_chain.create_account("crossover-user",
+                                          seed=f"crossover-{SAMPLE_ADDRESSES}")
+        owner.transact(whitelist, "add", user.address)
+        baseline_call = user.transact(vault, "record", 5)
+        assert baseline_call.success
+
+        service = TokenService(keypair=KeyPair.generate(), rules=RuleSet(),
+                               clock=bench_chain.clock)
+        recorder = OwnerWallet(owner, service).deploy_protected(ProtectedRecorder).return_value
+        wallet = ClientWallet(user, {recorder.this: service})
+        smacs_call = wallet.call_with_token(recorder, "submit", 5,
+                                            token_type=TokenType.METHOD)
+        assert smacs_call.success
+        rows["baseline_per_user"] = per_address_gas
+        rows["baseline_per_call"] = baseline_call.gas_used
+        rows["smacs_per_user"] = 0
+        rows["smacs_per_call"] = smacs_call.gas_used
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = ["Crossover: on-chain whitelist baseline vs SMACS (gas)",
+             f"{'':<24}{'per user':>12}{'per call':>12}",
+             f"{'on-chain whitelist':<24}{rows['baseline_per_user']:>12.0f}"
+             f"{rows['baseline_per_call']:>12.0f}",
+             f"{'SMACS':<24}{rows['smacs_per_user']:>12.0f}{rows['smacs_per_call']:>12.0f}"]
+    calls_to_crossover = rows["baseline_per_user"] / (
+        rows["smacs_per_call"] - rows["baseline_per_call"]
+    )
+    lines.append(f"baseline overtakes SMACS only after ~{calls_to_crossover:.1f} calls/user")
+    report("baseline_crossover", lines)
+
+    assert rows["smacs_per_call"] > rows["baseline_per_call"]   # SMACS pays per call...
+    assert rows["baseline_per_user"] > 40_000                   # ...baseline pays per user
+    assert calls_to_crossover > 0.2

@@ -1,0 +1,76 @@
+"""Fig. 8 -- aggregated gas cost for verifying multiple tokens.
+
+Four series (super, method, argument, one-time argument) against the number
+of tokens carried by the transaction (1-4).  The paper shows all series
+growing linearly, with argument tokens well above method/super and the
+one-time variant slightly above the plain argument series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_table3_multi_token_gas import _run_chain_call
+from benchmarks.conftest import report
+from repro.core import TokenType
+
+SERIES = [
+    ("super", TokenType.SUPER, False),
+    ("method", TokenType.METHOD, False),
+    ("argument", TokenType.ARGUMENT, False),
+    ("argument-one-time", TokenType.ARGUMENT, True),
+]
+DEPTHS = [1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("label,token_type,one_time", SERIES)
+def test_fig8_series(benchmark, bench_chain, label, token_type, one_time):
+    """One series of Fig. 8: gas vs. number of tokens for one flavour."""
+    points = {}
+
+    def sweep():
+        for depth in DEPTHS:
+            receipt = _run_chain_call(bench_chain, depth, one_time=one_time,
+                                      token_type=token_type)
+            points[depth] = receipt.gas_used
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"gas_{d}_tokens": g for d, g in points.items()})
+
+    # Monotone, roughly linear growth.
+    assert points[1] < points[2] < points[3] < points[4]
+    increments = [points[d + 1] - points[d] for d in (1, 2, 3)]
+    assert max(increments) < 1.7 * min(increments)
+
+
+def test_fig8_full_figure(benchmark, bench_chain):
+    series_points = {}
+
+    def sweep_all():
+        for label, token_type, one_time in SERIES:
+            series_points[label] = {
+                depth: _run_chain_call(bench_chain, depth, one_time=one_time,
+                                       token_type=token_type).gas_used
+                for depth in DEPTHS
+            }
+
+    benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    lines = ["Fig. 8 -- aggregated gas cost for verifying multiple tokens",
+             f"{'tokens':<8}" + "".join(f"{label:>20}" for label, _, _ in SERIES)]
+    for depth in DEPTHS:
+        lines.append(
+            f"{depth:<8}" + "".join(f"{series_points[label][depth]:>20}"
+                                    for label, _, _ in SERIES)
+        )
+    report("fig8_callchain_gas", lines)
+
+    for depth in DEPTHS:
+        super_gas = series_points["super"][depth]
+        method_gas = series_points["method"][depth]
+        argument_gas = series_points["argument"][depth]
+        one_time_gas = series_points["argument-one-time"][depth]
+        # Ordering of the series at every x as in the figure.
+        assert super_gas < method_gas < argument_gas < one_time_gas
+        # Argument verification is roughly 2-4x super (paper: ~2.3x at depth 4).
+        assert 1.5 < argument_gas / super_gas < 5.0

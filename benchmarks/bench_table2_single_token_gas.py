@@ -1,0 +1,106 @@
+"""Tab. II -- single token processing gas cost.
+
+Reproduces the Verify / Misc (/ Bitmap) split and the USD conversion for
+super, method and argument tokens, with and without the one-time property.
+The paper's reference numbers (gas): Verify 108 282 / 115 108 / 330 889
+(plain) and a ~27-28k bitmap surcharge for one-time tokens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core import TokenType, gas_to_usd
+from repro.core.cost import usd
+
+TOKEN_FLAVOURS = [
+    ("super", TokenType.SUPER, False),
+    ("method", TokenType.METHOD, False),
+    ("argument", TokenType.ARGUMENT, False),
+    ("super-one-time", TokenType.SUPER, True),
+    ("method-one-time", TokenType.METHOD, True),
+    ("argument-one-time", TokenType.ARGUMENT, True),
+]
+
+
+def _request_kwargs(token_type: TokenType) -> dict:
+    if token_type is TokenType.METHOD:
+        return {"method": "submit"}
+    if token_type is TokenType.ARGUMENT:
+        return {"method": "submit", "arguments": {"amount": 5, "memo": "table2"}}
+    return {}
+
+
+def _measure_flavour(env, token_type: TokenType, one_time: bool):
+    wallet, client, recorder = env["wallet"], env["client"], env["recorder"]
+    token = wallet.request_token(recorder, token_type, one_time=one_time,
+                                 **_request_kwargs(token_type))
+    receipt = client.transact(recorder, "submit", amount=5, memo="table2",
+                              token=token.to_bytes())
+    assert receipt.success, receipt.error
+    return receipt
+
+
+@pytest.mark.parametrize("label,token_type,one_time", TOKEN_FLAVOURS)
+def test_table2_single_token_gas(benchmark, bench_env, label, token_type, one_time):
+    """Time one protected call per flavour and report its gas breakdown."""
+    receipts = []
+
+    def run_once():
+        receipts.append(_measure_flavour(bench_env, token_type, one_time))
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+    receipt = receipts[-1]
+
+    verify = receipt.breakdown("verify")
+    bitmap = receipt.breakdown("bitmap")
+    misc = receipt.misc_gas
+    total = receipt.gas_used
+    benchmark.extra_info.update(
+        {"verify_gas": verify, "bitmap_gas": bitmap, "misc_gas": misc,
+         "total_gas": total, "usd": round(gas_to_usd(total), 4)}
+    )
+
+    # The table's structural properties must hold for every flavour.
+    assert verify > 0
+    assert misc > 21_000
+    assert (bitmap > 0) == one_time
+    assert verify + bitmap <= total
+
+
+def test_table2_full_table(benchmark, bench_env):
+    """Regenerate the complete Tab. II and check its qualitative shape."""
+    rows = {}
+
+    def build_table():
+        for label, token_type, one_time in TOKEN_FLAVOURS:
+            receipt = _measure_flavour(bench_env, token_type, one_time)
+            rows[label] = receipt
+
+    benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    lines = ["Tab. II -- single token processing gas cost",
+             f"{'flavour':<20}{'Verify':>10}{'Misc':>10}{'Bitmap':>10}{'Total':>12}{'USD':>8}"]
+    for label, receipt in rows.items():
+        lines.append(
+            f"{label:<20}{receipt.breakdown('verify'):>10}{receipt.misc_gas:>10}"
+            f"{receipt.breakdown('bitmap'):>10}{receipt.gas_used:>12}"
+            f"{usd(gas_to_usd(receipt.gas_used)):>8}"
+        )
+    report("table2_single_token_gas", lines)
+
+    verify = {label: receipt.breakdown("verify") for label, receipt in rows.items()}
+    totals = {label: receipt.gas_used for label, receipt in rows.items()}
+
+    # Shape 1: verification dominates and ranks super < method < argument.
+    assert verify["super"] < verify["method"] < verify["argument"]
+    # Shape 2: argument tokens are by far the most expensive (paper: ~2.9x super).
+    assert verify["argument"] > 2 * verify["super"]
+    # Shape 3: the one-time property adds a modest bitmap surcharge (~15-20%).
+    for flavour in ("super", "method", "argument"):
+        surcharge = totals[f"{flavour}-one-time"] - totals[flavour]
+        assert 10_000 < surcharge < 45_000
+    # Shape 4: absolute magnitudes are in the paper's range (tens of cents max).
+    assert 100_000 < totals["super"] < 250_000
+    assert 0.01 < gas_to_usd(totals["argument"]) < 0.25

@@ -1,0 +1,95 @@
+"""Tab. III -- gas cost for transactions carrying multiple one-time argument tokens.
+
+A call chain of depth 1-4 (Fig. 5) where every contract is SMACS-enabled and
+the transaction carries one one-time argument token per contract.  The paper
+reports the Verify / Misc / Bitmap / Parse split and totals growing linearly
+from ~416k gas (1 token) to ~1.70M gas (4 tokens).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.contracts.call_chain_demo import build_call_chain
+from repro.core import ClientWallet, TokenService, TokenType, gas_to_usd
+from repro.core.acr import RuleSet
+from repro.core.cost import usd
+from repro.crypto.keys import KeyPair
+
+DEPTHS = [1, 2, 3, 4]
+
+
+def _run_chain_call(chain, depth: int, one_time: bool = True,
+                    token_type: TokenType = TokenType.ARGUMENT):
+    owner = chain.create_account(f"t3-owner-{depth}-{token_type}-{one_time}")
+    client = chain.create_account(f"t3-client-{depth}-{token_type}-{one_time}")
+    services = [
+        TokenService(keypair=KeyPair.generate(), rules=RuleSet(), clock=chain.clock)
+        for _ in range(depth)
+    ]
+    contracts = build_call_chain(owner, services, one_time_bitmap_bits=2048)
+    wallet = ClientWallet(client)
+    for contract, service in zip(contracts, services):
+        wallet.register_service(contract, service)
+
+    plan = []
+    for level, contract in enumerate(contracts):
+        step = {"contract": contract, "method": "invoke", "token_type": token_type,
+                "one_time": one_time}
+        if token_type is TokenType.ARGUMENT:
+            step["arguments"] = {"payload": 1 + level}
+        plan.append(step)
+    bundle = wallet.acquire_bundle(plan)
+    receipt = wallet.call_with_bundle(contracts[0], "invoke", bundle, payload=1)
+    assert receipt.success, receipt.error
+    return receipt
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_table3_one_time_argument_tokens(benchmark, bench_chain, depth):
+    receipts = []
+    benchmark.pedantic(lambda: receipts.append(_run_chain_call(bench_chain, depth)),
+                       rounds=1, iterations=1)
+    receipt = receipts[-1]
+    benchmark.extra_info.update(
+        {"tokens": depth, "total_gas": receipt.gas_used,
+         "verify": receipt.breakdown("verify"), "bitmap": receipt.breakdown("bitmap"),
+         "parse": receipt.breakdown("parse")}
+    )
+    assert receipt.breakdown("verify") > 0
+    assert receipt.breakdown("bitmap") > 0
+    # Multi-token transactions pay an array-parsing cost (the "Parse" row).
+    assert (receipt.breakdown("parse") > 0) == (depth > 1)
+
+
+def test_table3_full_table(benchmark, bench_chain):
+    rows = {}
+    benchmark.pedantic(
+        lambda: rows.update({d: _run_chain_call(bench_chain, d) for d in DEPTHS}),
+        rounds=1, iterations=1,
+    )
+
+    lines = ["Tab. III -- gas cost for multiple one-time argument tokens",
+             f"{'tokens':<8}{'Verify':>10}{'Misc':>10}{'Bitmap':>10}{'Parse':>10}"
+             f"{'Total':>12}{'USD':>8}"]
+    for depth, receipt in rows.items():
+        lines.append(
+            f"{depth:<8}{receipt.breakdown('verify'):>10}{receipt.misc_gas:>10}"
+            f"{receipt.breakdown('bitmap'):>10}{receipt.breakdown('parse'):>10}"
+            f"{receipt.gas_used:>12}{usd(gas_to_usd(receipt.gas_used)):>8}"
+        )
+    report("table3_multi_token_gas", lines)
+
+    totals = {d: r.gas_used for d, r in rows.items()}
+    verify = {d: r.breakdown("verify") for d, r in rows.items()}
+
+    # Shape 1: totals grow monotonically and roughly linearly with token count.
+    assert totals[1] < totals[2] < totals[3] < totals[4]
+    per_token_increments = [totals[d + 1] - totals[d] for d in (1, 2, 3)]
+    assert max(per_token_increments) < 1.6 * min(per_token_increments)
+    # Shape 2: verification dominates the total (paper: ~78-79%).
+    for depth in DEPTHS:
+        assert verify[depth] / totals[depth] > 0.5
+    # Shape 3: the 4-token transaction costs roughly 4x the single-token one.
+    assert 3.0 < totals[4] / totals[1] < 5.0

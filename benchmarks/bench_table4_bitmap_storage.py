@@ -1,0 +1,94 @@
+"""Tab. IV -- one-time storage cost of the bitmap.
+
+The bitmap is sized as ``token_lifetime x max_tx_per_second`` bits (§IV-C).
+With a one-hour lifetime the paper reports, for peak transaction frequencies
+of 35 / 3.5 / 0.35 tx/s: 15.38 KB / 1.54 KB / 0.154 KB of storage and a
+one-time deployment cost of 8 849 037 / 886 054 / 88 605 gas ($2.14 / $0.21 /
+$0.02).  The 35 tx/s figure comes from the transaction distribution of the
+ten most popular contracts, which the synthetic traces reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import OwnerWallet, TokenService, gas_to_usd
+from repro.core.acr import RuleSet
+from repro.core.bitmap import bitmap_storage_bytes, required_bitmap_bits
+from repro.core.cost import usd
+from repro.crypto.keys import KeyPair
+from repro.workloads.traces import average_peak_rate, synthetic_popular_contract_traces
+
+TOKEN_LIFETIME_SECONDS = 3600
+TX_FREQUENCIES = [35.0, 3.5, 0.35]
+
+
+def _deploy_with_bitmap(chain, bits: int):
+    owner = chain.create_account(f"t4-owner-{bits}")
+    service = TokenService(keypair=KeyPair.generate(), rules=RuleSet(), clock=chain.clock)
+    receipt = OwnerWallet(owner, service).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=bits, gas_limit=50_000_000
+    )
+    assert receipt.success, receipt.error
+    return receipt
+
+
+def test_table4_peak_rate_input_comes_from_popular_contract_traces(benchmark):
+    """§VI-A: the 35 tx/s sizing input is the average popular-contract peak."""
+    traces = benchmark(synthetic_popular_contract_traces, duration_seconds=600, seed=2019)
+    assert average_peak_rate(traces) == pytest.approx(35.0, abs=2.0)
+
+
+@pytest.mark.parametrize("tx_per_second", TX_FREQUENCIES)
+def test_table4_bitmap_deployment_cost(benchmark, bench_chain, tx_per_second):
+    bits = required_bitmap_bits(TOKEN_LIFETIME_SECONDS, tx_per_second)
+    receipts = []
+    benchmark.pedantic(lambda: receipts.append(_deploy_with_bitmap(bench_chain, bits)),
+                       rounds=1, iterations=1)
+    receipt = receipts[-1]
+    bitmap_gas = receipt.breakdown("bitmap")
+    benchmark.extra_info.update(
+        {"tx_per_second": tx_per_second, "bits": bits,
+         "storage_kb": round(bitmap_storage_bytes(bits) / 1024, 3),
+         "bitmap_deployment_gas": bitmap_gas,
+         "usd": round(gas_to_usd(bitmap_gas), 3)}
+    )
+    assert bitmap_gas > 0
+
+
+def test_table4_full_table(benchmark, bench_chain):
+    rows = {}
+
+    def build():
+        for tx_per_second in TX_FREQUENCIES:
+            bits = required_bitmap_bits(TOKEN_LIFETIME_SECONDS, tx_per_second)
+            receipt = _deploy_with_bitmap(bench_chain, bits)
+            rows[tx_per_second] = (bits, receipt)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = ["Tab. IV -- one-time bitmap storage cost (1-hour token lifetime)",
+             f"{'tx/s':<8}{'bits':>10}{'storage KB':>12}{'deploy gas':>14}{'USD':>8}"]
+    for tx_per_second, (bits, receipt) in rows.items():
+        bitmap_gas = receipt.breakdown("bitmap")
+        lines.append(
+            f"{tx_per_second:<8}{bits:>10}{bitmap_storage_bytes(bits) / 1024:>12.3f}"
+            f"{bitmap_gas:>14}{usd(gas_to_usd(bitmap_gas)):>8}"
+        )
+    report("table4_bitmap_storage", lines)
+
+    # Shape 1: storage requirement matches the paper's KB column.
+    assert bitmap_storage_bytes(rows[35.0][0]) / 1024 == pytest.approx(15.38, abs=0.05)
+    assert bitmap_storage_bytes(rows[3.5][0]) / 1024 == pytest.approx(1.54, abs=0.01)
+    assert bitmap_storage_bytes(rows[0.35][0]) / 1024 == pytest.approx(0.154, abs=0.005)
+    # Shape 2: deployment gas is linear in the transaction frequency.
+    gas_35 = rows[35.0][1].breakdown("bitmap")
+    gas_3_5 = rows[3.5][1].breakdown("bitmap")
+    gas_0_35 = rows[0.35][1].breakdown("bitmap")
+    assert gas_35 / gas_3_5 == pytest.approx(10.0, rel=0.15)
+    assert gas_3_5 / gas_0_35 == pytest.approx(10.0, rel=0.25)
+    # Shape 3: the absolute magnitude is the paper's (≈8.8M gas ≈ $2 for 35 tx/s).
+    assert gas_35 == pytest.approx(8_849_037, rel=0.15)
+    assert 1.0 < gas_to_usd(gas_35) < 4.0

@@ -1,0 +1,68 @@
+"""Shared fixtures and reporting helpers for the benchmark harnesses.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§VI).  Besides the pytest-benchmark timings, every harness prints
+its reproduced table and writes it to ``benchmarks/results/<name>.txt`` so the
+numbers are inspectable after a ``--benchmark-only`` run (where stdout is
+captured).  EXPERIMENTS.md records a reference run next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import ClientWallet, OwnerWallet, TokenService
+from repro.core.acr import RuleSet
+from repro.crypto.keys import KeyPair
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ETHER = 10**18
+
+
+def report(name: str, lines: "list[str]") -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def bench_chain() -> Blockchain:
+    return Blockchain()
+
+
+@pytest.fixture
+def bench_env(bench_chain):
+    """A deployed ProtectedRecorder + permissive TS + client wallet bundle."""
+    owner = bench_chain.create_account("bench-owner", seed="bench-owner")
+    client = bench_chain.create_account("bench-client", seed="bench-client")
+    service = TokenService(
+        keypair=KeyPair.from_seed("bench-ts"), rules=RuleSet(), clock=bench_chain.clock
+    )
+    recorder = OwnerWallet(owner, service).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=126_000
+    ).return_value
+    wallet = ClientWallet(client, {recorder.this: service})
+    return {
+        "chain": bench_chain,
+        "owner": owner,
+        "client": client,
+        "service": service,
+        "recorder": recorder,
+        "wallet": wallet,
+    }
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer tuning knob from the environment."""
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Hydra uniformity as a SMACS rule (§V-A).
+
+Three independently written heads of the same accumulator logic run on the
+Token Service's private testnet (one head carries a 16-bit truncation bug).
+Argument tokens are issued only for payloads on which every head agrees, so
+divergence-triggering payloads never reach the chain -- and the chain never
+pays the N-fold execution cost of on-chain Hydra.
+
+Run with:  python examples/hydra_uniformity.py
+"""
+
+from repro.chain import Blockchain
+from repro.core import (
+    ClientWallet,
+    OwnerWallet,
+    TokenDenied,
+    TokenService,
+    TokenType,
+)
+from repro.core.acr import RuntimeVerificationRule
+from repro.crypto.keys import KeyPair
+from repro.verification import HydraCoordinator, HydraUniformityRule
+from repro.verification.hydra import (
+    AccumulatorHeadA,
+    AccumulatorHeadB,
+    AccumulatorHeadC,
+)
+
+
+def main() -> None:
+    chain = Blockchain()
+    owner = chain.create_account("owner", seed="hydra-owner")
+    client = chain.create_account("client", seed="hydra-client")
+
+    # The production contract is head A; the TS runs all three heads off-chain.
+    coordinator = HydraCoordinator(
+        head_classes=(AccumulatorHeadA, AccumulatorHeadB, AccumulatorHeadC),
+        constructor_args=[{}, {}, {"buggy": True}],
+    )
+    print(f"Hydra coordinator running {coordinator.head_count} heads on a private testnet")
+
+    service = TokenService(keypair=KeyPair.from_seed("hydra-ts"), clock=chain.clock)
+    production = owner.deploy(AccumulatorHeadA).return_value
+    # Make the production contract SMACS-enabled via the adoption tool.
+    from repro.core import make_smacs_enabled
+
+    ProtectedAccumulator = make_smacs_enabled(AccumulatorHeadA, name="ProtectedAccumulator")
+    protected = OwnerWallet(owner, service).deploy_protected(ProtectedAccumulator).return_value
+    service.rules.add_rule(
+        RuntimeVerificationRule(HydraUniformityRule(coordinator, protected)),
+        TokenType.ARGUMENT,
+    )
+    print(f"protected accumulator deployed at {protected.address_hex}")
+
+    wallet = ClientWallet(client, {protected.this: service})
+
+    # A benign payload: all heads agree, the token is issued, the call runs.
+    receipt = wallet.call_with_token(protected, "add", amount=1200,
+                                     token_type=TokenType.ARGUMENT)
+    print(f"add(1200): all heads agree -> token issued, call success={receipt.success}, "
+          f"total={chain.read(protected, 'total')}")
+
+    # A payload that makes the buggy head diverge: no token, nothing on-chain.
+    try:
+        wallet.call_with_token(protected, "add", amount=70_000,
+                               token_type=TokenType.ARGUMENT)
+        print("add(70000): ERROR, the divergent payload was allowed")
+    except TokenDenied as denied:
+        print(f"add(70000): heads diverged -> token denied ({denied})")
+    print(f"on-chain state untouched by the divergent payload: "
+          f"total={chain.read(protected, 'total')}")
+
+    # The unprotected twin would have accepted the same payload silently.
+    owner.transact(production, "add", 70_000)
+    print(f"unprotected twin happily accepted it: total={chain.read(production, 'total')}")
+
+
+if __name__ == "__main__":
+    main()

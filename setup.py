@@ -1,0 +1,10 @@
+"""Legacy setup shim for offline environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 517 and needs ``wheel``; on fully offline
+machines ``python setup.py develop`` (or adding ``src/`` to a ``.pth`` file)
+achieves the same editable install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

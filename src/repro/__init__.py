@@ -1,0 +1,33 @@
+"""SMACS: Smart Contract Access Control Service -- a full reproduction.
+
+This package reproduces Liu, Sun and Szalachowski's DSN 2020 paper in pure
+Python, including every substrate the prototype depends on:
+
+* :mod:`repro.crypto` -- keccak-256 and secp256k1 ECDSA (``ecrecover``);
+* :mod:`repro.chain` -- an Ethereum-like blockchain simulator with gas
+  metering, message calls and Solidity-style contracts;
+* :mod:`repro.core` -- the SMACS framework itself: tokens, the Token Service,
+  Access Control Rules, the one-time bitmap, SMACS-enabled contracts, the
+  legacy-contract transformer, wallets and TS replication;
+* :mod:`repro.verification` -- runtime verification tools (Hydra uniformity,
+  ECFChecker) pluggable into the Token Service;
+* :mod:`repro.consensus` -- a Raft implementation backing the replicated
+  one-time counter;
+* :mod:`repro.contracts` -- case-study and baseline contracts;
+* :mod:`repro.workloads` -- workload generators for the evaluation.
+
+See README.md for a quickstart and EXPERIMENTS.md for the paper-vs-measured
+comparison of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "chain",
+    "consensus",
+    "contracts",
+    "core",
+    "crypto",
+    "verification",
+    "workloads",
+]

@@ -1,0 +1,63 @@
+"""An Ethereum-like blockchain substrate for the SMACS reproduction.
+
+The original SMACS prototype runs on a geth testnet with contracts written in
+Solidity v0.4.24.  This subpackage provides the equivalent substrate in pure
+Python: accounts with nonces, signed transactions, blocks, a persistent world
+state, message calls with the Solidity transaction-context objects
+(``tx.origin``, ``msg.sender``, ``msg.sig``, ``msg.data``), a gas meter with
+an Ethereum-flavoured gas schedule and per-category accounting (used to split
+the cost tables into Verify / Misc / Bitmap / Parse), event logs, and a
+contract programming model with Solidity-style method visibility.
+
+Public entry points:
+
+* :class:`repro.chain.chain.Blockchain` -- the chain itself (deploy contracts,
+  send transactions, mine blocks, fork/reorg).
+* :class:`repro.chain.contract.Contract` -- base class for contracts, with the
+  :func:`external` / :func:`public` / :func:`internal` / :func:`private`
+  visibility decorators.
+* :class:`repro.chain.account.ExternallyOwnedAccount` -- a key pair bound to
+  the chain that can build and sign transactions.
+"""
+
+from repro.chain.address import Address, to_address, ZERO_ADDRESS
+from repro.chain.account import ExternallyOwnedAccount
+from repro.chain.chain import Blockchain
+from repro.chain.contract import (
+    Contract,
+    external,
+    public,
+    internal,
+    private,
+    payable,
+)
+from repro.chain.errors import (
+    ChainError,
+    InvalidTransaction,
+    OutOfGas,
+    Revert,
+    VisibilityError,
+)
+from repro.chain.evm import Receipt
+from repro.chain.transaction import Transaction
+
+__all__ = [
+    "Address",
+    "Blockchain",
+    "Contract",
+    "ExternallyOwnedAccount",
+    "Receipt",
+    "Transaction",
+    "ZERO_ADDRESS",
+    "to_address",
+    "external",
+    "public",
+    "internal",
+    "private",
+    "payable",
+    "ChainError",
+    "InvalidTransaction",
+    "OutOfGas",
+    "Revert",
+    "VisibilityError",
+]

@@ -1,0 +1,81 @@
+"""Calldata encoding and method selectors.
+
+The simulator does not execute EVM bytecode, but SMACS on-chain verification
+depends on two pieces of calldata semantics that must be faithful:
+
+* ``msg.sig`` -- the 4-byte method identifier, derived as the first four
+  bytes of ``keccak256(method_signature)``;
+* ``msg.data`` -- the full calldata (selector + encoded arguments), which the
+  argument-token verification binds into the signed datagram.
+
+This module provides a deterministic, ABI-inspired encoding of Python call
+arguments into bytes so that calldata sizes (and therefore gas costs) are
+realistic and so that any change to the arguments changes ``msg.data``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.address import is_address
+from repro.crypto.keccak import keccak256
+
+SELECTOR_SIZE = 4
+WORD = 32
+
+
+def method_selector(method_name: str) -> bytes:
+    """Return the 4-byte selector for a method name (``msg.sig``)."""
+    return keccak256(method_name.encode())[:SELECTOR_SIZE]
+
+
+def _encode_value(value: Any) -> bytes:
+    """Encode a single argument value into ABI-style bytes."""
+    if isinstance(value, bool):
+        return (b"\x01" if value else b"\x00").rjust(WORD, b"\x00")
+    if isinstance(value, int):
+        if value < 0:
+            value &= (1 << 256) - 1  # two's complement like int256
+        return value.to_bytes(WORD, "big")
+    if isinstance(value, bytes):
+        if is_address(value):
+            return value.rjust(WORD, b"\x00")
+        length = len(value).to_bytes(WORD, "big")
+        padded_len = (len(value) + WORD - 1) // WORD * WORD
+        return length + value.ljust(padded_len, b"\x00")
+    if isinstance(value, str):
+        return _encode_value(value.encode())
+    if isinstance(value, (list, tuple)):
+        parts = [len(value).to_bytes(WORD, "big")]
+        parts.extend(_encode_value(item) for item in value)
+        return b"".join(parts)
+    if value is None:
+        return b"\x00" * WORD
+    to_bytes = getattr(value, "to_bytes", None)
+    if callable(to_bytes) and not isinstance(value, (int, float)):
+        # Structured payloads that know their wire format (tokens, bundles).
+        return _encode_value(to_bytes())
+    raise TypeError(f"cannot ABI-encode value of type {type(value).__name__}")
+
+
+def encode_arguments(args: tuple[Any, ...], kwargs: dict[str, Any]) -> bytes:
+    """Encode positional and keyword arguments into a byte string."""
+    parts = [_encode_value(arg) for arg in args]
+    for name in sorted(kwargs):
+        parts.append(_encode_value(name))
+        parts.append(_encode_value(kwargs[name]))
+    return b"".join(parts)
+
+
+def encode_call(
+    method_name: str, args: tuple[Any, ...] = (), kwargs: dict[str, Any] | None = None
+) -> bytes:
+    """Build the calldata for a method call: selector + encoded arguments."""
+    return method_selector(method_name) + encode_arguments(args, kwargs or {})
+
+
+def decode_selector(calldata: bytes) -> bytes:
+    """Extract the 4-byte selector from raw calldata."""
+    if len(calldata) < SELECTOR_SIZE:
+        raise ValueError("calldata shorter than a method selector")
+    return calldata[:SELECTOR_SIZE]

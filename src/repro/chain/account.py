@@ -1,0 +1,119 @@
+"""Externally owned accounts (EOAs): a key pair bound to a chain.
+
+An EOA is the wallet-level abstraction used by owners and clients: it knows
+its key pair, keeps track of its nonce through the chain state, and can build,
+sign and submit transactions (value transfers, contract calls, deployments).
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.chain.address import Address, address_hex
+from repro.chain.transaction import DEFAULT_GAS_LIMIT, Transaction
+from repro.crypto.keys import KeyPair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.chain import Blockchain
+    from repro.chain.contract import Contract
+    from repro.chain.evm import Receipt
+
+
+class ExternallyOwnedAccount:
+    """A user account able to sign and send transactions on one chain."""
+
+    def __init__(self, chain: "Blockchain", keypair: KeyPair, label: str = ""):
+        self.chain = chain
+        self.keypair = keypair
+        self.label = label or address_hex(keypair.address)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        return self.keypair.address
+
+    @property
+    def address_hex(self) -> str:
+        return address_hex(self.address)
+
+    @property
+    def balance(self) -> int:
+        return self.chain.state.balance_of(self.address)
+
+    @property
+    def nonce(self) -> int:
+        """The next usable nonce, accounting for queued pending transactions."""
+        return self.chain.next_nonce(self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EOA {self.label} {self.address_hex[:10]}…>"
+
+    # -- transaction building ----------------------------------------------------
+
+    def build_transaction(
+        self,
+        to: Address | None,
+        method: str | None = None,
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+        value: int = 0,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        gas_price: int = 1,
+    ) -> Transaction:
+        """Build and sign a transaction with the next account nonce."""
+        tx = Transaction(
+            sender=self.address,
+            to=to,
+            nonce=self.nonce,
+            method=method,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            value=value,
+            gas_limit=gas_limit,
+            gas_price=gas_price,
+        )
+        tx.sign_with(self.keypair)
+        return tx
+
+    # -- convenience submission helpers --------------------------------------------
+
+    def transact(
+        self,
+        target: "Address | Contract",
+        method: str,
+        *args: Any,
+        value: int = 0,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        **kwargs: Any,
+    ) -> "Receipt":
+        """Call a contract method via a signed transaction."""
+        address = getattr(target, "this", target)
+        tx = self.build_transaction(
+            to=address,
+            method=method,
+            args=args,
+            kwargs=kwargs,
+            value=value,
+            gas_limit=gas_limit,
+        )
+        return self.chain.send_transaction(tx)
+
+    def transfer(self, target: "Address | ExternallyOwnedAccount", value: int) -> "Receipt":
+        """Send a plain value transfer."""
+        address = target.address if isinstance(target, ExternallyOwnedAccount) else target
+        tx = self.build_transaction(to=address, value=value)
+        return self.chain.send_transaction(tx)
+
+    def deploy(
+        self,
+        contract_class: type,
+        *args: Any,
+        value: int = 0,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        **kwargs: Any,
+    ) -> "Receipt":
+        """Deploy a contract; the receipt carries the live contract instance."""
+        return self.chain.deploy(
+            self, contract_class, *args, value=value, gas_limit=gas_limit, **kwargs
+        )

@@ -1,0 +1,51 @@
+"""Ethereum-style 20-byte addresses.
+
+Externally owned accounts derive their address from their public key
+(:meth:`repro.crypto.keys.PublicKey.address`); contract addresses are derived
+from the creator address and nonce exactly as Ethereum does
+(``keccak256(rlp(sender, nonce))[12:]`` -- we use a simplified but still
+collision-free serialisation of the pair).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keccak import keccak256
+
+# Addresses are plain 20-byte ``bytes`` values throughout the code base; the
+# alias documents intent in signatures.
+Address = bytes
+
+ZERO_ADDRESS: Address = b"\x00" * 20
+
+
+def to_address(value: "Address | str | int") -> Address:
+    """Normalise hex strings / ints / bytes into a 20-byte address."""
+    if isinstance(value, bytes):
+        if len(value) != 20:
+            raise ValueError(f"address must be 20 bytes, got {len(value)}")
+        return value
+    if isinstance(value, str):
+        text = value[2:] if value.startswith("0x") else value
+        raw = bytes.fromhex(text)
+        if len(raw) != 20:
+            raise ValueError(f"address hex must decode to 20 bytes, got {len(raw)}")
+        return raw
+    if isinstance(value, int):
+        return value.to_bytes(20, "big")
+    raise TypeError(f"cannot convert {type(value).__name__} to address")
+
+
+def address_hex(address: Address) -> str:
+    """0x-prefixed lowercase hex rendering of an address."""
+    return "0x" + address.hex()
+
+
+def contract_address(creator: Address, nonce: int) -> Address:
+    """Deterministically derive the address of a newly created contract."""
+    payload = creator + nonce.to_bytes(8, "big")
+    return keccak256(payload)[-20:]
+
+
+def is_address(value: object) -> bool:
+    """True when ``value`` is a well-formed 20-byte address."""
+    return isinstance(value, bytes) and len(value) == 20

@@ -1,0 +1,41 @@
+"""Blocks and block headers of the simulated chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction
+from repro.crypto.keccak import keccak256
+
+GENESIS_PARENT_HASH = b"\x00" * 32
+
+
+@dataclass
+class Block:
+    """A mined block: header fields plus the ordered list of transactions."""
+
+    number: int
+    parent_hash: bytes
+    timestamp: int
+    transactions: list[Transaction] = field(default_factory=list)
+    gas_used: int = 0
+
+    def hash(self) -> bytes:
+        """Block hash over the header and the contained transaction hashes."""
+        payload = (
+            self.number.to_bytes(8, "big")
+            + self.parent_hash
+            + self.timestamp.to_bytes(8, "big")
+            + self.gas_used.to_bytes(8, "big")
+            + b"".join(tx.hash() for tx in self.transactions)
+        )
+        return keccak256(payload)
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self.transactions)
+
+
+def genesis_block(timestamp: int = 0) -> Block:
+    """The canonical genesis block."""
+    return Block(number=0, parent_hash=GENESIS_PARENT_HASH, timestamp=timestamp)

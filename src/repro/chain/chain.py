@@ -1,0 +1,271 @@
+"""The blockchain: blocks, transaction validation, mining, forks and reorgs.
+
+The default mode is *auto-mining* (like a development testnet / ganache):
+every submitted transaction is executed immediately into its own block.
+Batch mode (``auto_mine=False``) queues transactions in a pending pool until
+:meth:`Blockchain.mine_block` is called, which is what the workload-driven
+benchmarks use.
+
+The chain keeps a state checkpoint per block so that it can simulate history
+rewrites (forks / 51% attacks, §VII-A(c) of the paper) via
+:meth:`revert_to_block`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.chain.account import ExternallyOwnedAccount
+from repro.chain.address import Address
+from repro.chain.block import Block, genesis_block
+from repro.chain.clock import SimulatedClock
+from repro.chain.contract import Contract
+from repro.chain.errors import InsufficientFunds, InvalidTransaction
+from repro.chain.evm import BlockContext, CallTracer, ExecutionEngine, Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import DEFAULT_GAS_LIMIT, Transaction
+from repro.crypto.keys import KeyPair
+
+DEFAULT_FUNDING_WEI = 10**21  # 1000 ether for newly created test accounts
+BLOCK_INTERVAL_SECONDS = 13   # average Ethereum block time circa 2020
+
+
+@dataclass
+class _Checkpoint:
+    """Per-block snapshot used for forks and reorg simulation."""
+
+    state: WorldState
+    contracts: dict[Address, Contract]
+    timestamp: int
+
+
+class Blockchain:
+    """A single-node simulated Ethereum-like blockchain."""
+
+    def __init__(
+        self,
+        auto_mine: bool = True,
+        clock: SimulatedClock | None = None,
+        block_interval: int = BLOCK_INTERVAL_SECONDS,
+    ):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.evm = ExecutionEngine()
+        self.auto_mine = auto_mine
+        self.block_interval = block_interval
+        self.blocks: list[Block] = [genesis_block(self.clock.now())]
+        self.pending: list[Transaction] = []
+        self.receipts: dict[bytes, Receipt] = {}
+        self._checkpoints: list[_Checkpoint] = [
+            _Checkpoint(self.evm.state.deep_copy(), dict(self.evm.contracts),
+                        self.clock.now())
+        ]
+        # Tracer factory can be overridden (runtime verification testnets do).
+        self.trace_transactions = False
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def state(self) -> WorldState:
+        return self.evm.state
+
+    @property
+    def height(self) -> int:
+        return self.blocks[-1].number
+
+    @property
+    def latest_block(self) -> Block:
+        return self.blocks[-1]
+
+    @property
+    def timestamp(self) -> int:
+        return self.clock.now()
+
+    def advance_time(self, seconds: int) -> None:
+        """Advance the shared clock (affects token expiry and block times)."""
+        self.clock.advance(seconds)
+
+    def balance_of(self, address: "Address | ExternallyOwnedAccount | Contract") -> int:
+        addr = getattr(address, "address", None) or getattr(address, "this", None) or address
+        return self.state.balance_of(addr)
+
+    def contract_at(self, address: Address) -> Contract:
+        return self.evm.contract_at(address)
+
+    def next_nonce(self, address: Address) -> int:
+        """The nonce the next transaction from ``address`` must carry."""
+        pending_from_sender = sum(1 for tx in self.pending if tx.sender == address)
+        return self.state.nonce_of(address) + pending_from_sender
+
+    # -- accounts ------------------------------------------------------------------
+
+    def create_account(
+        self,
+        label: str = "",
+        funded_with: int = DEFAULT_FUNDING_WEI,
+        seed: "str | bytes | None" = None,
+    ) -> ExternallyOwnedAccount:
+        """Create a funded externally owned account (testnet faucet behaviour)."""
+        keypair = KeyPair.from_seed(seed) if seed is not None else KeyPair.generate()
+        account = ExternallyOwnedAccount(self, keypair, label=label)
+        if funded_with:
+            self.state.add_balance(account.address, funded_with)
+        return account
+
+    # -- transaction intake -----------------------------------------------------------
+
+    def _validate(self, tx: Transaction) -> None:
+        if not tx.verify_signature():
+            raise InvalidTransaction("transaction signature is missing or invalid")
+        expected_nonce = self.state.nonce_of(tx.sender)
+        pending_from_sender = sum(1 for p in self.pending if p.sender == tx.sender)
+        expected_nonce += pending_from_sender
+        if tx.nonce != expected_nonce:
+            raise InvalidTransaction(
+                f"bad nonce: expected {expected_nonce}, got {tx.nonce} "
+                "(replayed or out-of-order transaction)"
+            )
+        max_cost = tx.value + tx.gas_limit * tx.gas_price
+        if self.state.balance_of(tx.sender) < max_cost and tx.gas_price:
+            # Test accounts are generously funded; the check still catches
+            # plainly unaffordable transactions.
+            if self.state.balance_of(tx.sender) < tx.value:
+                raise InsufficientFunds("sender cannot cover transaction value")
+
+    def send_transaction(
+        self,
+        tx: Transaction,
+        deploy_factory: Callable[[], Contract] | None = None,
+    ) -> Receipt | None:
+        """Validate and submit a transaction.
+
+        In auto-mine mode the transaction executes immediately and its receipt
+        is returned; otherwise it joins the pending pool and ``None`` is
+        returned until :meth:`mine_block` processes it.
+        """
+        self._validate(tx)
+        if self.auto_mine:
+            return self._mine([(tx, deploy_factory)])[0]
+        if deploy_factory is not None:
+            raise InvalidTransaction(
+                "contract creation requires auto-mine mode in this simulator"
+            )
+        self.pending.append(tx)
+        return None
+
+    def mine_block(self) -> list[Receipt]:
+        """Mine all pending transactions into a single block."""
+        batch = [(tx, None) for tx in self.pending]
+        self.pending = []
+        return self._mine(batch)
+
+    def _mine(
+        self, batch: list[tuple[Transaction, Callable[[], Contract] | None]]
+    ) -> list[Receipt]:
+        self.clock.advance(self.block_interval)
+        block = Block(
+            number=self.height + 1,
+            parent_hash=self.latest_block.hash(),
+            timestamp=self.clock.now(),
+        )
+        block_ctx = BlockContext(number=block.number, timestamp=block.timestamp)
+        receipts: list[Receipt] = []
+        for tx, factory in batch:
+            tracer = CallTracer() if self.trace_transactions else None
+            receipt = self.evm.execute_transaction(
+                tx, block_ctx, deploy_factory=factory, tracer=tracer
+            )
+            if tracer is not None:
+                receipt.trace = tracer  # type: ignore[attr-defined]
+            block.transactions.append(tx)
+            block.gas_used += receipt.gas_used
+            receipts.append(receipt)
+            self.receipts[receipt.tx_hash] = receipt
+        self.blocks.append(block)
+        self._checkpoints.append(
+            _Checkpoint(self.evm.state.deep_copy(), dict(self.evm.contracts),
+                        self.clock.now())
+        )
+        return receipts
+
+    # -- deployment ---------------------------------------------------------------------
+
+    def deploy(
+        self,
+        account: ExternallyOwnedAccount,
+        contract_class: type,
+        *args: Any,
+        value: int = 0,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        **kwargs: Any,
+    ) -> Receipt:
+        """Deploy ``contract_class`` from ``account``.
+
+        The receipt's ``return_value`` is the live contract instance and
+        ``contract_address`` its address.
+        """
+        tx = Transaction(
+            sender=account.address,
+            to=None,
+            nonce=account.nonce,
+            method="constructor",
+            args=tuple(args),
+            kwargs=dict(kwargs),
+            value=value,
+            gas_limit=gas_limit,
+        )
+        tx.sign_with(account.keypair)
+        receipt = self.send_transaction(tx, deploy_factory=contract_class)
+        assert receipt is not None
+        return receipt
+
+    # -- read-only access --------------------------------------------------------------------
+
+    def read(self, target: "Address | Contract", method: str, *args: Any, **kwargs: Any) -> Any:
+        """Execute a method read-only (``eth_call``): no gas, no state change."""
+        address = getattr(target, "this", target)
+        return self.evm.static_read(address, method, *args, **kwargs)
+
+    def receipt_for(self, tx_hash: bytes) -> Receipt:
+        return self.receipts[tx_hash]
+
+    # -- forks and reorgs ------------------------------------------------------------------------
+
+    def revert_to_block(self, block_number: int) -> None:
+        """Rewrite history: discard all blocks above ``block_number``.
+
+        This simulates the effect of a 51% attack rewriting the chain.  State,
+        the contract registry and receipts are restored to the checkpoint of
+        the target block; the clock is left monotonic (it never goes back).
+        """
+        if not 0 <= block_number <= self.height:
+            raise ValueError(f"no block {block_number} to revert to")
+        checkpoint = self._checkpoints[block_number]
+        self.evm.state = checkpoint.state.deep_copy()
+        self.evm.contracts = dict(checkpoint.contracts)
+        kept_hashes = {
+            tx.hash() for block in self.blocks[: block_number + 1] for tx in block.transactions
+        }
+        self.receipts = {h: r for h, r in self.receipts.items() if h in kept_hashes}
+        del self.blocks[block_number + 1:]
+        del self._checkpoints[block_number + 1:]
+
+    def fork(self) -> "Blockchain":
+        """Return an independent copy of the chain at its current height.
+
+        Used by the Token Service's local testnets: runtime-verification tools
+        replay candidate transactions on a fork without touching the main
+        chain.
+        """
+        clone = Blockchain(auto_mine=True, clock=SimulatedClock(self.clock.now()),
+                           block_interval=self.block_interval)
+        clone.evm.state = self.evm.state.deep_copy()
+        clone.evm.contracts = dict(self.evm.contracts)
+        clone.evm.contract_creators = dict(self.evm.contract_creators)
+        clone.blocks = list(self.blocks)
+        clone.receipts = dict(self.receipts)
+        clone._checkpoints = [
+            _Checkpoint(clone.evm.state.deep_copy(), dict(clone.evm.contracts),
+                        clone.clock.now())
+        ]
+        return clone

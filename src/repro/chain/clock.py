@@ -1,0 +1,29 @@
+"""A shared simulated clock.
+
+Block timestamps, token expiration times and the Token Service all read the
+same clock, so tests and benchmarks can advance time deterministically
+(``clock.advance(3600)``) instead of sleeping.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Monotonic integer-second clock under test control."""
+
+    def __init__(self, start: int = 1_577_836_800):  # 2020-01-01, paper era
+        self._now = int(start)
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        if seconds < 0:
+            raise ValueError("the clock cannot go backwards")
+        self._now += int(seconds)
+        return self._now
+
+    def set(self, timestamp: int) -> None:
+        if timestamp < self._now:
+            raise ValueError("the clock cannot go backwards")
+        self._now = int(timestamp)

@@ -1,0 +1,168 @@
+"""Gas schedule and gas metering.
+
+The schedule follows the Ethereum yellow-paper / Istanbul costs for the
+operations the simulator models natively (transaction base cost, calldata,
+storage, logs, hashing, the ``ecrecover`` precompile, message calls).
+
+Because contracts here are Python objects rather than compiled EVM bytecode,
+the byte-level manipulation loops that dominate the cost of the Solidity
+SMACS verifier (token parsing, ``abi.encodePacked`` reconstruction, signature
+splitting) cannot be metered instruction-by-instruction.  Those are charged
+through the ``CALIBRATED_*`` constants below, chosen so that the reproduction
+of Tab. II lands close to the paper's absolute numbers and -- more importantly
+-- preserves its shape: argument tokens cost much more than method tokens,
+which cost slightly more than super tokens, and the one-time property adds a
+small bitmap surcharge dominated by storage writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.errors import OutOfGas
+
+# --- Ethereum-native costs --------------------------------------------------
+
+TX_BASE = 21_000              # intrinsic cost of any transaction
+TX_CREATE = 32_000            # additional intrinsic cost of contract creation
+CALLDATA_ZERO_BYTE = 4
+CALLDATA_NONZERO_BYTE = 16
+CODE_DEPOSIT_PER_BYTE = 200   # charged per byte of deployed contract "code"
+
+SLOAD = 800
+SSTORE_SET = 20_000           # zero -> non-zero
+SSTORE_UPDATE = 5_000         # non-zero -> non-zero
+SSTORE_CLEAR_REFUND = 15_000  # refund when clearing a slot (tracked, capped)
+
+KECCAK_BASE = 30
+KECCAK_PER_WORD = 6
+
+LOG_BASE = 375
+LOG_PER_TOPIC = 375
+LOG_PER_BYTE = 8
+
+CALL_BASE = 700               # message call / staticcall stipend-free base
+CALL_VALUE_TRANSFER = 9_000   # surcharge when a call transfers value
+CALL_NEW_ACCOUNT = 25_000     # surcharge when the target account is new
+ECRECOVER_PRECOMPILE = 3_000
+
+MEMORY_PER_WORD = 3
+
+MAX_CALL_DEPTH = 1024
+
+# --- Calibrated Solidity-level costs (see module docstring) ------------------
+
+# Parsing the 86-byte token out of the calldata bytes array (memory copies,
+# bounds checks, byte shifts in Solidity v0.4.24).
+CALIBRATED_TOKEN_PARSE_PER_BYTE = 350
+# Reconstructing the signed datagram with abi.encodePacked-style packing.
+CALIBRATED_DATA_PACK_PER_BYTE = 450
+# Static overhead of the verifier: signature splitting into (r, s, v),
+# visibility plumbing, type dispatch on the token type.
+CALIBRATED_VERIFY_STATIC = 46_000
+# Extra static cost of handling the method identifier for method tokens.
+CALIBRATED_METHOD_EXTRA = 5_000
+# Extra static cost of argument handling (argName/argValue decoding, walking
+# the calldata to compare the bound arguments against the actual call).
+CALIBRATED_ARGUMENT_EXTRA = 120_000
+# Per-token cost of locating and slicing one entry out of a multi-token array
+# (call-chain transactions, Tab. III "Parse" row).
+CALIBRATED_TOKEN_ARRAY_PARSE_PER_TOKEN = 17_000
+# Pre-allocating one 32-byte storage slot for the one-time bitmap at
+# deployment time (Tab. IV); calibrated to the paper's deployment figure.
+CALIBRATED_BITMAP_SLOT_ALLOCATION = 17_950
+
+# --- Economic constants (paper-era, §VI-A) ----------------------------------
+
+# Gas price and exchange rate consistent with the USD conversions in Tab. II
+# (165 957 gas  ->  $0.041):  0.041 / 165 957 ≈ 2.47e-7 USD per gas.
+GAS_PRICE_GWEI = 1.8          # gwei per gas
+ETH_USD = 137.0               # USD per ether (early-2020 level)
+WEI_PER_ETHER = 10**18
+WEI_PER_GWEI = 10**9
+
+
+def calldata_cost(data: bytes) -> int:
+    """Intrinsic calldata cost: 4 gas per zero byte, 16 per non-zero byte."""
+    zeros = data.count(0)
+    return zeros * CALLDATA_ZERO_BYTE + (len(data) - zeros) * CALLDATA_NONZERO_BYTE
+
+
+def keccak_cost(num_bytes: int) -> int:
+    """Cost of hashing ``num_bytes`` bytes with keccak-256."""
+    words = (num_bytes + 31) // 32
+    return KECCAK_BASE + KECCAK_PER_WORD * words
+
+
+@dataclass
+class GasMeter:
+    """Tracks gas consumption of a single transaction.
+
+    Besides the total, the meter keeps per-category counters so benchmark
+    harnesses can reproduce the Verify / Misc / Bitmap / Parse breakdown of
+    the paper's cost tables.  ``category`` defaults to ``"misc"``.
+    """
+
+    gas_limit: int
+    gas_used: int = 0
+    refund: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+    _category_stack: list[str] = field(default_factory=lambda: ["misc"])
+
+    @property
+    def gas_remaining(self) -> int:
+        return self.gas_limit - self.gas_used
+
+    @property
+    def category(self) -> str:
+        return self._category_stack[-1]
+
+    def charge(self, amount: int, category: str | None = None) -> None:
+        """Consume ``amount`` gas, raising :class:`OutOfGas` on exhaustion."""
+        if amount < 0:
+            raise ValueError("cannot charge negative gas")
+        self.gas_used += amount
+        bucket = category or self.category
+        self.breakdown[bucket] = self.breakdown.get(bucket, 0) + amount
+        if self.gas_used > self.gas_limit:
+            raise OutOfGas(
+                f"out of gas: used {self.gas_used} of {self.gas_limit}"
+            )
+
+    def add_refund(self, amount: int) -> None:
+        self.refund += amount
+
+    def push_category(self, category: str) -> None:
+        """Attribute subsequent charges to ``category`` until popped."""
+        self._category_stack.append(category)
+
+    def pop_category(self) -> None:
+        if len(self._category_stack) == 1:
+            raise RuntimeError("cannot pop the base gas category")
+        self._category_stack.pop()
+
+    def finalize(self) -> int:
+        """Apply the EIP-3529-style refund cap and return final gas used."""
+        capped_refund = min(self.refund, self.gas_used // 5)
+        self.gas_used -= capped_refund
+        return self.gas_used
+
+
+class _CategoryScope:
+    """Context manager switching a meter's charge category."""
+
+    def __init__(self, meter: GasMeter, category: str):
+        self._meter = meter
+        self._category = category
+
+    def __enter__(self) -> GasMeter:
+        self._meter.push_category(self._category)
+        return self._meter
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._meter.pop_category()
+
+
+def charging_category(meter: GasMeter, category: str) -> _CategoryScope:
+    """``with charging_category(meter, "verify"): ...`` convenience helper."""
+    return _CategoryScope(meter, category)

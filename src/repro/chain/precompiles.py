@@ -1,0 +1,26 @@
+"""Precompiled contracts available to contract code.
+
+Only ``ecrecover`` is needed by SMACS: the on-chain token verification
+(Alg. 1) recovers the Token Service address from the token signature and
+compares it with the address stored at deployment time.
+"""
+
+from __future__ import annotations
+
+from repro.chain import gas
+from repro.chain.address import Address, ZERO_ADDRESS
+from repro.crypto.ecdsa import Signature, SignatureError
+from repro.crypto.keys import recover_address
+
+
+def ecrecover(env: "object", digest: bytes, signature: Signature) -> Address:
+    """Recover the signer address, charging the precompile's gas cost.
+
+    Mirrors Solidity's ``ecrecover``: returns the zero address on an invalid
+    signature rather than raising.
+    """
+    env.meter.charge(gas.CALL_BASE + gas.ECRECOVER_PRECOMPILE)
+    try:
+        return recover_address(digest, signature)
+    except SignatureError:
+        return ZERO_ADDRESS

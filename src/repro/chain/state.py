@@ -1,0 +1,137 @@
+"""World state: accounts, balances, nonces and contract storage.
+
+The state supports snapshot/revert semantics needed for:
+
+* reverting all effects of a failed call frame (Solidity ``revert``),
+* rolling the chain back across blocks (fork / 51%-attack simulation).
+
+Contract *code* is a live Python object registered with the execution engine;
+only the data that Solidity would keep in ``storage`` lives here, so that a
+state rollback restores exactly what an EVM rollback would restore.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.chain.address import Address
+
+
+@dataclass
+class AccountState:
+    """Balance, nonce and persistent storage of one account."""
+
+    balance: int = 0
+    nonce: int = 0
+    is_contract: bool = False
+    code_size: int = 0
+    storage: dict[Any, Any] = field(default_factory=dict)
+
+    def copy(self) -> "AccountState":
+        return AccountState(
+            balance=self.balance,
+            nonce=self.nonce,
+            is_contract=self.is_contract,
+            code_size=self.code_size,
+            storage=copy.deepcopy(self.storage),
+        )
+
+
+class WorldState:
+    """The mutable world state of the simulated chain."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[Address, AccountState] = {}
+        self._snapshots: list[dict[Address, AccountState]] = []
+
+    # -- account management --------------------------------------------------
+
+    def account(self, address: Address) -> AccountState:
+        """Return (creating on demand) the state record of ``address``."""
+        record = self._accounts.get(address)
+        if record is None:
+            record = AccountState()
+            self._accounts[address] = record
+        return record
+
+    def has_account(self, address: Address) -> bool:
+        return address in self._accounts
+
+    def addresses(self) -> Iterator[Address]:
+        return iter(self._accounts)
+
+    # -- balances and nonces ---------------------------------------------------
+
+    def balance_of(self, address: Address) -> int:
+        return self.account(address).balance
+
+    def set_balance(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("balance cannot be negative")
+        self.account(address).balance = amount
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        self.account(address).balance += amount
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        record = self.account(address)
+        if record.balance < amount:
+            raise ValueError("insufficient balance")
+        record.balance -= amount
+
+    def nonce_of(self, address: Address) -> int:
+        return self.account(address).nonce
+
+    def increment_nonce(self, address: Address) -> None:
+        self.account(address).nonce += 1
+
+    # -- contract storage -------------------------------------------------------
+
+    def storage_get(self, address: Address, slot: Any, default: Any = 0) -> Any:
+        return self.account(address).storage.get(slot, default)
+
+    def storage_set(self, address: Address, slot: Any, value: Any) -> None:
+        self.account(address).storage[slot] = value
+
+    def storage_contains(self, address: Address, slot: Any) -> bool:
+        return slot in self.account(address).storage
+
+    def storage_delete(self, address: Address, slot: Any) -> None:
+        self.account(address).storage.pop(slot, None)
+
+    def storage_of(self, address: Address) -> dict[Any, Any]:
+        """Direct (read-only by convention) view of an account's storage."""
+        return self.account(address).storage
+
+    def storage_slot_count(self, address: Address) -> int:
+        return len(self.account(address).storage)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Take a snapshot and return its id (for nested call frames)."""
+        self._snapshots.append(
+            {addr: record.copy() for addr, record in self._accounts.items()}
+        )
+        return len(self._snapshots) - 1
+
+    def revert_to(self, snapshot_id: int) -> None:
+        """Restore the state captured by ``snapshot_id`` and drop newer ones."""
+        if not 0 <= snapshot_id < len(self._snapshots):
+            raise ValueError(f"unknown snapshot {snapshot_id}")
+        self._accounts = self._snapshots[snapshot_id]
+        del self._snapshots[snapshot_id:]
+
+    def commit(self, snapshot_id: int) -> None:
+        """Discard the snapshot (changes since it are kept)."""
+        if not 0 <= snapshot_id < len(self._snapshots):
+            raise ValueError(f"unknown snapshot {snapshot_id}")
+        del self._snapshots[snapshot_id:]
+
+    def deep_copy(self) -> "WorldState":
+        """A fully independent copy (used for block-level checkpoints and forks)."""
+        clone = WorldState()
+        clone._accounts = {addr: rec.copy() for addr, rec in self._accounts.items()}
+        return clone

@@ -1,0 +1,28 @@
+"""Consensus substrate: a simulated-network Raft and a replicated counter.
+
+§VII-B of the paper notes that a Token Service issuing one-time tokens can be
+replicated for availability provided its replicas "coordinate on the current
+counter value ... efficiently realized via a replicated counter primitive
+usually implemented upon a standard consensus algorithm".  This subpackage
+implements that substrate:
+
+* :mod:`repro.consensus.network` -- a deterministic discrete-event network
+  simulator with configurable delays, drops and partitions;
+* :mod:`repro.consensus.log` / :mod:`repro.consensus.raft` -- a Raft
+  implementation (leader election, log replication, commitment, crash/restart)
+  sufficient to run small replica groups;
+* :mod:`repro.consensus.counter` -- the replicated counter primitive used by
+  :class:`repro.core.replication.ReplicatedTokenService`.
+"""
+
+from repro.consensus.network import SimulatedNetwork
+from repro.consensus.raft import RaftNode, Role
+from repro.consensus.counter import ReplicatedCounter, CounterCluster
+
+__all__ = [
+    "SimulatedNetwork",
+    "RaftNode",
+    "Role",
+    "ReplicatedCounter",
+    "CounterCluster",
+]

@@ -1,0 +1,128 @@
+"""The replicated counter primitive (§VII-B).
+
+A :class:`CounterCluster` runs a small Raft group whose state machine is a
+monotonically increasing counter.  :class:`ReplicatedCounter` exposes the
+``next_index()`` interface the Token Service expects from its one-time
+counter, routing each request through the current Raft leader and waiting
+(in simulated time) until the increment commits -- so every issued one-time
+token index is unique and monotone even across leader failures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.network import SimulatedNetwork
+from repro.consensus.raft import RaftNode, Role
+
+
+class CounterStateMachine:
+    """The replicated state: a single integer counter."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.applied_commands = 0
+
+    def apply(self, command: Any) -> int:
+        if command != "increment":
+            raise ValueError(f"unknown counter command {command!r}")
+        value = self.value
+        self.value += 1
+        self.applied_commands += 1
+        return value
+
+
+class CounterCluster:
+    """A Raft-replicated counter cluster of ``size`` replicas."""
+
+    def __init__(self, size: int = 3, seed: int = 7, network: SimulatedNetwork | None = None):
+        if size < 1:
+            raise ValueError("cluster needs at least one replica")
+        self.network = network or SimulatedNetwork(seed=seed)
+        self.machines: dict[str, CounterStateMachine] = {}
+        self.nodes: dict[str, RaftNode] = {}
+        node_ids = [f"ts-replica-{i}" for i in range(size)]
+        for node_id in node_ids:
+            machine = CounterStateMachine()
+            self.machines[node_id] = machine
+            self.nodes[node_id] = RaftNode(
+                node_id, node_ids, self.network, apply_command=machine.apply
+            )
+
+    # -- cluster operations -----------------------------------------------------
+
+    def elect_leader(self, timeout: float = 5.0) -> RaftNode:
+        """Run the simulation until some replica becomes leader."""
+        ok = self.network.run_until(lambda: self.leader() is not None, timeout=timeout)
+        if not ok:
+            raise RuntimeError("no leader elected within the timeout")
+        leader = self.leader()
+        assert leader is not None
+        return leader
+
+    def leader(self) -> RaftNode | None:
+        alive_leaders = [
+            node
+            for node in self.nodes.values()
+            if node.role is Role.LEADER and not self.network.is_down(node.node_id)
+        ]
+        if not alive_leaders:
+            return None
+        # With a healthy cluster there is one; during transitions prefer the
+        # highest term.
+        return max(alive_leaders, key=lambda node: node.current_term)
+
+    def crash_leader(self) -> str:
+        """Take the current leader down; returns its id."""
+        leader = self.elect_leader()
+        self.network.take_down(leader.node_id)
+        return leader.node_id
+
+    def restart(self, node_id: str) -> None:
+        self.network.bring_up(node_id)
+
+    def committed_values(self) -> dict[str, int]:
+        """Counter value applied on each replica (for agreement checks)."""
+        return {node_id: machine.value for node_id, machine in self.machines.items()}
+
+    # -- counter interface ----------------------------------------------------------
+
+    def increment(self, timeout: float = 5.0, retries: int = 10) -> int:
+        """Commit one increment and return the pre-increment value."""
+        for _ in range(retries):
+            leader = self.elect_leader(timeout=timeout)
+            handle = leader.client_request("increment")
+            if handle is None:
+                self.network.run_for(0.05)
+                continue
+            ok = self.network.run_until(lambda: handle.applied, timeout=timeout)
+            if ok:
+                return handle.result
+            # The command may have been lost with a deposed leader; retry.
+            self.network.run_for(0.1)
+        raise RuntimeError("replicated counter could not commit an increment")
+
+
+class ReplicatedCounter:
+    """Drop-in replacement for the Token Service's local one-time counter."""
+
+    def __init__(self, cluster: CounterCluster | None = None, size: int = 3, seed: int = 7):
+        self.cluster = cluster or CounterCluster(size=size, seed=seed)
+        self._issued = 0
+
+    def next_index(self) -> int:
+        index = self.cluster.increment()
+        self._issued += 1
+        return index
+
+    @property
+    def value(self) -> int:
+        leader = self.cluster.leader()
+        if leader is None:
+            return max(self.cluster.committed_values().values(), default=0)
+        return self.cluster.machines[leader.node_id].value
+
+    def restore(self, value: int) -> None:
+        """Catch the replicated counter up to ``value`` (persistence reload)."""
+        while self.value < value:
+            self.cluster.increment()

@@ -1,0 +1,80 @@
+"""The replicated log used by Raft nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated log entry: the leader term and an opaque command."""
+
+    term: int
+    command: Any
+
+
+class RaftLog:
+    """A 1-indexed append-only log with the conflict handling Raft needs."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index`` (0 for the empty prefix)."""
+        if index == 0:
+            return 0
+        if index > len(self._entries):
+            raise IndexError(f"no log entry at index {index}")
+        return self._entries[index - 1].term
+
+    def entry_at(self, index: int) -> LogEntry:
+        if not 1 <= index <= len(self._entries):
+            raise IndexError(f"no log entry at index {index}")
+        return self._entries[index - 1]
+
+    def append(self, entry: LogEntry) -> int:
+        """Append a new entry and return its index."""
+        self._entries.append(entry)
+        return len(self._entries)
+
+    def entries_from(self, start_index: int) -> list[LogEntry]:
+        """Entries at ``start_index`` and beyond (for AppendEntries RPCs)."""
+        return list(self._entries[start_index - 1:])
+
+    def matches(self, index: int, term: int) -> bool:
+        """Whether the log contains an entry at ``index`` with ``term``."""
+        if index == 0:
+            return True
+        if index > len(self._entries):
+            return False
+        return self.term_at(index) == term
+
+    def merge(self, prev_index: int, entries: list[LogEntry]) -> None:
+        """Append ``entries`` after ``prev_index``, truncating conflicts."""
+        insert_at = prev_index
+        for offset, entry in enumerate(entries):
+            index = insert_at + offset + 1
+            if index <= len(self._entries):
+                if self.term_at(index) != entry.term:
+                    del self._entries[index - 1:]
+                    self._entries.append(entry)
+            else:
+                self._entries.append(entry)
+
+    def up_to_date_with(self, other_last_term: int, other_last_index: int) -> bool:
+        """Raft's "at least as up-to-date" voting check, from this log's view."""
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index

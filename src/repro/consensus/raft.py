@@ -1,0 +1,333 @@
+"""Raft consensus (Ongaro & Ousterhout, "In Search of an Understandable
+Consensus Algorithm") over the simulated network.
+
+The implementation covers the core protocol needed by the replicated-counter
+primitive: randomized-timeout leader election, heartbeats, log replication
+with conflict repair, majority commitment, and deterministic application of
+committed commands to a caller-supplied state machine.  Crash/restart of
+nodes is modelled by the network (``take_down`` / ``bring_up``); persistent
+state (term, vote, log) survives a crash, which matches Raft's assumptions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.log import LogEntry, RaftLog
+from repro.consensus.network import SimulatedNetwork, Timer
+
+ELECTION_TIMEOUT_MIN = 0.150
+ELECTION_TIMEOUT_MAX = 0.300
+HEARTBEAT_INTERVAL = 0.050
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+# --- RPC messages -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    match_index: int
+
+
+@dataclass
+class CommandResult:
+    """Tracks a client command until it is committed and applied."""
+
+    index: int
+    term: int
+    applied: bool = False
+    result: Any = None
+
+
+class RaftNode:
+    """One Raft replica."""
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        network: SimulatedNetwork,
+        apply_command: Callable[[Any], Any],
+    ):
+        self.node_id = node_id
+        self.peers = [p for p in peers if p != node_id]
+        self.network = network
+        self.apply_command = apply_command
+
+        # Persistent state.
+        self.current_term = 0
+        self.voted_for: str | None = None
+        self.log = RaftLog()
+
+        # Volatile state.
+        self.role = Role.FOLLOWER
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: str | None = None
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self._votes: set[str] = set()
+        self._election_timer: Timer | None = None
+        self._heartbeat_timer: Timer | None = None
+        self._pending: dict[int, CommandResult] = {}
+
+        network.register(node_id, self._on_message)
+        self._reset_election_timer()
+
+    # -- cluster size helpers -------------------------------------------------
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.peers) + 1
+
+    @property
+    def majority(self) -> int:
+        return self.cluster_size // 2 + 1
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    # -- timers -----------------------------------------------------------------
+
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        timeout = self.network.random.uniform(ELECTION_TIMEOUT_MIN, ELECTION_TIMEOUT_MAX)
+        self._election_timer = self.network.schedule(timeout, self._on_election_timeout)
+
+    def _start_heartbeats(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+
+        def beat() -> None:
+            if self.role is Role.LEADER and not self.network.is_down(self.node_id):
+                self._replicate_to_all()
+                self._heartbeat_timer = self.network.schedule(HEARTBEAT_INTERVAL, beat)
+
+        self._heartbeat_timer = self.network.schedule(0.0, beat)
+
+    # -- elections ----------------------------------------------------------------
+
+    def _on_election_timeout(self) -> None:
+        if self.network.is_down(self.node_id):
+            self._reset_election_timer()
+            return
+        if self.role is Role.LEADER:
+            return
+        self._become_candidate()
+
+    def _become_candidate(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_id = None
+        self._reset_election_timer()
+        request = RequestVote(
+            term=self.current_term,
+            candidate=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        for peer in self.peers:
+            self.network.send(self.node_id, peer, request)
+        if len(self._votes) >= self.majority:  # single-node cluster
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        self.next_index = {peer: self.log.last_index + 1 for peer in self.peers}
+        self.match_index = {peer: 0 for peer in self.peers}
+        self._start_heartbeats()
+
+    def _become_follower(self, term: int, leader: str | None = None) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+        self.role = Role.FOLLOWER
+        if leader is not None:
+            self.leader_id = leader
+        self._reset_election_timer()
+
+    # -- client interface --------------------------------------------------------------
+
+    def client_request(self, command: Any) -> CommandResult | None:
+        """Submit a command; returns a handle when this node is the leader."""
+        if self.role is not Role.LEADER or self.network.is_down(self.node_id):
+            return None
+        index = self.log.append(LogEntry(self.current_term, command))
+        handle = CommandResult(index=index, term=self.current_term)
+        self._pending[index] = handle
+        self._replicate_to_all()
+        self._maybe_advance_commit()
+        return handle
+
+    # -- message handling -----------------------------------------------------------------
+
+    def _on_message(self, sender: str, message: Any) -> None:
+        if self.network.is_down(self.node_id):
+            return
+        if isinstance(message, RequestVote):
+            self._handle_request_vote(sender, message)
+        elif isinstance(message, RequestVoteReply):
+            self._handle_vote_reply(sender, message)
+        elif isinstance(message, AppendEntries):
+            self._handle_append_entries(sender, message)
+        elif isinstance(message, AppendEntriesReply):
+            self._handle_append_reply(sender, message)
+
+    def _handle_request_vote(self, sender: str, message: RequestVote) -> None:
+        if message.term > self.current_term:
+            self._become_follower(message.term)
+        granted = False
+        if message.term == self.current_term:
+            can_vote = self.voted_for in (None, message.candidate)
+            log_ok = self.log.up_to_date_with(message.last_log_term, message.last_log_index)
+            if can_vote and log_ok and self.role is not Role.LEADER:
+                granted = True
+                self.voted_for = message.candidate
+                self._reset_election_timer()
+        self.network.send(
+            self.node_id, sender, RequestVoteReply(self.current_term, granted)
+        )
+
+    def _handle_vote_reply(self, sender: str, message: RequestVoteReply) -> None:
+        if message.term > self.current_term:
+            self._become_follower(message.term)
+            return
+        if self.role is not Role.CANDIDATE or message.term != self.current_term:
+            return
+        if message.granted:
+            self._votes.add(sender)
+            if len(self._votes) >= self.majority:
+                self._become_leader()
+
+    def _handle_append_entries(self, sender: str, message: AppendEntries) -> None:
+        if message.term > self.current_term or (
+            message.term == self.current_term and self.role is not Role.FOLLOWER
+        ):
+            self._become_follower(message.term, leader=message.leader)
+        if message.term < self.current_term:
+            self.network.send(
+                self.node_id, sender,
+                AppendEntriesReply(self.current_term, False, 0),
+            )
+            return
+
+        self.leader_id = message.leader
+        self._reset_election_timer()
+
+        if not self.log.matches(message.prev_log_index, message.prev_log_term):
+            self.network.send(
+                self.node_id, sender,
+                AppendEntriesReply(self.current_term, False, 0),
+            )
+            return
+
+        self.log.merge(message.prev_log_index, list(message.entries))
+        match_index = message.prev_log_index + len(message.entries)
+        if message.leader_commit > self.commit_index:
+            self.commit_index = min(message.leader_commit, self.log.last_index)
+            self._apply_committed()
+        self.network.send(
+            self.node_id, sender,
+            AppendEntriesReply(self.current_term, True, match_index),
+        )
+
+    def _handle_append_reply(self, sender: str, message: AppendEntriesReply) -> None:
+        if message.term > self.current_term:
+            self._become_follower(message.term)
+            return
+        if self.role is not Role.LEADER or message.term != self.current_term:
+            return
+        if message.success:
+            self.match_index[sender] = max(self.match_index.get(sender, 0), message.match_index)
+            self.next_index[sender] = self.match_index[sender] + 1
+            self._maybe_advance_commit()
+        else:
+            # Back off and retry with an earlier prefix.
+            self.next_index[sender] = max(1, self.next_index.get(sender, 1) - 1)
+            self._replicate_to(sender)
+
+    # -- replication -------------------------------------------------------------------------
+
+    def _replicate_to_all(self) -> None:
+        for peer in self.peers:
+            self._replicate_to(peer)
+
+    def _replicate_to(self, peer: str) -> None:
+        next_index = self.next_index.get(peer, self.log.last_index + 1)
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) if prev_index <= self.log.last_index else 0
+        entries = tuple(self.log.entries_from(next_index))
+        self.network.send(
+            self.node_id,
+            peer,
+            AppendEntries(
+                term=self.current_term,
+                leader=self.node_id,
+                prev_log_index=prev_index,
+                prev_log_term=prev_term,
+                entries=entries,
+                leader_commit=self.commit_index,
+            ),
+        )
+
+    def _maybe_advance_commit(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        for index in range(self.commit_index + 1, self.log.last_index + 1):
+            if self.log.term_at(index) != self.current_term:
+                continue
+            replicas = 1 + sum(
+                1 for peer in self.peers if self.match_index.get(peer, 0) >= index
+            )
+            if replicas >= self.majority:
+                self.commit_index = index
+        self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry_at(self.last_applied)
+            result = self.apply_command(entry.command)
+            handle = self._pending.pop(self.last_applied, None)
+            if handle is not None:
+                handle.applied = True
+                handle.result = result

@@ -1,0 +1,39 @@
+"""Example and baseline contracts used by the paper's scenarios.
+
+* :mod:`repro.contracts.bank` -- the re-entrancy-vulnerable ``Bank`` and the
+  ``Attacker`` contract from Fig. 7 (the TheDAO-style case study).
+* :mod:`repro.contracts.erc20` -- a minimal ERC-20 style token used by the
+  token-sale scenario.
+* :mod:`repro.contracts.onchain_whitelist` -- the on-chain whitelist baseline
+  whose cost motivates SMACS (§II-B, §II-D).
+* :mod:`repro.contracts.role_based` -- an OpenZeppelin-style role-based
+  access-control baseline.
+* :mod:`repro.contracts.token_sale` -- a token sale restricted to whitelisted
+  buyers, in both the on-chain baseline and the SMACS-protected variant.
+* :mod:`repro.contracts.call_chain_demo` -- the SCA → SCB → SCC call chain of
+  Fig. 5 used by Tab. III / Fig. 8.
+"""
+
+from repro.contracts.bank import Bank, Attacker, SMACSBank, SMACSAttacker
+from repro.contracts.erc20 import SimpleToken
+from repro.contracts.onchain_whitelist import OnChainWhitelist, WhitelistedVault
+from repro.contracts.role_based import RoleBasedVault
+from repro.contracts.token_sale import OnChainWhitelistTokenSale, SMACSTokenSale
+from repro.contracts.call_chain_demo import ChainContract, build_call_chain
+from repro.contracts.protected_target import ProtectedRecorder
+
+__all__ = [
+    "Bank",
+    "Attacker",
+    "SMACSBank",
+    "SMACSAttacker",
+    "SimpleToken",
+    "OnChainWhitelist",
+    "WhitelistedVault",
+    "RoleBasedVault",
+    "OnChainWhitelistTokenSale",
+    "SMACSTokenSale",
+    "ChainContract",
+    "build_call_chain",
+    "ProtectedRecorder",
+]

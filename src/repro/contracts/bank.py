@@ -1,0 +1,138 @@
+"""The re-entrancy case study of §V-B (Fig. 7).
+
+``Bank`` is the simplified TheDAO-style vulnerable contract: ``withdraw``
+sends ether to the caller *before* zeroing its balance, so a malicious
+contract with a re-entering fallback function can drain funds.
+
+``Attacker`` is the exploiting contract from the same figure, and
+``SMACSBank`` is the SMACS-enabled version produced by the automated
+transformation tool -- the Token Service protecting it runs the ECFChecker
+rule, which refuses to issue tokens for the exploiting call.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, payable, public
+from repro.core.transformer import make_smacs_enabled
+
+ETHER = 10**18
+
+
+class Bank(Contract):
+    """A deposit/withdraw bank with the classic re-entrancy vulnerability."""
+
+    def constructor(self) -> None:
+        self.storage["total_deposited"] = 0
+
+    @public
+    @payable
+    def addBalance(self) -> None:
+        """Deposit: credit ``msg.value`` to the sender's balance."""
+        sender = self.msg.sender
+        current = self.storage.get(("balance", sender), 0)
+        self.storage[("balance", sender)] = current + self.msg.value
+        self.storage.increment("total_deposited", self.msg.value)
+        self.emit("Deposit", account=sender, amount=self.msg.value)
+
+    @public
+    def withdraw(self) -> None:
+        """Withdraw the full balance.
+
+        The vulnerable ordering (external call before the balance is zeroed)
+        is intentional: it reproduces lines 6-10 of Fig. 7.
+        """
+        sender = self.msg.sender
+        amount = self.storage.get(("balance", sender), 0)
+        if amount == 0:
+            return
+        ok = self.call_value(sender, amount)
+        self.require(ok, "ether transfer failed")
+        self.storage[("balance", sender)] = 0
+        self.emit("Withdrawal", account=sender, amount=amount)
+
+    @public
+    def balanceOf(self, account: bytes) -> int:
+        return self.storage.get(("balance", account), 0)
+
+
+class Attacker(Contract):
+    """The exploiting contract of Fig. 7.
+
+    Its fallback function re-enters ``Bank.withdraw`` once when the attack
+    flag is armed, which is enough to double the withdrawal.
+    """
+
+    def constructor(self, bank: bytes, is_attack: bool = True) -> None:
+        self.storage["bank"] = bank
+        self.storage["is_attack"] = bool(is_attack)
+        self.storage["reentered"] = 0
+
+    def fallback(self) -> None:
+        if self.storage.get("is_attack"):
+            self.storage["is_attack"] = False
+            self.storage.increment("reentered")
+            bank = self.storage["bank"]
+            self.call_contract(bank, "withdraw")
+
+    @external
+    @payable
+    def deposit(self, amount: int = 2 * ETHER) -> None:
+        """Deposit attacker funds into the target bank."""
+        bank = self.storage["bank"]
+        self.call_contract(bank, "addBalance", value=amount)
+
+    @external
+    def withdraw(self) -> None:
+        """Trigger the attack: withdraw and re-enter via the fallback."""
+        bank = self.storage["bank"]
+        self.call_contract(bank, "withdraw")
+
+    @public
+    def reentry_count(self) -> int:
+        return self.storage.get("reentered", 0)
+
+
+#: SMACS-enabled Bank generated with the automated adoption tool (Fig. 4).
+SMACSBank = make_smacs_enabled(Bank, name="SMACSBank")
+
+
+class SMACSAttacker(Contract):
+    """An attacker contract adapted to a SMACS-protected bank.
+
+    The SMACS-enabled ``Bank`` only executes calls that carry a valid token,
+    so the attacker forwards the token it received from its operator on every
+    (re-entrant) call.  With a plain method token -- and no runtime
+    verification rule at the Token Service -- the re-entrancy still succeeds,
+    because the same token remains valid until it expires.  The ECFChecker
+    rule (token never issued) or a one-time token (bitmap rejects the reuse)
+    both stop it; the integration tests exercise all three outcomes.
+    """
+
+    def constructor(self, bank: bytes, is_attack: bool = True) -> None:
+        self.storage["bank"] = bank
+        self.storage["is_attack"] = bool(is_attack)
+        self.storage["reentered"] = 0
+        self.storage["token"] = b""
+
+    def fallback(self) -> None:
+        if self.storage.get("is_attack"):
+            self.storage["is_attack"] = False
+            self.storage.increment("reentered")
+            bank = self.storage["bank"]
+            self.call_contract(bank, "withdraw", token=self.storage["token"])
+
+    @external
+    @payable
+    def deposit(self, amount: int, token: bytes) -> None:
+        bank = self.storage["bank"]
+        self.call_contract(bank, "addBalance", value=amount, token=token)
+
+    @external
+    def withdraw(self, token: bytes) -> None:
+        self.storage["token"] = token
+        bank = self.storage["bank"]
+        self.call_contract(bank, "withdraw", token=token)
+
+    @public
+    def reentry_count(self) -> int:
+        return self.storage.get("reentered", 0)

@@ -1,0 +1,70 @@
+"""The SCA → SCB → SCC call chain of Fig. 5 (§IV-D, Tab. III, Fig. 8).
+
+Each :class:`ChainContract` is SMACS-protected and, when configured with a
+successor, forwards the incoming token bundle down the chain so every
+contract can extract and verify its own token.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.account import ExternallyOwnedAccount
+from repro.chain.contract import external, public
+from repro.core.smacs_contract import SMACSContract, smacs_protected
+from repro.core.token_service import TokenService
+
+
+class ChainContract(SMACSContract):
+    """One link of the call chain; ``invoke`` calls the next link if any."""
+
+    def constructor(self, ts_address: bytes, next_contract: bytes | None = None,
+                    one_time_bitmap_bits: int = 0, ts_url: str | None = None) -> None:
+        self.init_smacs(ts_address, one_time_bitmap_bits=one_time_bitmap_bits, ts_url=ts_url)
+        self.storage["next"] = next_contract
+        self.storage["invocations"] = 0
+
+    @external
+    @smacs_protected
+    def invoke(self, payload: int) -> int:
+        """Do a unit of work and forward the call (and tokens) downstream."""
+        count = self.storage.increment("invocations")
+        self.storage[("last_payload", count)] = payload
+        self.emit("Invoked", payload=payload, count=count)
+        next_contract = self.storage.get("next", None)
+        depth = 1
+        if next_contract:
+            depth += self.call_contract(
+                next_contract, "invoke", payload + 1, token=self.forward_tokens()
+            )
+        return depth
+
+    @public
+    def invocations(self) -> int:
+        return self.storage.get("invocations", 0)
+
+
+def build_call_chain(
+    owner: ExternallyOwnedAccount,
+    services: Sequence[TokenService],
+    one_time_bitmap_bits: int = 0,
+) -> list[ChainContract]:
+    """Deploy a chain of ``len(services)`` contracts, deepest first.
+
+    Returns the contracts ordered from the entry point (SCA) to the deepest
+    link, each preloaded with its own Token Service's address -- the paper
+    notes the TSes of a call chain "can be operated by different owners".
+    """
+    contracts_reversed: list[ChainContract] = []
+    next_address: bytes | None = None
+    for service in reversed(list(services)):
+        receipt = owner.deploy(
+            ChainContract,
+            ts_address=service.address,
+            next_contract=next_address,
+            one_time_bitmap_bits=one_time_bitmap_bits,
+        )
+        contract = receipt.return_value
+        contracts_reversed.append(contract)
+        next_address = contract.this
+    return list(reversed(contracts_reversed))

@@ -1,0 +1,82 @@
+"""A minimal ERC-20 style fungible token used by the token-sale scenario."""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, public
+
+
+class SimpleToken(Contract):
+    """Balances, allowances, transfer/transferFrom and owner-only minting."""
+
+    def constructor(self, name: str = "SimpleToken", symbol: str = "STK",
+                    initial_supply: int = 0) -> None:
+        self.storage["name"] = name
+        self.storage["symbol"] = symbol
+        self.storage["owner"] = self.msg.sender
+        self.storage["total_supply"] = 0
+        if initial_supply:
+            self._mint(self.msg.sender, initial_supply)
+
+    # -- views ------------------------------------------------------------------
+
+    @public
+    def totalSupply(self) -> int:
+        return self.storage.get("total_supply", 0)
+
+    @public
+    def balanceOf(self, account: bytes) -> int:
+        return self.storage.get(("balance", account), 0)
+
+    @public
+    def allowance(self, owner: bytes, spender: bytes) -> int:
+        return self.storage.get(("allowance", owner, spender), 0)
+
+    # -- mutations ----------------------------------------------------------------
+
+    @external
+    def transfer(self, to: bytes, amount: int) -> bool:
+        self._transfer(self.msg.sender, to, amount)
+        return True
+
+    @external
+    def approve(self, spender: bytes, amount: int) -> bool:
+        self.require(amount >= 0, "negative allowance")
+        self.storage[("allowance", self.msg.sender, spender)] = amount
+        self.emit("Approval", owner=self.msg.sender, spender=spender, amount=amount)
+        return True
+
+    @external
+    def transferFrom(self, owner: bytes, to: bytes, amount: int) -> bool:
+        allowance = self.storage.get(("allowance", owner, self.msg.sender), 0)
+        self.require(allowance >= amount, "allowance exceeded")
+        self.storage[("allowance", owner, self.msg.sender)] = allowance - amount
+        self._transfer(owner, to, amount)
+        return True
+
+    @external
+    def mint(self, to: bytes, amount: int) -> None:
+        self.require(self.msg.sender == self.storage.get("owner"), "only owner can mint")
+        self._mint(to, amount)
+
+    @external
+    def transferOwnership(self, new_owner: bytes) -> None:
+        """Hand minting rights to another account (e.g. a token-sale contract)."""
+        self.require(self.msg.sender == self.storage.get("owner"), "only owner")
+        self.storage["owner"] = new_owner
+        self.emit("OwnershipTransferred", new_owner=new_owner)
+
+    # -- internal helpers ---------------------------------------------------------------
+
+    def _transfer(self, sender: bytes, to: bytes, amount: int) -> None:
+        self.require(amount > 0, "amount must be positive")
+        balance = self.storage.get(("balance", sender), 0)
+        self.require(balance >= amount, "insufficient balance")
+        self.storage[("balance", sender)] = balance - amount
+        self.storage[("balance", to)] = self.storage.get(("balance", to), 0) + amount
+        self.emit("Transfer", sender=sender, to=to, amount=amount)
+
+    def _mint(self, to: bytes, amount: int) -> None:
+        self.require(amount > 0, "amount must be positive")
+        self.storage[("balance", to)] = self.storage.get(("balance", to), 0) + amount
+        self.storage.increment("total_supply", amount)
+        self.emit("Transfer", sender=b"\x00" * 20, to=to, amount=amount)

@@ -1,0 +1,93 @@
+"""The on-chain access-control baseline SMACS argues against (§II-B, §II-D).
+
+``OnChainWhitelist`` maintains an allow-list of addresses directly in
+contract storage, as token sales like Bluzelle did: every whitelisted address
+costs a dedicated storage slot (≈20 000 gas) plus transaction overhead, the
+list is publicly visible, and every update is an on-chain transaction with
+minutes of latency.  ``WhitelistedVault`` shows the pattern in use: a
+protected action gated by an on-chain membership check.
+
+The baseline benchmark (``bench_baseline_whitelist``) uses these contracts to
+reproduce the motivating cost figures (whitelisting 10 000 addresses ≈ $300,
+Bluzelle's 7 473 users ≈ 9.345 ETH) and to contrast them with SMACS where the
+same policy lives off-chain for free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.contract import Contract, external, public
+
+
+class OnChainWhitelist(Contract):
+    """A plain on-chain whitelist managed by the contract owner."""
+
+    def constructor(self) -> None:
+        self.storage["owner"] = self.msg.sender
+        self.storage["count"] = 0
+
+    def _only_owner(self) -> None:
+        self.require(self.msg.sender == self.storage.get("owner"), "caller is not the owner")
+
+    @external
+    def add(self, account: bytes) -> None:
+        """Whitelist one address (one storage slot per address)."""
+        self._only_owner()
+        if not self.storage.get(("listed", account), False):
+            self.storage[("listed", account)] = True
+            self.storage.increment("count")
+            self.emit("Whitelisted", account=account)
+
+    @external
+    def add_many(self, accounts: Sequence[bytes]) -> int:
+        """Whitelist a batch of addresses in one transaction."""
+        self._only_owner()
+        added = 0
+        for account in accounts:
+            if not self.storage.get(("listed", account), False):
+                self.storage[("listed", account)] = True
+                added += 1
+        if added:
+            self.storage.increment("count", added)
+        return added
+
+    @external
+    def remove(self, account: bytes) -> None:
+        self._only_owner()
+        if self.storage.get(("listed", account), False):
+            self.storage.delete(("listed", account))
+            self.storage.increment("count", -1)
+            self.emit("Removed", account=account)
+
+    @public
+    def is_listed(self, account: bytes) -> bool:
+        return bool(self.storage.get(("listed", account), False))
+
+    @public
+    def size(self) -> int:
+        return self.storage.get("count", 0)
+
+
+class WhitelistedVault(Contract):
+    """A contract whose action is gated by an on-chain whitelist lookup."""
+
+    def constructor(self, whitelist: bytes) -> None:
+        self.storage["whitelist"] = whitelist
+        self.storage["total"] = 0
+
+    @external
+    def record(self, amount: int) -> int:
+        whitelist = self.storage["whitelist"]
+        allowed = self.call_contract(whitelist, "is_listed", self.msg.sender)
+        self.require(allowed, "caller is not whitelisted")
+        self.require(amount > 0, "amount must be positive")
+        count = self.storage.increment("entries")
+        self.storage[("entry", count)] = (self.msg.sender, amount)
+        total = self.storage.increment("total", amount)
+        self.emit("Recorded", account=self.msg.sender, amount=amount, total=total)
+        return total
+
+    @public
+    def total(self) -> int:
+        return self.storage.get("total", 0)

@@ -1,0 +1,68 @@
+"""An OpenZeppelin-style role-based access-control baseline (§II-D, §VIII).
+
+Roles are stored on-chain (one slot per role grant), roles can only be
+managed by the admin through transactions, and the assignment is public --
+the limitations the paper contrasts with SMACS's off-chain, private and
+dynamically updatable rules.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, public
+
+ADMIN_ROLE = "admin"
+OPERATOR_ROLE = "operator"
+
+
+class RoleBasedVault(Contract):
+    """A vault whose sensitive methods are gated by on-chain roles."""
+
+    def constructor(self) -> None:
+        self.storage[("role", ADMIN_ROLE, self.msg.sender)] = True
+        self.storage["total"] = 0
+
+    # -- role management -----------------------------------------------------------
+
+    def _check_role(self, role: str, account: bytes) -> None:
+        self.require(
+            bool(self.storage.get(("role", role, account), False)),
+            f"account is missing role '{role}'",
+        )
+
+    @external
+    def grantRole(self, role: str, account: bytes) -> None:
+        self._check_role(ADMIN_ROLE, self.msg.sender)
+        self.storage[("role", role, account)] = True
+        self.emit("RoleGranted", role=role, account=account)
+
+    @external
+    def revokeRole(self, role: str, account: bytes) -> None:
+        self._check_role(ADMIN_ROLE, self.msg.sender)
+        self.storage.delete(("role", role, account))
+        self.emit("RoleRevoked", role=role, account=account)
+
+    @public
+    def hasRole(self, role: str, account: bytes) -> bool:
+        return bool(self.storage.get(("role", role, account), False))
+
+    # -- protected actions --------------------------------------------------------------
+
+    @external
+    def record(self, amount: int) -> int:
+        self._check_role(OPERATOR_ROLE, self.msg.sender)
+        self.require(amount > 0, "amount must be positive")
+        total = self.storage.increment("total", amount)
+        self.emit("Recorded", account=self.msg.sender, amount=amount, total=total)
+        return total
+
+    @external
+    def sweep(self, to: bytes) -> None:
+        """Admin-only: move the contract's ether out."""
+        self._check_role(ADMIN_ROLE, self.msg.sender)
+        amount = self.balance
+        if amount:
+            self.transfer(to, amount)
+
+    @public
+    def total(self) -> int:
+        return self.storage.get("total", 0)

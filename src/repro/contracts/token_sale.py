@@ -1,0 +1,86 @@
+"""Token-sale scenario: on-chain whitelist baseline vs. SMACS (§II-D).
+
+Many token sales only allow approved users to participate.  The baseline
+keeps the allow-list in the sale contract itself (what Bluzelle paid
+9.345 ETH for); the SMACS variant keeps the same policy off-chain in the
+Token Service rules and only verifies a token per purchase.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, payable, public
+from repro.core.smacs_contract import SMACSContract, smacs_protected
+
+ETHER = 10**18
+DEFAULT_RATE = 1000  # tokens minted per ether contributed
+
+
+class OnChainWhitelistTokenSale(Contract):
+    """The baseline: whitelist stored and checked on-chain."""
+
+    def constructor(self, token: bytes, rate: int = DEFAULT_RATE) -> None:
+        self.storage["owner"] = self.msg.sender
+        self.storage["token"] = token
+        self.storage["rate"] = rate
+        self.storage["raised"] = 0
+
+    def _only_owner(self) -> None:
+        self.require(self.msg.sender == self.storage.get("owner"), "caller is not the owner")
+
+    @external
+    def whitelist(self, account: bytes) -> None:
+        self._only_owner()
+        self.storage[("whitelisted", account)] = True
+        self.emit("Whitelisted", account=account)
+
+    @public
+    def is_whitelisted(self, account: bytes) -> bool:
+        return bool(self.storage.get(("whitelisted", account), False))
+
+    @external
+    @payable
+    def buy(self) -> int:
+        buyer = self.msg.sender
+        self.require(
+            bool(self.storage.get(("whitelisted", buyer), False)),
+            "buyer is not whitelisted",
+        )
+        self.require(self.msg.value > 0, "no ether sent")
+        tokens = self.msg.value * self.storage.get("rate", DEFAULT_RATE) // ETHER
+        self.require(tokens > 0, "contribution too small")
+        self.call_contract(self.storage["token"], "mint", buyer, tokens)
+        self.storage.increment("raised", self.msg.value)
+        self.emit("Purchase", buyer=buyer, value=self.msg.value, tokens=tokens)
+        return tokens
+
+    @public
+    def raised(self) -> int:
+        return self.storage.get("raised", 0)
+
+
+class SMACSTokenSale(SMACSContract):
+    """The SMACS-protected sale: the whitelist lives in the Token Service."""
+
+    def constructor(self, token: bytes, ts_address: bytes, rate: int = DEFAULT_RATE,
+                    one_time_bitmap_bits: int = 0, ts_url: str | None = None) -> None:
+        self.init_smacs(ts_address, one_time_bitmap_bits=one_time_bitmap_bits, ts_url=ts_url)
+        self.storage["token"] = token
+        self.storage["rate"] = rate
+        self.storage["raised"] = 0
+
+    @external
+    @payable
+    @smacs_protected
+    def buy(self) -> int:
+        buyer = self.msg.sender
+        self.require(self.msg.value > 0, "no ether sent")
+        tokens = self.msg.value * self.storage.get("rate", DEFAULT_RATE) // ETHER
+        self.require(tokens > 0, "contribution too small")
+        self.call_contract(self.storage["token"], "mint", buyer, tokens)
+        self.storage.increment("raised", self.msg.value)
+        self.emit("Purchase", buyer=buyer, value=self.msg.value, tokens=tokens)
+        return tokens
+
+    @public
+    def raised(self) -> int:
+        return self.storage.get("raised", 0)

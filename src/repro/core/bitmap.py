@@ -1,0 +1,165 @@
+"""The cyclically reused one-time-token bitmap (Alg. 2).
+
+The Token Service assigns consecutive ``index`` values to one-time tokens.
+The contract cannot afford to store every spent index, so SMACS represents a
+sliding window of ``n`` consecutive indexes as an ``n``-bit map together with
+the state tuple ``(S, start, startPtr, end, endPtr)``:
+
+* ``start`` / ``end = start + n - 1`` -- the index window currently covered;
+* ``startPtr`` / ``endPtr = (startPtr + n - 1) mod n`` -- where the window
+  begins inside the circular bit array;
+* a token with index ``i`` is *unused* iff it falls in the window and its bit
+  is 0, or it lies above the window (which then slides forward).
+
+Sliding the window forgets the status of indexes that fall behind ``start``;
+tokens holding such indexes are rejected even if never used -- the paper
+calls this a *token miss* and sizes the bitmap as
+``token_lifetime × max_tx_per_second`` bits to avoid it (§IV-C, Tab. IV).
+
+Two faithful notes on Alg. 2 as printed:
+
+* the reset branch (``i > end + n``) does not mark index ``i`` as used in the
+  pseudo-code; that would let the very token that triggered the reset be
+  replayed once, so this implementation sets its bit (the evident intent);
+* ``seek()`` may find no suitable cell (every candidate bit is stale-1); the
+  paper leaves this case implicit and we fall back to the reset branch.
+
+Both notes are covered by dedicated unit tests.
+
+This module is the *pure* algorithm (used directly by the property-based
+tests and by the Token Service for miss-rate modelling); the on-chain,
+gas-metered incarnation lives in
+:class:`repro.core.smacs_contract.SMACSContract`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OneTimeBitmap:
+    """In-memory implementation of the Alg. 2 state machine."""
+
+    size: int
+    bits: list[int] = field(default_factory=list)
+    start: int = 0
+    start_ptr: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("bitmap size must be positive")
+        if not self.bits:
+            self.bits = [0] * self.size
+        if len(self.bits) != self.size:
+            raise ValueError("bits length must equal size")
+
+    # -- derived state -------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size - 1
+
+    @property
+    def end_ptr(self) -> int:
+        return (self.start_ptr + self.size - 1) % self.size
+
+    def cell_for(self, index: int) -> int:
+        """The circular cell position representing window index ``index``."""
+        if not self.start <= index <= self.end:
+            raise ValueError(f"index {index} outside window [{self.start}, {self.end}]")
+        return (self.start_ptr + index - self.start) % self.size
+
+    def is_marked(self, index: int) -> bool:
+        """Whether the bit for an in-window index is set."""
+        return self.bits[self.cell_for(index)] == 1
+
+    # -- Alg. 2 --------------------------------------------------------------------
+
+    def _seek(self, index: int) -> int | None:
+        """The paper's ``seek(S, i, end, startPtr)``.
+
+        Returns the smallest cell ``j`` such that ``S[j] = 0`` and
+        ``i - end <= j - startPtr``, or ``None`` when no such cell exists.
+        """
+        shift = index - self.end
+        for j in range(self.start_ptr + shift, self.size):
+            if self.bits[j] == 0:
+                return j
+        return None
+
+    def _reset(self, index: int) -> bool:
+        self.bits = [0] * self.size
+        self.start_ptr = 0
+        self.start = index
+        # Mark the triggering index as used (see the module docstring).
+        self.bits[0] = 1
+        return True
+
+    def mark_used(self, index: int) -> bool:
+        """Check-and-mark a one-time index.
+
+        Returns ``True`` when the index was acceptable (previously unused and
+        not missed) and is now recorded as used; ``False`` otherwise.
+        """
+        if index < 0:
+            raise ValueError("one-time indexes are non-negative")
+
+        if index < self.start:
+            return False  # token miss: the window already slid past it
+
+        if index <= self.end:
+            cell = self.cell_for(index)
+            if self.bits[cell] == 1:
+                return False
+            self.bits[cell] = 1
+            return True
+
+        if index <= self.end + self.size:
+            new_start_ptr = self._seek(index)
+            if new_start_ptr is None:
+                return self._reset(index)
+            self.start_ptr = new_start_ptr
+            self.start = index - self.size + 1
+            self.bits[self.end_ptr] = 1
+            return True
+
+        return self._reset(index)
+
+    # -- introspection helpers ----------------------------------------------------------
+
+    def used_count(self) -> int:
+        return sum(self.bits)
+
+    def window(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+    def snapshot(self) -> dict:
+        """Serializable view of the full state tuple (for persistence tests)."""
+        return {
+            "size": self.size,
+            "bits": list(self.bits),
+            "start": self.start,
+            "start_ptr": self.start_ptr,
+            "end": self.end,
+            "end_ptr": self.end_ptr,
+        }
+
+
+def required_bitmap_bits(token_lifetime_seconds: float, max_tx_per_second: float) -> int:
+    """Size the bitmap so no unexpired token can be missed (§IV-C).
+
+    ``token_lifetime × max_tx_per_second`` bits, rounded up to at least one.
+    """
+    bits = int(round(token_lifetime_seconds * max_tx_per_second))
+    return max(bits, 1)
+
+
+def bitmap_storage_bytes(bits: int) -> float:
+    """Bitmap size in bytes."""
+    return bits / 8
+
+
+def bitmap_storage_slots(bits: int) -> int:
+    """Number of 32-byte EVM storage slots needed to hold the bitmap."""
+    return (bits + 255) // 256

@@ -1,0 +1,33 @@
+"""Gas-to-currency conversion with paper-era constants (§VI-A).
+
+The paper converts gas into USD using the ETH Gas Station price at the time
+of writing; the constants in :mod:`repro.chain.gas` are chosen to be
+consistent with Tab. II (165 957 gas ≈ $0.041).
+"""
+
+from __future__ import annotations
+
+from repro.chain import gas
+
+
+def gas_to_ether(gas_amount: int, gas_price_gwei: float = gas.GAS_PRICE_GWEI) -> float:
+    """Convert a gas amount into ether at the given gas price."""
+    return gas_amount * gas_price_gwei * gas.WEI_PER_GWEI / gas.WEI_PER_ETHER
+
+
+def gas_to_usd(
+    gas_amount: int,
+    gas_price_gwei: float = gas.GAS_PRICE_GWEI,
+    eth_usd: float = gas.ETH_USD,
+) -> float:
+    """Convert a gas amount into US dollars."""
+    return gas_to_ether(gas_amount, gas_price_gwei) * eth_usd
+
+
+def ether_to_usd(ether: float, eth_usd: float = gas.ETH_USD) -> float:
+    return ether * eth_usd
+
+
+def usd(amount: float) -> str:
+    """Format a USD amount the way the paper's tables do (three decimals)."""
+    return f"{amount:.3f}"

@@ -1,0 +1,42 @@
+"""Token Service discovery (§VII-B "Service Discovery").
+
+The paper proposes publishing the TS address as contract instance metadata.
+SMACS-enabled contracts store their TS URL in a well-known storage slot
+(written by :meth:`repro.core.smacs_contract.SMACSContract.init_smacs`); the
+discovery registry resolves a contract address to a live
+:class:`~repro.core.token_service.TokenService` by reading that slot and
+looking the URL up in its directory of known services.
+"""
+
+from __future__ import annotations
+
+from repro.chain.address import Address
+from repro.chain.chain import Blockchain
+from repro.core.smacs_contract import TS_URL_SLOT
+from repro.core.token_service import TokenService
+
+
+class ServiceDiscovery:
+    """Resolves contract addresses to Token Service instances."""
+
+    def __init__(self, chain: Blockchain):
+        self.chain = chain
+        self._directory: dict[str, TokenService] = {}
+
+    def publish(self, url: str, service: TokenService) -> None:
+        """Register a running Token Service under its URL."""
+        self._directory[url] = service
+
+    def url_for(self, contract: Address) -> str | None:
+        """Read the TS URL published in the contract's metadata slot."""
+        return self.chain.state.storage_get(contract, TS_URL_SLOT, None)
+
+    def resolve(self, contract: Address) -> TokenService | None:
+        """Find the Token Service serving ``contract`` (None when unknown)."""
+        url = self.url_for(contract)
+        if url is None:
+            return None
+        return self._directory.get(url)
+
+    def known_urls(self) -> list[str]:
+        return sorted(self._directory)

@@ -1,0 +1,133 @@
+"""Token Service replication and fail-over (§VII-B "Availability").
+
+A single TS is a single point of failure.  For tokens *without* the one-time
+property, replicas are stateless with respect to each other and a simple
+fail-over front end suffices.  For one-time tokens the replicas must agree on
+the counter value; this module wires the Raft-backed
+:class:`repro.consensus.counter.ReplicatedCounter` into a group of TS
+replicas that share the signing key and the rule set, and puts a
+load-balancer/fail-over front end in front of them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.clock import SimulatedClock
+from repro.consensus.counter import CounterCluster, ReplicatedCounter
+from repro.core.acr import RuleSet
+from repro.core.token import Token
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import IssuanceResult, TokenService
+from repro.crypto.keys import KeyPair
+
+
+class NoReplicaAvailable(Exception):
+    """Every TS replica is marked down."""
+
+
+class ReplicatedTokenService:
+    """A group of TS replicas behind a round-robin fail-over front end.
+
+    All replicas share the same ``skTS`` (so any of them can issue tokens the
+    contract will accept), the same rule set object (owner updates apply
+    everywhere at once), and -- when one-time tokens are enabled -- a
+    Raft-replicated counter guaranteeing globally unique indexes.
+    """
+
+    def __init__(
+        self,
+        replica_count: int = 3,
+        keypair: KeyPair | None = None,
+        rules: RuleSet | None = None,
+        clock: SimulatedClock | None = None,
+        token_lifetime: int = 3600,
+        replicate_counter: bool = True,
+        seed: int = 7,
+    ):
+        if replica_count < 1:
+            raise ValueError("need at least one replica")
+        self.keypair = keypair or KeyPair.generate()
+        self.rules = rules or RuleSet()
+        self.clock = clock or SimulatedClock()
+        self.counter_cluster: CounterCluster | None = None
+        counter = None
+        if replicate_counter:
+            self.counter_cluster = CounterCluster(size=replica_count, seed=seed)
+            counter = ReplicatedCounter(cluster=self.counter_cluster)
+        self.replicas: list[TokenService] = []
+        for i in range(replica_count):
+            replica = TokenService(
+                keypair=self.keypair,
+                rules=self.rules,
+                clock=self.clock,
+                token_lifetime=token_lifetime,
+                counter=counter if counter is not None else None,
+                label=f"ts-replica-{i}",
+            )
+            self.replicas.append(replica)
+        self._down: set[int] = set()
+        self._next = 0
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def address(self) -> bytes:
+        return self.keypair.address
+
+    # -- failure control ---------------------------------------------------------
+
+    def take_down(self, replica_index: int) -> None:
+        """Simulate a replica outage (web server down)."""
+        if not 0 <= replica_index < len(self.replicas):
+            raise IndexError("no such replica")
+        self._down.add(replica_index)
+
+    def bring_up(self, replica_index: int) -> None:
+        self._down.discard(replica_index)
+
+    def available_replicas(self) -> list[int]:
+        return [i for i in range(len(self.replicas)) if i not in self._down]
+
+    # -- request routing -------------------------------------------------------------
+
+    def _pick_replica(self) -> tuple[int, TokenService]:
+        available = self.available_replicas()
+        if not available:
+            raise NoReplicaAvailable("all Token Service replicas are down")
+        # Round-robin over the available replicas.
+        choice = available[self._next % len(available)]
+        self._next += 1
+        return choice, self.replicas[choice]
+
+    def issue_token(self, request: TokenRequest) -> Token:
+        _, replica = self._pick_replica()
+        return replica.issue_token(request)
+
+    def submit(self, requests: "TokenRequest | Sequence[TokenRequest]") -> list[IssuanceResult]:
+        _, replica = self._pick_replica()
+        return replica.submit(requests)
+
+    # -- owner management --------------------------------------------------------------
+
+    def update_rules(self, mutate) -> None:
+        """Rules are shared by reference; one update applies to every replica."""
+        mutate(self.rules)
+
+    def issued_indexes_are_unique(self) -> bool:
+        """Sanity check used by tests: the replicated counter never repeats.
+
+        Lets in-flight replication drain, then checks that every live replica
+        converged on the same committed counter value (agreement implies no
+        index was handed out twice).
+        """
+        if self.counter_cluster is None:
+            return True
+        self.counter_cluster.network.run_for(2.0)
+        committed = self.counter_cluster.committed_values()
+        live_values = {
+            value
+            for node_id, value in committed.items()
+            if not self.counter_cluster.network.is_down(node_id)
+        }
+        return len(live_values) == 1

@@ -1,0 +1,125 @@
+"""Token requests (Fig. 2 and Tab. I).
+
+A client applies for a token by sending a request whose payload depends on
+the requested token type::
+
+    type (1B) || cAddr (20B) || sAddr (20B) || methodId || argName || argValue ...
+
+* SUPER    -- cAddr, sAddr
+* METHOD   -- cAddr, sAddr, methodId
+* ARGUMENT -- cAddr, sAddr, methodId and one or more (argName, argValue) pairs
+
+The structured form is what the Token Service consumes; :meth:`encode` gives
+the wire layout of Fig. 2 (used for size accounting and the persistence
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.chain.address import Address, address_hex
+from repro.core.token import TokenType
+
+
+class InvalidTokenRequest(ValueError):
+    """Raised when a request does not follow the Tab. I payload rules."""
+
+
+@dataclass(frozen=True)
+class TokenRequest:
+    """A structured token request."""
+
+    token_type: TokenType
+    contract: Address          # cAddr -- the targeted SMACS-enabled contract
+    client: Address            # sAddr -- the client account that will call it
+    method: str | None = None  # methodId for METHOD / ARGUMENT tokens
+    arguments: Mapping[str, Any] = field(default_factory=dict)
+    one_time: bool = False     # request the one-time property
+
+    def __post_init__(self) -> None:
+        if len(self.contract) != 20 or len(self.client) != 20:
+            raise InvalidTokenRequest("cAddr and sAddr must be 20-byte addresses")
+        if self.token_type is TokenType.SUPER:
+            if self.method is not None or self.arguments:
+                raise InvalidTokenRequest(
+                    "a super-token request carries no methodId or arguments (Tab. I)"
+                )
+        elif self.token_type is TokenType.METHOD:
+            if not self.method:
+                raise InvalidTokenRequest("a method-token request requires methodId")
+            if self.arguments:
+                raise InvalidTokenRequest(
+                    "a method-token request carries no argument pairs (Tab. I)"
+                )
+        elif self.token_type is TokenType.ARGUMENT:
+            if not self.method:
+                raise InvalidTokenRequest("an argument-token request requires methodId")
+            if not self.arguments:
+                raise InvalidTokenRequest(
+                    "an argument-token request requires at least one argName/argValue pair"
+                )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def super_token(
+        cls, contract: Address, client: Address, one_time: bool = False
+    ) -> "TokenRequest":
+        return cls(TokenType.SUPER, contract, client, one_time=one_time)
+
+    @classmethod
+    def method_token(
+        cls, contract: Address, client: Address, method: str, one_time: bool = False
+    ) -> "TokenRequest":
+        return cls(TokenType.METHOD, contract, client, method=method, one_time=one_time)
+
+    @classmethod
+    def argument_token(
+        cls,
+        contract: Address,
+        client: Address,
+        method: str,
+        arguments: Mapping[str, Any],
+        one_time: bool = False,
+    ) -> "TokenRequest":
+        return cls(
+            TokenType.ARGUMENT,
+            contract,
+            client,
+            method=method,
+            arguments=dict(arguments),
+            one_time=one_time,
+        )
+
+    # -- wire format (Fig. 2) ---------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise the request in the layout of Fig. 2."""
+        payload = bytes([int(self.token_type)]) + self.contract + self.client
+        if self.method is not None:
+            method_bytes = self.method.encode()
+            payload += len(method_bytes).to_bytes(2, "big") + method_bytes
+        for name in sorted(self.arguments):
+            name_bytes = name.encode()
+            value_bytes = repr(self.arguments[name]).encode()
+            payload += len(name_bytes).to_bytes(2, "big") + name_bytes
+            payload += len(value_bytes).to_bytes(2, "big") + value_bytes
+        payload += b"\x01" if self.one_time else b"\x00"
+        return payload
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by example scripts)."""
+        parts = [
+            f"{self.token_type.name.lower()} token",
+            f"client={address_hex(self.client)[:10]}…",
+            f"contract={address_hex(self.contract)[:10]}…",
+        ]
+        if self.method:
+            parts.append(f"method={self.method}")
+        if self.arguments:
+            parts.append(f"args={dict(self.arguments)}")
+        if self.one_time:
+            parts.append("one-time")
+        return ", ".join(parts)

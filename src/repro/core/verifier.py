@@ -1,0 +1,155 @@
+"""Contract-side token verification (Alg. 1).
+
+This is the on-chain half of SMACS: a small, gas-metered library that a
+SMACS-enabled contract runs before executing any public/external method body.
+The verification steps are:
+
+1. extract the token for this contract from the transaction (single token or
+   a call-chain token array, §IV-D);
+2. reject expired tokens (``now() > tk.expire``);
+3. reconstruct the signed datagram from the transaction context
+   (``tx.origin``, ``address(this)``, ``msg.sig``, the call arguments) and
+   check the Token Service signature with ``ecrecover``;
+4. for one-time tokens, check-and-mark the index in the stored bitmap
+   (Alg. 2) -- performed *after* the signature check so that forged tokens
+   cannot burn indexes.
+
+Gas is charged in named categories (``verify``, ``bitmap``, ``parse``) so the
+benchmark harnesses can reproduce the cost split of Tab. II and Tab. III.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.chain import gas, precompiles
+from repro.chain.errors import Revert
+from repro.core import token as token_mod
+from repro.core.call_chain import TokenBundle
+from repro.core.token import MalformedToken, Token, TokenType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.smacs_contract import SMACSContract
+
+#: storage slot holding the Token Service address the contract trusts
+TS_ADDRESS_SLOT = "smacs/ts_address"
+
+
+def extract_token(contract: "SMACSContract", token_argument: Any) -> bytes | None:
+    """Locate this contract's token in the transaction's token argument.
+
+    Charges the calibrated array-parsing cost when the argument is a
+    call-chain bundle (the "Parse" row of Tab. III).
+    """
+    if token_argument is None:
+        return None
+    if isinstance(token_argument, Token):
+        return token_argument.to_bytes()
+    if isinstance(token_argument, TokenBundle):
+        _charge_array_parse(contract, len(token_argument))
+        return token_argument.token_for(contract.this)
+    if isinstance(token_argument, (bytes, bytearray)):
+        raw = bytes(token_argument)
+        if len(raw) == token_mod.TOKEN_SIZE:
+            return raw
+        try:
+            bundle = TokenBundle.from_bytes(raw)
+        except ValueError:
+            return None
+        _charge_array_parse(contract, len(bundle))
+        return bundle.token_for(contract.this)
+    return None
+
+
+def _charge_array_parse(contract: "SMACSContract", entries: int) -> None:
+    """Charge the Tab. III "Parse" cost for slicing a multi-token array.
+
+    A single-token transaction carries no array, so it pays nothing (the
+    paper's table shows a dash for one token).
+    """
+    if entries > 1:
+        contract.charge_gas(
+            gas.CALIBRATED_TOKEN_ARRAY_PARSE_PER_TOKEN * (entries - 1),
+            category="parse",
+        )
+
+
+def verify_token(
+    contract: "SMACSContract",
+    token_argument: Any,
+    bound_arguments: Mapping[str, Any] | None = None,
+) -> bool:
+    """Run Alg. 1 for the current call frame of ``contract``.
+
+    ``bound_arguments`` are the method's call arguments by name (excluding
+    the token itself); they are only used when the token is an argument token.
+    Returns True/False exactly like the paper's algorithm; the SMACS contract
+    wrapper turns False into a revert.
+    """
+    env = contract.env
+    meter = env.meter
+
+    with gas.charging_category(meter, "verify"):
+        raw = extract_token(contract, token_argument)
+        if raw is None:
+            return False
+
+        # Step 1: parse the 86-byte token out of calldata.
+        meter.charge(gas.CALIBRATED_TOKEN_PARSE_PER_BYTE * token_mod.TOKEN_SIZE)
+        try:
+            token = Token.from_bytes(raw)
+        except MalformedToken:
+            return False
+
+        # Step 2: expiry.
+        if env.block.timestamp > token.expire:
+            return False
+
+        # Step 3: reconstruct the signed datagram from the transaction context
+        # and verify the Token Service signature.
+        datagram = token_mod.signing_datagram(
+            token.token_type,
+            token.expire,
+            token.index,
+            env.tx_origin,
+            contract.this,
+            method=_method_binding(contract, token),
+            arguments=bound_arguments if token.token_type is TokenType.ARGUMENT else None,
+        )
+        meter.charge(gas.CALIBRATED_DATA_PACK_PER_BYTE * len(datagram))
+        meter.charge(gas.CALIBRATED_VERIFY_STATIC)
+        if token.token_type is TokenType.METHOD:
+            meter.charge(gas.CALIBRATED_METHOD_EXTRA)
+        elif token.token_type is TokenType.ARGUMENT:
+            meter.charge(gas.CALIBRATED_METHOD_EXTRA)
+            meter.charge(gas.CALIBRATED_ARGUMENT_EXTRA)
+
+        digest = contract.keccak(datagram)
+        recovered = precompiles.ecrecover(env, digest, token.signature)
+
+        meter.charge(gas.SLOAD)  # load the trusted TS address
+        expected = env.evm.state.storage_get(contract.this, TS_ADDRESS_SLOT, None)
+        if expected is None or recovered != expected:
+            return False
+
+    # Step 4: the one-time property (charged to the "bitmap" category).
+    if token.is_one_time:
+        with gas.charging_category(meter, "bitmap"):
+            if not contract._bitmap_mark_used(token.index):
+                return False
+
+    return True
+
+
+def _method_binding(contract: "SMACSContract", token: Token) -> str | None:
+    """The method identifier to bind for method/argument tokens.
+
+    Uses the current frame's method selector source: the name of the method
+    being executed (the selector of which equals ``msg.sig``).
+    """
+    if token.token_type is TokenType.SUPER:
+        return None
+    method_name = getattr(contract, "_smacs_current_method", None)
+    if method_name is None:
+        raise Revert("SMACS verification outside a protected method")
+    return method_name

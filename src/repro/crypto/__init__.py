@@ -1,0 +1,30 @@
+"""Cryptographic substrate used by the SMACS reproduction.
+
+Ethereum's token and transaction authentication relies on keccak-256 hashing
+and recoverable ECDSA signatures over the secp256k1 curve.  This subpackage
+implements both from scratch in pure Python:
+
+* :mod:`repro.crypto.keccak` -- the Keccak-f[1600] permutation and the
+  keccak-256 hash used by Ethereum (NOT the NIST SHA3-256 padding variant).
+* :mod:`repro.crypto.secp256k1` -- group arithmetic on the secp256k1 curve
+  (Jacobian coordinates, fixed-base precomputation for fast signing).
+* :mod:`repro.crypto.ecdsa` -- RFC-6979 deterministic ECDSA signatures with
+  Ethereum-style recovery ids, plus ``ecrecover``.
+* :mod:`repro.crypto.keys` -- private/public key pairs and Ethereum address
+  derivation.
+"""
+
+from repro.crypto.keccak import keccak256
+from repro.crypto.ecdsa import Signature, sign, verify, recover
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+
+__all__ = [
+    "keccak256",
+    "Signature",
+    "sign",
+    "verify",
+    "recover",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+]

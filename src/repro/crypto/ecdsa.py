@@ -1,0 +1,165 @@
+"""ECDSA over secp256k1 with Ethereum-style recoverable signatures.
+
+SMACS tokens carry a 65-byte signature ``r (32) || s (32) || v (1)`` produced
+by the Token Service and verified on-chain via the ``ecrecover`` precompile.
+This module provides:
+
+* :func:`sign` -- RFC-6979 deterministic ECDSA producing a recoverable
+  signature (low-s normalised, as enforced by Ethereum since EIP-2).
+* :func:`verify` -- classic signature verification against a public key.
+* :func:`recover` -- public-key recovery from a signature (``ecrecover``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto import secp256k1
+from repro.crypto.secp256k1 import (
+    GENERATOR,
+    N,
+    P,
+    Point,
+    generator_multiply,
+    lift_x,
+    point_multiply,
+    shamir_multiply,
+)
+
+
+class SignatureError(ValueError):
+    """Raised for malformed or unrecoverable signatures."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A recoverable ECDSA signature.
+
+    ``v`` is the recovery id in {0, 1} (callers may add the Ethereum 27
+    offset when serialising for wire compatibility; :meth:`to_bytes` stores
+    the raw id).
+    """
+
+    r: int
+    s: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.r < N:
+            raise SignatureError("signature r out of range")
+        if not 0 < self.s < N:
+            raise SignatureError("signature s out of range")
+        if self.v not in (0, 1):
+            raise SignatureError("recovery id must be 0 or 1")
+
+    def to_bytes(self) -> bytes:
+        """Serialise as the 65-byte ``r || s || v`` layout used in tokens."""
+        return (
+            self.r.to_bytes(32, "big")
+            + self.s.to_bytes(32, "big")
+            + bytes([self.v])
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Signature":
+        if len(raw) != 65:
+            raise SignatureError(f"signature must be 65 bytes, got {len(raw)}")
+        r = int.from_bytes(raw[0:32], "big")
+        s = int.from_bytes(raw[32:64], "big")
+        v = raw[64]
+        if v >= 27:
+            v -= 27
+        return cls(r, s, v)
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes) -> int:
+    """Derive the deterministic ECDSA nonce k per RFC 6979 (HMAC-SHA256)."""
+    key_bytes = private_key.to_bytes(32, "big")
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac.new(k, v + b"\x00" + key_bytes + digest, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + key_bytes + digest, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def sign(digest: bytes, private_key: int) -> Signature:
+    """Sign a 32-byte message digest with the given private key scalar."""
+    if len(digest) != 32:
+        raise SignatureError("digest must be 32 bytes")
+    if not 0 < private_key < N:
+        raise SignatureError("private key out of range")
+
+    z = int.from_bytes(digest, "big")
+    k = _rfc6979_nonce(private_key, digest)
+    while True:
+        point = generator_multiply(k)
+        r = point.x % N
+        if r == 0:
+            k = (k + 1) % N or 1
+            continue
+        k_inv = pow(k, -1, N)
+        s = k_inv * (z + r * private_key) % N
+        if s == 0:
+            k = (k + 1) % N or 1
+            continue
+        v = point.y & 1
+        # Enforce low-s (EIP-2); flipping s flips the recovery parity.
+        if s > N // 2:
+            s = N - s
+            v ^= 1
+        return Signature(r, s, v)
+
+
+def verify(digest: bytes, signature: Signature, public_key: Point) -> bool:
+    """Verify a signature against a known public key."""
+    if len(digest) != 32:
+        raise SignatureError("digest must be 32 bytes")
+    if public_key.is_infinity():
+        return False
+    z = int.from_bytes(digest, "big")
+    try:
+        s_inv = pow(signature.s, -1, N)
+    except ValueError:
+        return False
+    u1 = z * s_inv % N
+    u2 = signature.r * s_inv % N
+    point = shamir_multiply(u1, u2, public_key)
+    if point.is_infinity():
+        return False
+    return point.x % N == signature.r
+
+
+def recover(digest: bytes, signature: Signature) -> Point:
+    """Recover the signing public key from a signature (``ecrecover``).
+
+    Raises :class:`SignatureError` when no valid key can be recovered.
+    """
+    if len(digest) != 32:
+        raise SignatureError("digest must be 32 bytes")
+    z = int.from_bytes(digest, "big")
+    # For secp256k1, r + N >= P in all but astronomically rare cases, so the
+    # candidate x is simply r (we do not iterate over r + j*N).
+    try:
+        r_point = lift_x(signature.r, bool(signature.v & 1))
+    except ValueError as exc:
+        raise SignatureError("invalid signature: r is not a curve abscissa") from exc
+    r_inv = pow(signature.r, -1, N)
+    # Q = r^{-1} (s * R - z * G)
+    s_r = point_multiply(r_point, signature.s)
+    z_g = generator_multiply(z)
+    neg_z_g = secp256k1.point_negate(z_g)
+    candidate = secp256k1.point_add(s_r, neg_z_g)
+    public_key = point_multiply(candidate, r_inv)
+    if public_key.is_infinity():
+        raise SignatureError("recovered point at infinity")
+    return public_key

@@ -1,0 +1,118 @@
+"""Pure-Python keccak-256 (the Ethereum hash function).
+
+Ethereum uses the original Keccak submission padding (``0x01``) rather than
+the NIST SHA-3 padding (``0x06``), so :func:`hashlib.sha3_256` cannot be used
+as a drop-in replacement.  This module implements the Keccak-f[1600]
+permutation and the sponge construction for a 256-bit output.
+
+The implementation favours clarity over raw speed; hashing the short payloads
+used by SMACS tokens (tens to a few hundred bytes) costs well under a
+millisecond, which is more than sufficient for the simulator and benchmarks.
+"""
+
+from __future__ import annotations
+
+# Rotation offsets for the rho step, indexed by (x, y).
+_ROTATION_OFFSETS = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+# Round constants for the iota step (24 rounds of Keccak-f[1600]).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+# Rate in bytes for keccak-256: (1600 - 2*256) / 8 = 136.
+_RATE_BYTES = 136
+
+
+def _rotl(value: int, shift: int) -> int:
+    """Rotate a 64-bit lane left by ``shift`` bits."""
+    return ((value << shift) | (value >> (64 - shift))) & _MASK
+
+
+def _keccak_f(state: list[int]) -> list[int]:
+    """Apply the Keccak-f[1600] permutation to a 5x5 lane state.
+
+    ``state`` is a flat list of 25 64-bit integers laid out as
+    ``state[x + 5 * y]``.
+    """
+    for round_constant in _ROUND_CONSTANTS:
+        # Theta
+        c = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rotl(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                state[x + 5 * y] ^= d[x]
+
+        # Rho and Pi combined
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl(
+                    state[x + 5 * y], _ROTATION_OFFSETS[x][y]
+                )
+
+        # Chi
+        for x in range(5):
+            for y in range(5):
+                state[x + 5 * y] = b[x + 5 * y] ^ (
+                    (~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y] & _MASK
+                )
+
+        # Iota
+        state[0] ^= round_constant
+    return state
+
+
+def keccak256(data: bytes) -> bytes:
+    """Return the 32-byte keccak-256 digest of ``data``.
+
+    This matches Ethereum's ``keccak256`` / Solidity ``keccak256(...)`` and
+    geth's ``crypto.Keccak256``.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"keccak256 expects bytes, got {type(data).__name__}")
+
+    state = [0] * 25
+
+    # Padding: multi-rate pad10*1 with the Keccak domain byte 0x01.
+    padded = bytearray(data)
+    pad_len = _RATE_BYTES - (len(padded) % _RATE_BYTES)
+    padded += bytes(pad_len)
+    padded[len(data)] ^= 0x01
+    padded[-1] ^= 0x80
+
+    # Absorb phase.
+    for offset in range(0, len(padded), _RATE_BYTES):
+        block = padded[offset:offset + _RATE_BYTES]
+        for lane in range(_RATE_BYTES // 8):
+            state[lane] ^= int.from_bytes(block[lane * 8:lane * 8 + 8], "little")
+        _keccak_f(state)
+
+    # Squeeze phase: 256 bits fit within a single rate block.
+    output = bytearray()
+    for lane in range(4):
+        output += state[lane].to_bytes(8, "little")
+    return bytes(output)
+
+
+def keccak256_hex(data: bytes) -> str:
+    """Return the keccak-256 digest of ``data`` as a lowercase hex string."""
+    return keccak256(data).hex()

@@ -1,0 +1,138 @@
+"""A lightweight static scanner supporting the §VIII workflow.
+
+The paper suggests that the owner of a SMACS-enabled contract can scan the
+deployed contract regularly with static-analysis tools and, when a
+vulnerability is found, blacklist the transaction patterns that could trigger
+it -- all without touching the contract.
+
+This scanner inspects the Python source of a contract class for a small set
+of well-known risk patterns (state written after an external call, use of
+``tx.origin`` for authorisation, unbounded loops over caller-supplied data,
+missing access control on sensitive methods) and emits findings the owner can
+turn into ACRs (e.g. a :class:`~repro.core.acr.BlacklistRule` or an argument
+restriction).
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.chain.contract import DISPATCHABLE, method_visibility
+
+
+@dataclass(frozen=True)
+class ScanFinding:
+    """One potential issue located in a contract method."""
+
+    contract: str
+    method: str
+    category: str
+    message: str
+    severity: str = "medium"
+
+    def describe(self) -> str:
+        return f"[{self.severity}] {self.contract}.{self.method}: {self.message}"
+
+
+_SENSITIVE_NAME_HINTS = ("withdraw", "transfer", "sweep", "destroy", "kill", "reset", "mint")
+
+
+class StaticScanner:
+    """Pattern-based scanner over contract method sources."""
+
+    def scan_contract(self, contract_class: type) -> list[ScanFinding]:
+        findings: list[ScanFinding] = []
+        for name, method in self._dispatchable_methods(contract_class):
+            source = self._source_of(method)
+            findings.extend(self._scan_method(contract_class.__name__, name, source))
+        return findings
+
+    def scan_many(self, contract_classes: Iterable[type]) -> list[ScanFinding]:
+        findings: list[ScanFinding] = []
+        for contract_class in contract_classes:
+            findings.extend(self.scan_contract(contract_class))
+        return findings
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _dispatchable_methods(contract_class: type):
+        for name in dir(contract_class):
+            if name.startswith("_"):
+                continue
+            attr = getattr(contract_class, name, None)
+            if callable(attr) and getattr(attr, "_is_contract_method", False):
+                if method_visibility(attr) in DISPATCHABLE:
+                    yield name, attr
+
+    @staticmethod
+    def _source_of(method) -> str:
+        target = getattr(method, "_smacs_wrapped", method)
+        target = inspect.unwrap(target)
+        try:
+            return textwrap.dedent(inspect.getsource(target))
+        except (OSError, TypeError):
+            return ""
+
+    def _scan_method(self, contract: str, method: str, source: str) -> list[ScanFinding]:
+        findings: list[ScanFinding] = []
+        if not source:
+            return findings
+
+        lines = source.splitlines()
+        external_call_line = None
+        state_write_after_call = False
+        for lineno, line in enumerate(lines):
+            if re.search(r"\.call_value\(|\.call_contract\(|\.transfer\(", line):
+                if external_call_line is None:
+                    external_call_line = lineno
+            if external_call_line is not None and lineno > external_call_line:
+                if re.search(r"self\.storage\[[^\]]+\]\s*=", line) or ".storage.increment(" in line:
+                    state_write_after_call = True
+        if state_write_after_call:
+            findings.append(
+                ScanFinding(
+                    contract, method, "reentrancy",
+                    "storage is written after an external call; the method may be "
+                    "re-enterable (checks-effects-interactions violated)",
+                    severity="high",
+                )
+            )
+
+        if re.search(r"\btx_origin\b", source) and re.search(r"require|==", source):
+            findings.append(
+                ScanFinding(
+                    contract, method, "tx-origin-auth",
+                    "authorisation appears to be based on tx.origin, which any "
+                    "intermediate contract call can satisfy",
+                    severity="medium",
+                )
+            )
+
+        if re.search(r"for\s+\w+\s+in\s+(accounts|items|values|addresses|recipients)", source):
+            findings.append(
+                ScanFinding(
+                    contract, method, "unbounded-loop",
+                    "iterates over caller-supplied collection; gas consumption is "
+                    "attacker-controlled",
+                    severity="low",
+                )
+            )
+
+        sensitive = any(hint in method.lower() for hint in _SENSITIVE_NAME_HINTS)
+        has_guard = bool(
+            re.search(r"require\(|_check_role\(|_only_owner\(|smacs", source, re.IGNORECASE)
+        ) or "assert" in source
+        if sensitive and not has_guard:
+            findings.append(
+                ScanFinding(
+                    contract, method, "missing-access-control",
+                    "sensitive method appears to lack any access-control check",
+                    severity="high",
+                )
+            )
+        return findings

@@ -1,0 +1,19 @@
+"""Workload generation for the evaluation benchmarks.
+
+* :mod:`repro.workloads.generator` -- token-request and transaction workload
+  generators (batch sweeps for the throughput figure, mixed token types,
+  adversarial request mixes);
+* :mod:`repro.workloads.traces` -- synthetic transaction-arrival traces
+  modelled on the ten most popular Ethereum contracts of early 2019, used to
+  size the one-time bitmap (peak ≈ 35 tx/s, §VI-A and Tab. IV).
+"""
+
+from repro.workloads.generator import TokenRequestWorkload, WorkloadConfig
+from repro.workloads.traces import PopularContractTrace, synthetic_popular_contract_traces
+
+__all__ = [
+    "TokenRequestWorkload",
+    "WorkloadConfig",
+    "PopularContractTrace",
+    "synthetic_popular_contract_traces",
+]

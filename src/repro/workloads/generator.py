@@ -1,0 +1,66 @@
+"""Token-request workload generation (used by the Fig. 9 throughput sweep)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.chain.address import Address
+from repro.core.token import TokenType
+from repro.core.token_request import TokenRequest
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a token-request workload."""
+
+    contract: Address
+    clients: Sequence[Address]
+    token_type: TokenType = TokenType.METHOD
+    method: str = "submit"
+    argument_space: dict[str, Sequence[Any]] = field(default_factory=dict)
+    one_time: bool = False
+    seed: int = 0
+
+
+class TokenRequestWorkload:
+    """Deterministic stream of token requests drawn from a configuration."""
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        self.random = random.Random(config.seed)
+
+    def _arguments(self) -> dict[str, Any]:
+        if self.config.token_type is not TokenType.ARGUMENT:
+            return {}
+        if self.config.argument_space:
+            return {
+                name: self.random.choice(list(values))
+                for name, values in self.config.argument_space.items()
+            }
+        return {"amount": self.random.randint(1, 1000)}
+
+    def next_request(self) -> TokenRequest:
+        client = self.random.choice(list(self.config.clients))
+        token_type = self.config.token_type
+        return TokenRequest(
+            token_type=token_type,
+            contract=self.config.contract,
+            client=client,
+            method=None if token_type is TokenType.SUPER else self.config.method,
+            arguments=self._arguments(),
+            one_time=self.config.one_time,
+        )
+
+    def batch(self, size: int) -> list[TokenRequest]:
+        return [self.next_request() for _ in range(size)]
+
+    def stream(self, total: int) -> Iterator[TokenRequest]:
+        for _ in range(total):
+            yield self.next_request()
+
+
+def batch_size_sweep(max_exponent: int = 5, base: int = 10) -> list[int]:
+    """The 10^0 .. 10^max_exponent batch sizes of Fig. 9."""
+    return [base**i for i in range(max_exponent + 1)]

@@ -1,0 +1,130 @@
+"""Synthetic transaction-arrival traces for popular Ethereum contracts.
+
+§VI-A sizes the one-time bitmap using the transaction distribution of the ten
+most popular contracts by transaction count (as of January 2019), observing
+an average peak of ≈35 tx/s -- close to Ethereum's maximum throughput -- with
+the single highest recorded peak belonging to CryptoKitties at ≈48 tx/s.
+
+The real blockspur/etherscan data is not redistributable, so this module
+generates synthetic diurnal traces calibrated to those published aggregates:
+each contract gets a base rate, a day/night cycle and bursty peaks whose
+across-contract average matches the paper's 35 tx/s peak figure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: (name, relative popularity weight, peak tx/s) loosely modelled on the
+#: early-2019 top-ten list; the average peak is ≈35 tx/s as in the paper.
+_POPULAR_CONTRACTS: tuple[tuple[str, float, float], ...] = (
+    ("CryptoKitties", 1.00, 48.0),
+    ("IDEX", 0.95, 42.0),
+    ("EtherDelta", 0.80, 40.0),
+    ("Tether", 0.78, 38.0),
+    ("Bittrex-controller", 0.70, 36.0),
+    ("LastWinner", 0.65, 34.0),
+    ("Exchange-wallet", 0.60, 32.0),
+    ("Fomo3D", 0.55, 31.0),
+    ("OmiseGO", 0.50, 26.0),
+    ("BAT", 0.45, 23.0),
+)
+
+
+@dataclass
+class PopularContractTrace:
+    """A per-second transaction-arrival trace for one contract."""
+
+    name: str
+    peak_tx_per_second: float
+    arrivals: list[int] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(self.arrivals)
+
+    @property
+    def observed_peak(self) -> int:
+        return max(self.arrivals) if self.arrivals else 0
+
+    def average_rate(self) -> float:
+        if not self.arrivals:
+            return 0.0
+        return self.total_transactions / len(self.arrivals)
+
+    def peak_window_rate(self, window_seconds: int = 60) -> float:
+        """Highest average rate over any window of the given length."""
+        if not self.arrivals or window_seconds <= 0:
+            return 0.0
+        window_seconds = min(window_seconds, len(self.arrivals))
+        window_sum = sum(self.arrivals[:window_seconds])
+        best = window_sum
+        for i in range(window_seconds, len(self.arrivals)):
+            window_sum += self.arrivals[i] - self.arrivals[i - window_seconds]
+            best = max(best, window_sum)
+        return best / window_seconds
+
+
+def _diurnal_rate(second: int, base_rate: float, peak_rate: float,
+                  burst: float) -> float:
+    """Base rate modulated by a day/night cycle plus a burst component."""
+    day_fraction = (second % 86_400) / 86_400
+    cycle = 0.5 * (1 + math.sin(2 * math.pi * (day_fraction - 0.25)))
+    rate = base_rate + (peak_rate - base_rate) * (0.3 * cycle + 0.7 * burst)
+    return max(rate, 0.0)
+
+
+def synthetic_popular_contract_traces(
+    duration_seconds: int = 3_600,
+    seed: int = 2019,
+    contracts: Sequence[tuple[str, float, float]] = _POPULAR_CONTRACTS,
+) -> list[PopularContractTrace]:
+    """Generate one synthetic trace per popular contract.
+
+    Arrivals are Poisson with a time-varying rate; short bursts push each
+    contract towards its calibrated peak so that ``observed_peak`` lands close
+    to the paper's per-contract numbers.
+    """
+    rng = random.Random(seed)
+    traces: list[PopularContractTrace] = []
+    for name, weight, peak in contracts:
+        base_rate = peak * 0.15 * weight
+        arrivals: list[int] = []
+        burst_until = -1
+        burst_level = 0.0
+        for second in range(duration_seconds):
+            if second > burst_until and rng.random() < 0.002:
+                burst_until = second + rng.randint(30, 180)
+                burst_level = rng.uniform(0.8, 1.0)
+            burst = burst_level if second <= burst_until else 0.0
+            rate = _diurnal_rate(second, base_rate, peak, burst)
+            arrivals.append(_poisson(rng, rate))
+        traces.append(PopularContractTrace(name, peak, arrivals))
+    return traces
+
+
+def _poisson(rng: random.Random, rate: float) -> int:
+    """Knuth's Poisson sampler (rates here are small, so this is fine)."""
+    if rate <= 0:
+        return 0
+    limit = math.exp(-rate)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def average_peak_rate(traces: Sequence[PopularContractTrace]) -> float:
+    """The across-contract average of per-trace peak rates (§VI-A's 35 tx/s)."""
+    if not traces:
+        return 0.0
+    return sum(t.peak_tx_per_second for t in traces) / len(traces)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the SMACS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import ClientWallet, OwnerWallet, TokenService, TokenType
+from repro.core.acr import RuleSet
+from repro.crypto.keys import KeyPair
+
+ETHER = 10**18
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    """A fresh auto-mining chain with a deterministic clock."""
+    return Blockchain()
+
+
+@pytest.fixture
+def owner(chain):
+    return chain.create_account("owner", seed="owner-seed")
+
+
+@pytest.fixture
+def alice(chain):
+    return chain.create_account("alice", seed="alice-seed")
+
+
+@pytest.fixture
+def bob(chain):
+    return chain.create_account("bob", seed="bob-seed")
+
+
+@pytest.fixture
+def eve(chain):
+    """An account that is never whitelisted."""
+    return chain.create_account("eve", seed="eve-seed")
+
+
+@pytest.fixture
+def ts_keypair() -> KeyPair:
+    return KeyPair.from_seed("token-service-key")
+
+
+@pytest.fixture
+def token_service(chain, ts_keypair) -> TokenService:
+    """A permissive Token Service (no rules) sharing the chain clock."""
+    return TokenService(keypair=ts_keypair, rules=RuleSet(), clock=chain.clock)
+
+
+@pytest.fixture
+def recorder(chain, owner, token_service):
+    """A deployed SMACS-protected ProtectedRecorder with a one-time bitmap."""
+    owner_wallet = OwnerWallet(owner, token_service)
+    receipt = owner_wallet.deploy_protected(ProtectedRecorder, one_time_bitmap_bits=2048)
+    assert receipt.success, receipt.error
+    return receipt.return_value
+
+
+@pytest.fixture
+def alice_wallet(alice, recorder, token_service):
+    wallet = ClientWallet(alice)
+    wallet.register_service(recorder, token_service)
+    return wallet
+
+
+@pytest.fixture
+def bob_wallet(bob, recorder, token_service):
+    wallet = ClientWallet(bob)
+    wallet.register_service(recorder, token_service)
+    return wallet
+
+
+@pytest.fixture
+def method_token(alice_wallet, recorder):
+    """A method token for ProtectedRecorder.submit issued to alice."""
+    return alice_wallet.request_token(recorder, TokenType.METHOD, "submit")

@@ -1,0 +1,131 @@
+"""Unit tests for address handling and calldata/ABI encoding."""
+
+import pytest
+
+from repro.chain import abi
+from repro.chain.address import (
+    ZERO_ADDRESS,
+    address_hex,
+    contract_address,
+    is_address,
+    to_address,
+)
+from repro.core.call_chain import TokenBundle
+from repro.crypto.keys import KeyPair
+
+
+# --- addresses ----------------------------------------------------------------
+
+
+def test_to_address_from_hex_and_back():
+    hex_addr = "0x" + "ab" * 20
+    addr = to_address(hex_addr)
+    assert len(addr) == 20
+    assert address_hex(addr) == hex_addr
+
+
+def test_to_address_accepts_bytes_and_int():
+    assert to_address(b"\x01" * 20) == b"\x01" * 20
+    assert to_address(1) == b"\x00" * 19 + b"\x01"
+
+
+def test_to_address_rejects_wrong_lengths():
+    with pytest.raises(ValueError):
+        to_address(b"\x01" * 19)
+    with pytest.raises(ValueError):
+        to_address("0x" + "ab" * 19)
+    with pytest.raises(TypeError):
+        to_address(3.14)  # type: ignore[arg-type]
+
+
+def test_zero_address_shape():
+    assert is_address(ZERO_ADDRESS)
+    assert ZERO_ADDRESS == b"\x00" * 20
+
+
+def test_contract_address_depends_on_creator_and_nonce():
+    creator = KeyPair.from_seed("creator").address
+    a0 = contract_address(creator, 0)
+    a1 = contract_address(creator, 1)
+    other = contract_address(KeyPair.from_seed("other").address, 0)
+    assert len(a0) == 20
+    assert a0 != a1
+    assert a0 != other
+
+
+def test_is_address_rejects_non_bytes():
+    assert not is_address("0x" + "ab" * 20)
+    assert not is_address(b"\x01" * 21)
+
+
+# --- method selectors and calldata -----------------------------------------------
+
+
+def test_selector_is_first_four_bytes_of_keccak():
+    selector = abi.method_selector("withdraw")
+    assert len(selector) == 4
+    assert selector == abi.method_selector("withdraw")
+    assert selector != abi.method_selector("withdraw2")
+
+
+def test_encode_call_starts_with_selector():
+    calldata = abi.encode_call("submit", (5,), {"memo": "hi"})
+    assert calldata[:4] == abi.method_selector("submit")
+    assert abi.decode_selector(calldata) == abi.method_selector("submit")
+
+
+def test_decode_selector_rejects_short_calldata():
+    with pytest.raises(ValueError):
+        abi.decode_selector(b"\x01\x02")
+
+
+def test_encoding_is_argument_sensitive():
+    base = abi.encode_call("submit", (5,))
+    assert abi.encode_call("submit", (6,)) != base
+    assert abi.encode_call("submit", (5,), {"memo": "x"}) != base
+
+
+def test_encoding_ints_bools_none():
+    assert len(abi.encode_arguments((7,), {})) == 32
+    assert abi.encode_arguments((True,), {}) != abi.encode_arguments((False,), {})
+    assert abi.encode_arguments((None,), {}) == b"\x00" * 32
+
+
+def test_encoding_negative_int_uses_twos_complement():
+    encoded = abi.encode_arguments((-1,), {})
+    assert encoded == b"\xff" * 32
+
+
+def test_encoding_addresses_are_padded_to_word():
+    addr = KeyPair.from_seed("x").address
+    encoded = abi.encode_arguments((addr,), {})
+    assert len(encoded) == 32
+    assert encoded.endswith(addr)
+
+
+def test_encoding_bytes_and_strings_length_prefixed():
+    encoded = abi.encode_arguments((b"\x01\x02\x03",), {})
+    assert len(encoded) == 64  # 32-byte length + one padded word
+    assert abi.encode_arguments(("abc",), {}) == abi.encode_arguments((b"abc",), {})
+
+
+def test_encoding_kwargs_is_order_insensitive():
+    a = abi.encode_arguments((), {"b": 2, "a": 1})
+    b = abi.encode_arguments((), {"a": 1, "b": 2})
+    assert a == b
+
+
+def test_encoding_lists():
+    encoded = abi.encode_arguments(([1, 2, 3],), {})
+    assert len(encoded) == 32 * 4  # length word + 3 elements
+
+
+def test_encoding_structured_objects_with_to_bytes():
+    bundle = TokenBundle()
+    encoded = abi.encode_arguments((bundle,), {})
+    assert isinstance(encoded, bytes)
+
+
+def test_encoding_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        abi.encode_arguments(({"a": object()},), {})

@@ -1,0 +1,191 @@
+"""Unit tests for the contract programming model (visibility, storage, events)."""
+
+import pytest
+
+from repro.chain import Blockchain, Contract, external, internal, payable, private, public
+from repro.chain.contract import StorageView, is_payable, method_visibility
+from repro.chain.errors import Revert
+
+ETHER = 10**18
+
+
+class Playground(Contract):
+    """A contract exercising every feature of the programming model."""
+
+    def constructor(self, start: int = 0) -> None:
+        self.storage["value"] = start
+        self.storage["deployer"] = self.msg.sender
+
+    @external
+    def set_value(self, value: int) -> int:
+        self.require(value >= 0, "value must be non-negative")
+        self.storage["value"] = value
+        self.emit("ValueChanged", value=value)
+        return value
+
+    @public
+    def get_value(self) -> int:
+        return self.storage["value"]
+
+    @public
+    def double_via_internal(self) -> int:
+        return self._double()
+
+    @internal
+    def _double(self) -> int:
+        value = self.storage["value"] * 2
+        self.storage["value"] = value
+        return value
+
+    @private
+    def _secret(self) -> int:
+        return 42
+
+    @external
+    @payable
+    def pay_in(self) -> int:
+        return self.msg.value
+
+    @external
+    def not_payable(self) -> None:
+        return None
+
+    @external
+    def whoami(self) -> tuple:
+        return (self.msg.sender, self.tx_origin, self.msg.sig)
+
+    @external
+    def delete_value(self) -> None:
+        self.storage.delete("value")
+
+    @external
+    def boom(self) -> None:
+        self.revert("intentional failure")
+
+
+@pytest.fixture
+def deployed(chain, owner):
+    receipt = owner.deploy(Playground, 10)
+    assert receipt.success
+    return receipt.return_value
+
+
+# --- decorators ------------------------------------------------------------------
+
+
+def test_visibility_tags():
+    assert method_visibility(Playground.set_value) == "external"
+    assert method_visibility(Playground.get_value) == "public"
+    assert method_visibility(Playground._double) == "internal"
+    assert method_visibility(Playground._secret) == "private"
+    assert is_payable(Playground.pay_in)
+    assert not is_payable(Playground.set_value)
+
+
+# --- deployment and calls ------------------------------------------------------------
+
+
+def test_constructor_ran_with_args(chain, deployed):
+    assert chain.read(deployed, "get_value") == 10
+
+
+def test_external_call_mutates_state_and_emits(chain, alice, deployed):
+    receipt = alice.transact(deployed, "set_value", 77)
+    assert receipt.success
+    assert chain.read(deployed, "get_value") == 77
+    assert any(log.matches("ValueChanged", value=77) for log in receipt.logs)
+
+
+def test_internal_and_private_not_dispatchable(alice, deployed):
+    for method in ("_double", "_secret"):
+        receipt = alice.transact(deployed, method)
+        assert not receipt.success
+        assert "VisibilityError" in receipt.error
+
+
+def test_public_method_can_call_internal(chain, alice, deployed):
+    receipt = alice.transact(deployed, "double_via_internal")
+    assert receipt.success
+    assert chain.read(deployed, "get_value") == 20
+
+
+def test_unknown_method_rejected(alice, deployed):
+    receipt = alice.transact(deployed, "does_not_exist")
+    assert not receipt.success
+    assert "UnknownMethod" in receipt.error
+
+
+def test_revert_rolls_back_state(chain, alice, deployed):
+    alice.transact(deployed, "set_value", 5)
+    receipt = alice.transact(deployed, "boom")
+    assert not receipt.success
+    assert "intentional failure" in receipt.error
+    assert chain.read(deployed, "get_value") == 5
+
+
+def test_require_failure_message_propagates(alice, deployed):
+    receipt = alice.transact(deployed, "set_value", -1)
+    assert not receipt.success
+    assert "non-negative" in receipt.error
+
+
+def test_payable_method_receives_value(chain, alice, deployed):
+    receipt = alice.transact(deployed, "pay_in", value=3 * ETHER)
+    assert receipt.success
+    assert receipt.return_value == 3 * ETHER
+    assert chain.balance_of(deployed) == 3 * ETHER
+
+
+def test_non_payable_method_rejects_value(chain, alice, deployed):
+    receipt = alice.transact(deployed, "not_payable", value=1)
+    assert not receipt.success
+    assert chain.balance_of(deployed) == 0
+
+
+def test_msg_sender_and_origin_for_direct_call(alice, deployed):
+    receipt = alice.transact(deployed, "whoami")
+    sender, origin, sig = receipt.return_value
+    assert sender == alice.address
+    assert origin == alice.address
+    assert len(sig) == 4
+
+
+def test_storage_delete_earns_refund(chain, alice, deployed):
+    receipt_before = alice.transact(deployed, "set_value", 1)
+    receipt_delete = alice.transact(deployed, "delete_value")
+    assert receipt_delete.success
+    assert chain.read(deployed, "get_value") == 0  # deleted slots read as default
+    # The delete transaction benefits from the SSTORE clear refund.
+    assert receipt_delete.gas_used < receipt_before.gas_used
+
+
+def test_gas_charged_for_storage_writes(alice, deployed):
+    fresh_write = alice.transact(deployed, "set_value", 123)
+    overwrite = alice.transact(deployed, "set_value", 124)
+    # Both write an existing slot (SSTORE_UPDATE); costs should be equal.
+    assert abs(fresh_write.gas_used - overwrite.gas_used) < 200
+
+
+def test_contract_accessors_outside_execution_raise(deployed):
+    with pytest.raises(RuntimeError):
+        _ = deployed.env
+    assert deployed.this is not None
+    assert deployed.address_hex.startswith("0x")
+
+
+def test_undeployed_contract_has_no_address():
+    with pytest.raises(RuntimeError):
+        _ = Playground().this
+
+
+def test_storage_view_is_bound_to_contract(deployed):
+    assert isinstance(deployed.storage, StorageView)
+    # Off-chain peek does not require an execution context.
+    assert deployed.storage.peek("deployer") is not None
+
+
+def test_reverts_inside_python_are_revert_exceptions(deployed):
+    # Contract helpers raise Revert, which the EVM catches; direct use should
+    # surface the same type for unit-level testing.
+    with pytest.raises(Revert):
+        raise Revert("x")

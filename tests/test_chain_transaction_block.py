@@ -1,0 +1,135 @@
+"""Unit tests for transactions, blocks and the simulated clock."""
+
+import pytest
+
+from repro.chain.block import Block, GENESIS_PARENT_HASH, genesis_block
+from repro.chain.clock import SimulatedClock
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def sender_keypair():
+    return KeyPair.from_seed("tx-sender")
+
+
+@pytest.fixture
+def recipient():
+    return KeyPair.from_seed("tx-recipient").address
+
+
+def _make_tx(sender_keypair, recipient, **overrides):
+    fields = dict(
+        sender=sender_keypair.address,
+        to=recipient,
+        nonce=0,
+        method="submit",
+        args=(5,),
+        kwargs={"memo": "hello"},
+        value=0,
+    )
+    fields.update(overrides)
+    return Transaction(**fields)
+
+
+# --- transactions -----------------------------------------------------------------
+
+
+def test_calldata_includes_selector_and_args(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient)
+    assert len(tx.calldata) > 4
+    assert tx.is_contract_call
+
+
+def test_plain_transfer_has_empty_calldata(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient, method=None, args=(), kwargs={}, value=10)
+    assert tx.calldata == b""
+    assert not tx.is_contract_call
+
+
+def test_sign_and_verify(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient)
+    assert not tx.verify_signature()
+    tx.sign_with(sender_keypair)
+    assert tx.verify_signature()
+
+
+def test_signature_binds_all_fields(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient).sign_with(sender_keypair)
+    # Tamper with each covered field and check the signature breaks.
+    for attribute, value in [
+        ("nonce", 5),
+        ("value", 123),
+        ("method", "other"),
+        ("args", (6,)),
+        ("gas_limit", 1),
+    ]:
+        tampered = _make_tx(sender_keypair, recipient)
+        tampered.signature = tx.signature
+        setattr(tampered, attribute, value)
+        assert not tampered.verify_signature(), attribute
+
+
+def test_signature_from_wrong_key_rejected(sender_keypair, recipient):
+    other = KeyPair.from_seed("other-signer")
+    tx = _make_tx(sender_keypair, recipient)
+    tx.sign_with(other)
+    assert not tx.verify_signature()
+
+
+def test_transaction_hash_changes_with_content(sender_keypair, recipient):
+    tx1 = _make_tx(sender_keypair, recipient).sign_with(sender_keypair)
+    tx2 = _make_tx(sender_keypair, recipient, nonce=1).sign_with(sender_keypair)
+    assert tx1.hash() != tx2.hash()
+    assert len(tx1.hash()) == 32
+
+
+def test_describe_mentions_method_and_nonce(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient)
+    text = tx.describe()
+    assert "submit" in text
+    assert "nonce=0" in text
+
+
+# --- blocks ----------------------------------------------------------------------------
+
+
+def test_genesis_block_shape():
+    block = genesis_block(timestamp=100)
+    assert block.number == 0
+    assert block.parent_hash == GENESIS_PARENT_HASH
+    assert block.transaction_count == 0
+
+
+def test_block_hash_covers_transactions(sender_keypair, recipient):
+    tx = _make_tx(sender_keypair, recipient).sign_with(sender_keypair)
+    empty = Block(number=1, parent_hash=b"\x00" * 32, timestamp=1)
+    full = Block(number=1, parent_hash=b"\x00" * 32, timestamp=1, transactions=[tx])
+    assert empty.hash() != full.hash()
+    assert len(full.hash()) == 32
+
+
+def test_block_hash_covers_parent():
+    a = Block(number=1, parent_hash=b"\x01" * 32, timestamp=1)
+    b = Block(number=1, parent_hash=b"\x02" * 32, timestamp=1)
+    assert a.hash() != b.hash()
+
+
+# --- clock ---------------------------------------------------------------------------------
+
+
+def test_clock_advances_monotonically():
+    clock = SimulatedClock(start=1000)
+    assert clock.now() == 1000
+    clock.advance(60)
+    assert clock.now() == 1060
+    clock.set(2000)
+    assert clock.now() == 2000
+
+
+def test_clock_rejects_going_backwards():
+    clock = SimulatedClock(start=1000)
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    with pytest.raises(ValueError):
+        clock.set(999)

@@ -1,0 +1,166 @@
+"""Unit tests for the simulated network and the Raft log."""
+
+import pytest
+
+from repro.consensus.log import LogEntry, RaftLog
+from repro.consensus.network import SimulatedNetwork
+
+
+# --- simulated network -------------------------------------------------------------
+
+
+def test_messages_are_delivered_in_virtual_time():
+    net = SimulatedNetwork(seed=1)
+    received = []
+    net.register("a", lambda sender, msg: None)
+    net.register("b", lambda sender, msg: received.append((sender, msg)))
+    net.send("a", "b", "hello")
+    assert not received
+    net.run_for(1.0)
+    assert received == [("a", "hello")]
+    assert net.delivered_messages == 1
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    net = SimulatedNetwork(seed=1)
+    inboxes = {name: [] for name in "abc"}
+    for name in "abc":
+        net.register(name, lambda s, m, name=name: inboxes[name].append(m))
+    net.broadcast("a", "ping")
+    net.run_for(1.0)
+    assert inboxes["a"] == []
+    assert inboxes["b"] == ["ping"]
+    assert inboxes["c"] == ["ping"]
+
+
+def test_down_nodes_do_not_receive():
+    net = SimulatedNetwork(seed=1)
+    received = []
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: received.append(m))
+    net.take_down("b")
+    net.send("a", "b", "x")
+    net.run_for(1.0)
+    assert not received
+    assert net.dropped_messages == 1
+    net.bring_up("b")
+    net.send("a", "b", "y")
+    net.run_for(1.0)
+    assert received == ["y"]
+
+
+def test_partition_blocks_cross_group_traffic():
+    net = SimulatedNetwork(seed=1)
+    received = {name: [] for name in "abc"}
+    for name in "abc":
+        net.register(name, lambda s, m, name=name: received[name].append(m))
+    net.partition({"a", "b"}, {"c"})
+    net.send("a", "b", "in-group")
+    net.send("a", "c", "cross-group")
+    net.run_for(1.0)
+    assert received["b"] == ["in-group"]
+    assert received["c"] == []
+    net.heal_partition()
+    net.send("a", "c", "after-heal")
+    net.run_for(1.0)
+    assert received["c"] == ["after-heal"]
+
+
+def test_lossy_network_drops_some_messages():
+    net = SimulatedNetwork(seed=42, drop_rate=0.5)
+    count = [0]
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: count.__setitem__(0, count[0] + 1))
+    for _ in range(100):
+        net.send("a", "b", "m")
+    net.run_for(5.0)
+    assert 10 < count[0] < 90
+
+
+def test_scheduled_timers_fire_and_can_be_cancelled():
+    net = SimulatedNetwork(seed=1)
+    fired = []
+    keep = net.schedule(0.5, lambda: fired.append("keep"))
+    cancel = net.schedule(0.5, lambda: fired.append("cancel"))
+    cancel.cancel()
+    assert keep.active and not cancel.active
+    net.run_for(1.0)
+    assert fired == ["keep"]
+
+
+def test_run_until_times_out_when_condition_never_holds():
+    net = SimulatedNetwork(seed=1)
+    net.register("a", lambda s, m: None)
+    assert net.run_until(lambda: False, timeout=0.1) is False
+
+
+def test_determinism_same_seed_same_schedule():
+    def run(seed):
+        net = SimulatedNetwork(seed=seed)
+        deliveries = []
+        net.register("a", lambda s, m: None)
+        net.register("b", lambda s, m: deliveries.append(net.now))
+        for _ in range(10):
+            net.send("a", "b", "m")
+        net.run_for(1.0)
+        return deliveries
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+# --- raft log ------------------------------------------------------------------------------
+
+
+def test_log_append_and_terms():
+    log = RaftLog()
+    assert log.last_index == 0 and log.last_term == 0
+    log.append(LogEntry(1, "a"))
+    log.append(LogEntry(2, "b"))
+    assert log.last_index == 2
+    assert log.term_at(1) == 1
+    assert log.term_at(2) == 2
+    assert log.term_at(0) == 0
+    assert log.entry_at(2).command == "b"
+
+
+def test_log_index_bounds():
+    log = RaftLog()
+    with pytest.raises(IndexError):
+        log.term_at(1)
+    with pytest.raises(IndexError):
+        log.entry_at(1)
+
+
+def test_log_matches_prefix():
+    log = RaftLog()
+    log.append(LogEntry(1, "a"))
+    assert log.matches(0, 0)
+    assert log.matches(1, 1)
+    assert not log.matches(1, 2)
+    assert not log.matches(2, 1)
+
+
+def test_log_merge_appends_and_truncates_conflicts():
+    log = RaftLog()
+    log.append(LogEntry(1, "a"))
+    log.append(LogEntry(1, "b"))
+    log.append(LogEntry(1, "c"))
+    # Leader says entry 2 onwards should be term-2 entries.
+    log.merge(1, [LogEntry(2, "B"), LogEntry(2, "C")])
+    assert len(log) == 3
+    assert log.entry_at(2) == LogEntry(2, "B")
+    assert log.entry_at(3) == LogEntry(2, "C")
+    # Merging an already-present suffix is idempotent.
+    log.merge(1, [LogEntry(2, "B")])
+    assert len(log) == 3
+
+
+def test_up_to_date_comparison():
+    log = RaftLog()
+    log.append(LogEntry(2, "x"))
+    assert log.up_to_date_with(3, 1)       # higher term wins
+    assert not log.up_to_date_with(1, 99)  # lower term loses
+    assert log.up_to_date_with(2, 1)       # same term, same length
+    assert not log.up_to_date_with(2, 0)   # same term, shorter log
+    assert log.entries_from(1) == [LogEntry(2, "x")]

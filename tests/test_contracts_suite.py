@@ -1,0 +1,209 @@
+"""Tests for the case-study and baseline contracts."""
+
+import pytest
+
+from repro.chain import gas
+from repro.contracts import (
+    Attacker,
+    Bank,
+    OnChainWhitelist,
+    OnChainWhitelistTokenSale,
+    RoleBasedVault,
+    SMACSTokenSale,
+    SimpleToken,
+    WhitelistedVault,
+)
+from repro.core import ClientWallet, TokenType, gas_to_usd
+from repro.core.acr import WhitelistRule
+from repro.crypto.keys import KeyPair
+
+ETHER = 10**18
+
+
+# --- Bank / Attacker (Fig. 7) -------------------------------------------------------------
+
+
+def test_bank_deposit_and_honest_withdraw(chain, owner, alice):
+    bank = owner.deploy(Bank).return_value
+    alice.transact(bank, "addBalance", value=3 * ETHER)
+    assert chain.read(bank, "balanceOf", alice.address) == 3 * ETHER
+    before = alice.balance
+    assert alice.transact(bank, "withdraw").success
+    assert chain.read(bank, "balanceOf", alice.address) == 0
+    assert alice.balance == before + 3 * ETHER
+
+
+def test_bank_withdraw_with_zero_balance_is_noop(chain, owner, bob):
+    bank = owner.deploy(Bank).return_value
+    receipt = bob.transact(bank, "withdraw")
+    assert receipt.success
+    assert chain.balance_of(bank) == 0
+
+
+def test_reentrancy_attack_drains_more_than_deposited(chain, owner, alice, eve):
+    bank = owner.deploy(Bank).return_value
+    alice.transact(bank, "addBalance", value=10 * ETHER)
+    attacker = eve.deploy(Attacker, bank.this, True).return_value
+    eve.transact(attacker, "deposit", 2 * ETHER, value=2 * ETHER)
+
+    before = chain.balance_of(attacker)
+    receipt = eve.transact(attacker, "withdraw")
+    assert receipt.success
+    gained = chain.balance_of(attacker) - before
+    assert gained == 4 * ETHER  # one re-entrant double withdrawal
+    assert chain.read(attacker, "reentry_count") == 1
+    # The bank lost the difference out of the victim's deposit.
+    assert chain.balance_of(bank) == 8 * ETHER
+
+
+def test_attack_flag_disabled_makes_attacker_honest(chain, owner, alice, eve):
+    bank = owner.deploy(Bank).return_value
+    alice.transact(bank, "addBalance", value=10 * ETHER)
+    attacker = eve.deploy(Attacker, bank.this, False).return_value
+    eve.transact(attacker, "deposit", 2 * ETHER, value=2 * ETHER)
+    before = chain.balance_of(attacker)
+    eve.transact(attacker, "withdraw")
+    assert chain.balance_of(attacker) - before == 2 * ETHER
+    assert chain.read(attacker, "reentry_count") == 0
+
+
+# --- SimpleToken ------------------------------------------------------------------------------
+
+
+def test_erc20_mint_transfer_approve_flow(chain, owner, alice, bob):
+    token = owner.deploy(SimpleToken, "Test", "TST", 0).return_value
+    owner.transact(token, "mint", alice.address, 100)
+    assert chain.read(token, "totalSupply") == 100
+
+    alice.transact(token, "transfer", bob.address, 40)
+    assert chain.read(token, "balanceOf", alice.address) == 60
+    assert chain.read(token, "balanceOf", bob.address) == 40
+
+    alice.transact(token, "approve", bob.address, 25)
+    assert chain.read(token, "allowance", alice.address, bob.address) == 25
+    bob.transact(token, "transferFrom", alice.address, bob.address, 20)
+    assert chain.read(token, "balanceOf", bob.address) == 60
+    assert chain.read(token, "allowance", alice.address, bob.address) == 5
+
+
+def test_erc20_guards(chain, owner, alice, bob):
+    token = owner.deploy(SimpleToken).return_value
+    assert not alice.transact(token, "mint", alice.address, 10).success  # not the owner
+    owner.transact(token, "mint", alice.address, 10)
+    assert not alice.transact(token, "transfer", bob.address, 11).success  # overdraft
+    assert not bob.transact(token, "transferFrom", alice.address, bob.address, 1).success
+    owner.transact(token, "transferOwnership", alice.address)
+    assert alice.transact(token, "mint", alice.address, 5).success
+
+
+# --- on-chain whitelist baseline (§II motivation) ----------------------------------------------------
+
+
+def test_whitelist_add_remove_and_gating(chain, owner, alice, eve):
+    whitelist = owner.deploy(OnChainWhitelist).return_value
+    vault = owner.deploy(WhitelistedVault, whitelist.this).return_value
+
+    owner.transact(whitelist, "add", alice.address)
+    assert chain.read(whitelist, "is_listed", alice.address)
+    assert chain.read(whitelist, "size") == 1
+
+    assert alice.transact(vault, "record", 5).success
+    assert not eve.transact(vault, "record", 5).success
+
+    owner.transact(whitelist, "remove", alice.address)
+    assert not alice.transact(vault, "record", 5).success
+    assert chain.read(whitelist, "size") == 0
+
+
+def test_whitelist_only_owner_can_manage(chain, owner, eve):
+    whitelist = owner.deploy(OnChainWhitelist).return_value
+    assert not eve.transact(whitelist, "add", eve.address).success
+
+
+def test_whitelist_cost_per_address_matches_motivation(chain, owner):
+    """§II-B: whitelisting costs tens of thousands of gas per address, which
+    at scale is hundreds of dollars -- the motivation for SMACS."""
+    whitelist = owner.deploy(OnChainWhitelist).return_value
+    receipts = [
+        owner.transact(whitelist, "add", KeyPair.from_seed(f"user-{i}").address)
+        for i in range(5)
+    ]
+    per_address = sum(r.gas_used for r in receipts) / len(receipts)
+    assert per_address > 40_000
+    projected_10k_usd = gas_to_usd(int(per_address * 10_000))
+    assert projected_10k_usd > 50  # hundreds of dollars, not cents
+
+
+def test_whitelist_batch_add(chain, owner):
+    whitelist = owner.deploy(OnChainWhitelist).return_value
+    users = [KeyPair.from_seed(f"batch-{i}").address for i in range(20)]
+    receipt = owner.transact(whitelist, "add_many", users)
+    assert receipt.success
+    assert receipt.return_value == 20
+    assert chain.read(whitelist, "size") == 20
+    assert receipt.gas_used > 20 * gas.SSTORE_SET
+
+
+# --- role-based baseline ---------------------------------------------------------------------------------
+
+
+def test_role_based_vault_grant_and_revoke(chain, owner, alice, eve):
+    vault = owner.deploy(RoleBasedVault).return_value
+    assert not alice.transact(vault, "record", 5).success
+    owner.transact(vault, "grantRole", "operator", alice.address)
+    assert alice.transact(vault, "record", 5).success
+    assert chain.read(vault, "total") == 5
+    owner.transact(vault, "revokeRole", "operator", alice.address)
+    assert not alice.transact(vault, "record", 5).success
+    # Only admins manage roles.
+    assert not eve.transact(vault, "grantRole", "operator", eve.address).success
+
+
+# --- token sales: baseline vs SMACS ----------------------------------------------------------------------
+
+
+def test_onchain_whitelist_token_sale(chain, owner, alice, eve):
+    token = owner.deploy(SimpleToken).return_value
+    sale = owner.deploy(OnChainWhitelistTokenSale, token.this, 1000).return_value
+    owner.transact(token, "transferOwnership", sale.this)
+
+    owner.transact(sale, "whitelist", alice.address)
+    assert alice.transact(sale, "buy", value=2 * ETHER).success
+    assert chain.read(token, "balanceOf", alice.address) == 2000
+    assert chain.read(sale, "raised") == 2 * ETHER
+    assert not eve.transact(sale, "buy", value=ETHER).success
+
+
+def test_smacs_token_sale_moves_whitelist_off_chain(chain, owner, alice, eve, token_service):
+    token = owner.deploy(SimpleToken).return_value
+    sale = owner.deploy(
+        SMACSTokenSale, token.this, ts_address=token_service.address, rate=1000
+    ).return_value
+    owner.transact(token, "transferOwnership", sale.this)
+    token_service.rules.add_rule(WhitelistRule([alice.address]))
+
+    alice_wallet = ClientWallet(alice, {sale.this: token_service})
+    receipt = alice_wallet.call_with_token(sale, "buy", token_type=TokenType.METHOD,
+                                           value=ETHER)
+    assert receipt.success
+    assert chain.read(token, "balanceOf", alice.address) == 1000
+
+    # Eve cannot obtain a token, and calling without one fails on-chain.
+    from repro.core import TokenDenied
+
+    eve_wallet = ClientWallet(eve, {sale.this: token_service})
+    with pytest.raises(TokenDenied):
+        eve_wallet.request_token(sale, TokenType.METHOD, "buy")
+    assert not eve.transact(sale, "buy", value=ETHER).success
+
+
+def test_smacs_sale_onchain_policy_storage_is_constant(chain, owner, alice, token_service):
+    """The SMACS sale stores no per-user policy data on-chain."""
+    token = owner.deploy(SimpleToken).return_value
+    sale = owner.deploy(SMACSTokenSale, token.this,
+                        ts_address=token_service.address).return_value
+    slots_before = chain.state.storage_slot_count(sale.this)
+    token_service.rules.add_rule(
+        WhitelistRule([KeyPair.from_seed(f"u{i}").address for i in range(500)])
+    )
+    assert chain.state.storage_slot_count(sale.this) == slots_before

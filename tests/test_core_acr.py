@@ -1,0 +1,208 @@
+"""Unit tests for Access Control Rules and rule sets (§IV-E, Fig. 6)."""
+
+import pytest
+
+from repro.core.acr import (
+    AccessDecision,
+    ArgumentRule,
+    BlacklistRule,
+    PredicateRule,
+    RuleSet,
+    RuntimeVerificationRule,
+    WhitelistRule,
+)
+from repro.core.token import TokenType
+from repro.core.token_request import TokenRequest
+from repro.crypto.keys import KeyPair
+
+ALICE = KeyPair.from_seed("acr-alice").address
+BOB = KeyPair.from_seed("acr-bob").address
+EVE = KeyPair.from_seed("acr-eve").address
+CONTRACT = KeyPair.from_seed("acr-contract").address
+
+
+def super_request(client):
+    return TokenRequest.super_token(CONTRACT, client)
+
+
+def method_request(client, method="withdraw"):
+    return TokenRequest.method_token(CONTRACT, client, method)
+
+
+def argument_request(client, method="submit", arguments=None):
+    return TokenRequest.argument_token(CONTRACT, client, method, arguments or {"amount": 5})
+
+
+# --- individual rules ---------------------------------------------------------------
+
+
+def test_access_decision_truthiness():
+    assert AccessDecision.allow()
+    assert not AccessDecision.deny("nope")
+
+
+def test_whitelist_allows_listed_denies_rest():
+    rule = WhitelistRule([ALICE, BOB])
+    assert rule.evaluate(super_request(ALICE)).allowed
+    assert not rule.evaluate(super_request(EVE)).allowed
+
+
+def test_whitelist_accepts_hex_addresses():
+    rule = WhitelistRule(["0x" + ALICE.hex()])
+    assert rule.evaluate(super_request(ALICE)).allowed
+
+
+def test_whitelist_dynamic_add_remove():
+    rule = WhitelistRule([ALICE])
+    assert not rule.evaluate(super_request(EVE)).allowed
+    rule.add(EVE)
+    assert rule.evaluate(super_request(EVE)).allowed
+    rule.remove(EVE)
+    assert not rule.evaluate(super_request(EVE)).allowed
+
+
+def test_method_scoped_whitelist_ignores_other_methods():
+    rule = WhitelistRule([ALICE], method="withdraw")
+    assert rule.evaluate(method_request(EVE, "deposit")).allowed  # not applicable
+    assert not rule.evaluate(method_request(EVE, "withdraw")).allowed
+
+
+def test_blacklist_denies_listed_allows_rest():
+    rule = BlacklistRule([EVE])
+    assert not rule.evaluate(super_request(EVE)).allowed
+    assert rule.evaluate(super_request(ALICE)).allowed
+
+
+def test_blacklist_dynamic_updates():
+    rule = BlacklistRule([])
+    assert rule.evaluate(super_request(EVE)).allowed
+    rule.add(EVE)
+    assert not rule.evaluate(super_request(EVE)).allowed
+
+
+def test_argument_rule_whitelist_and_blacklist():
+    rule = ArgumentRule("amount", allowed={1, 2, 3})
+    assert rule.evaluate(argument_request(ALICE, arguments={"amount": 2})).allowed
+    assert not rule.evaluate(argument_request(ALICE, arguments={"amount": 99})).allowed
+
+    deny_rule = ArgumentRule("target", denied={EVE})
+    assert not deny_rule.evaluate(argument_request(ALICE, arguments={"target": EVE})).allowed
+    assert deny_rule.evaluate(argument_request(ALICE, arguments={"target": BOB})).allowed
+
+
+def test_argument_rule_ignores_non_argument_tokens_and_absent_args():
+    rule = ArgumentRule("amount", allowed={1})
+    assert rule.evaluate(method_request(ALICE)).allowed
+    assert rule.evaluate(argument_request(ALICE, arguments={"other": 5})).allowed
+
+
+def test_argument_rule_method_scoping():
+    rule = ArgumentRule("amount", allowed={1}, method="submit")
+    assert not rule.evaluate(argument_request(ALICE, "submit", {"amount": 9})).allowed
+    assert rule.evaluate(argument_request(ALICE, "other", {"amount": 9})).allowed
+
+
+def test_predicate_rule():
+    rule = PredicateRule(lambda request: request.client == ALICE, name="only-alice")
+    assert rule.evaluate(super_request(ALICE)).allowed
+    decision = rule.evaluate(super_request(BOB))
+    assert not decision.allowed
+    assert "only-alice" in decision.reason
+
+
+def test_runtime_verification_rule_accepts_bool_and_decision():
+    class BoolTool:
+        def check(self, request):
+            return request.client == ALICE
+
+    class DecisionTool:
+        def check(self, request):
+            return AccessDecision.deny("simulated failure")
+
+    assert RuntimeVerificationRule(BoolTool()).evaluate(super_request(ALICE)).allowed
+    assert not RuntimeVerificationRule(BoolTool()).evaluate(super_request(EVE)).allowed
+    assert not RuntimeVerificationRule(DecisionTool()).evaluate(super_request(ALICE)).allowed
+
+
+# --- rule sets ---------------------------------------------------------------------------
+
+
+def test_empty_ruleset_allows_everything():
+    assert RuleSet().evaluate(super_request(EVE)).allowed
+
+
+def test_ruleset_scopes_rules_per_token_type():
+    ruleset = RuleSet()
+    ruleset.add_rule(WhitelistRule([ALICE]), TokenType.SUPER)
+    assert not ruleset.evaluate(super_request(EVE)).allowed
+    # Method tokens have no rules configured, so they pass.
+    assert ruleset.evaluate(method_request(EVE)).allowed
+
+
+def test_ruleset_global_rules_apply_to_all_types():
+    ruleset = RuleSet()
+    ruleset.add_rule(BlacklistRule([EVE]))
+    assert not ruleset.evaluate(super_request(EVE)).allowed
+    assert not ruleset.evaluate(method_request(EVE)).allowed
+    assert not ruleset.evaluate(argument_request(EVE)).allowed
+    assert ruleset.evaluate(method_request(ALICE)).allowed
+
+
+def test_ruleset_all_rules_must_allow():
+    ruleset = RuleSet()
+    ruleset.add_rule(WhitelistRule([ALICE, EVE]))
+    ruleset.add_rule(BlacklistRule([EVE]))
+    assert ruleset.evaluate(super_request(ALICE)).allowed
+    assert not ruleset.evaluate(super_request(EVE)).allowed
+
+
+def test_ruleset_remove_rule_by_name():
+    ruleset = RuleSet()
+    ruleset.add_rule(WhitelistRule([ALICE], name="sender-whitelist"))
+    assert not ruleset.evaluate(super_request(EVE)).allowed
+    removed = ruleset.remove_rule("sender-whitelist")
+    assert removed == 1
+    assert ruleset.evaluate(super_request(EVE)).allowed
+
+
+def test_ruleset_rule_names_listing():
+    ruleset = RuleSet()
+    ruleset.add_rule(WhitelistRule([ALICE], name="wl"))
+    ruleset.add_rule(ArgumentRule("amount", allowed={1}), TokenType.ARGUMENT)
+    names = ruleset.rule_names()
+    assert "wl" in names
+    assert "argument:amount" in names
+
+
+# --- Fig. 6 configuration ---------------------------------------------------------------------
+
+
+def fig6_config():
+    return {
+        "sender": {"whitelist": ["0x" + ALICE.hex(), "0x" + BOB.hex()]},
+        "method": {"withdraw": {"blacklist": ["0x" + BOB.hex()]}},
+        "argument": {"amount": {"whitelist": [1, 2, 3]}},
+    }
+
+
+def test_from_config_builds_fig6_structure():
+    ruleset = RuleSet.from_config(fig6_config())
+    # sender whitelist applies everywhere
+    assert not ruleset.evaluate(super_request(EVE)).allowed
+    assert ruleset.evaluate(super_request(ALICE)).allowed
+    # per-method blacklist applies to method tokens of that method
+    assert not ruleset.evaluate(method_request(BOB, "withdraw")).allowed
+    assert ruleset.evaluate(method_request(BOB, "deposit")).allowed
+    # argument whitelist
+    assert ruleset.evaluate(argument_request(ALICE, arguments={"amount": 2})).allowed
+    assert not ruleset.evaluate(argument_request(ALICE, arguments={"amount": 9})).allowed
+
+
+def test_config_roundtrip_preserves_policy():
+    ruleset = RuleSet.from_config(fig6_config())
+    rebuilt = RuleSet.from_config(ruleset.to_config())
+    for request in [super_request(ALICE), super_request(EVE),
+                    method_request(BOB, "withdraw"),
+                    argument_request(ALICE, arguments={"amount": 2}),
+                    argument_request(ALICE, arguments={"amount": 9})]:
+        assert ruleset.evaluate(request).allowed == rebuilt.evaluate(request).allowed

@@ -1,0 +1,167 @@
+"""Unit tests for the one-time-token bitmap (Alg. 2), including the paper's
+worked example, plus sizing helpers (§IV-C)."""
+
+import pytest
+
+from repro.core.bitmap import (
+    OneTimeBitmap,
+    bitmap_storage_bytes,
+    bitmap_storage_slots,
+    required_bitmap_bits,
+)
+
+
+def test_initial_state_matches_algorithm_2():
+    bitmap = OneTimeBitmap(size=8)
+    assert bitmap.start == 0
+    assert bitmap.end == 7
+    assert bitmap.start_ptr == 0
+    assert bitmap.end_ptr == 7
+    assert bitmap.bits == [0] * 8
+
+
+def test_paper_worked_example_step_by_step():
+    """Reproduces the running example of §IV-C exactly."""
+    bitmap = OneTimeBitmap(size=8)
+
+    # Tokens 0, 1, 4, 5 access the contract.
+    for index in (0, 1, 4, 5):
+        assert bitmap.mark_used(index)
+    assert bitmap.bits == [1, 1, 0, 0, 1, 1, 0, 0]
+
+    # Token 9 arrives: seek() returns 2, endPtr becomes 1, window [2, 9].
+    assert bitmap.mark_used(9)
+    assert bitmap.start_ptr == 2
+    assert bitmap.end_ptr == 1
+    assert bitmap.start == 2
+    assert bitmap.end == 9
+
+    # Token 13 arrives: window slides to [6, 13], startPtr 6, endPtr 5.
+    assert bitmap.mark_used(13)
+    assert bitmap.start_ptr == 6
+    assert bitmap.end_ptr == 5
+    assert bitmap.start == 6
+    assert bitmap.end == 13
+
+
+def test_double_use_rejected():
+    bitmap = OneTimeBitmap(size=8)
+    assert bitmap.mark_used(3)
+    assert not bitmap.mark_used(3)
+
+
+def test_index_below_window_is_a_miss():
+    bitmap = OneTimeBitmap(size=4)
+    assert bitmap.mark_used(7)  # slides window to [4, 7]
+    assert not bitmap.mark_used(2)
+    assert not bitmap.mark_used(3)
+
+
+def test_token_miss_from_stale_bits_after_slide():
+    """After the paper's example, index 8 maps to a stale 1-bit and is missed."""
+    bitmap = OneTimeBitmap(size=8)
+    for index in (0, 1, 4, 5, 9):
+        assert bitmap.mark_used(index)
+    # Index 8 was never used, but its cell is S[0] = 1 (stale from index 0).
+    assert not bitmap.mark_used(8)
+    # Index 6 is still in the window with a clear cell.
+    assert bitmap.mark_used(6)
+
+
+def test_far_future_index_resets_bitmap():
+    bitmap = OneTimeBitmap(size=8)
+    assert bitmap.mark_used(1)
+    assert bitmap.mark_used(100)  # > end + n: reset branch
+    assert bitmap.start == 100
+    assert bitmap.end == 107
+    assert bitmap.start_ptr == 0
+    # The triggering index itself must not be reusable (paper omission fixed).
+    assert not bitmap.mark_used(100)
+    assert bitmap.mark_used(101)
+
+
+def test_seek_with_no_free_cell_falls_back_to_reset():
+    bitmap = OneTimeBitmap(size=4)
+    for index in range(4):
+        assert bitmap.mark_used(index)
+    # Window is full of 1s; the slide branch cannot find a clear cell.
+    assert bitmap.mark_used(5)
+    assert bitmap.start == 5
+    assert not bitmap.mark_used(5)
+
+
+def test_no_index_is_ever_accepted_twice_under_mixed_workload():
+    bitmap = OneTimeBitmap(size=16)
+    accepted: set[int] = set()
+    pattern = [0, 3, 1, 17, 18, 2, 30, 31, 16, 90, 91, 95, 90, 3, 17]
+    for index in pattern:
+        if bitmap.mark_used(index):
+            assert index not in accepted, f"index {index} accepted twice"
+            accepted.add(index)
+    assert accepted  # sanity: something was accepted
+
+
+def test_cell_mapping_and_is_marked():
+    bitmap = OneTimeBitmap(size=8)
+    bitmap.mark_used(3)
+    assert bitmap.is_marked(3)
+    assert not bitmap.is_marked(4)
+    with pytest.raises(ValueError):
+        bitmap.cell_for(100)
+
+
+def test_negative_index_rejected():
+    bitmap = OneTimeBitmap(size=8)
+    with pytest.raises(ValueError):
+        bitmap.mark_used(-1)
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        OneTimeBitmap(size=0)
+    with pytest.raises(ValueError):
+        OneTimeBitmap(size=4, bits=[0] * 5)
+
+
+def test_snapshot_exposes_full_state_tuple():
+    bitmap = OneTimeBitmap(size=8)
+    bitmap.mark_used(2)
+    snapshot = bitmap.snapshot()
+    assert snapshot["size"] == 8
+    assert snapshot["bits"][2] == 1
+    assert {"start", "end", "start_ptr", "end_ptr"} <= set(snapshot)
+
+
+def test_used_count_and_window():
+    bitmap = OneTimeBitmap(size=8)
+    for i in (0, 1, 2):
+        bitmap.mark_used(i)
+    assert bitmap.used_count() == 3
+    assert bitmap.window() == (0, 7)
+
+
+# --- sizing (§IV-C, Tab. IV) ----------------------------------------------------------
+
+
+def test_required_bits_formula_matches_paper():
+    # 1-hour lifetime at 35 tx/s -> 126 000 bits = 15.38 KiB (Tab. IV).
+    bits = required_bitmap_bits(3600, 35)
+    assert bits == 126_000
+    assert bitmap_storage_bytes(bits) == pytest.approx(15_750)
+    assert bitmap_storage_bytes(bits) / 1024 == pytest.approx(15.38, abs=0.01)
+
+
+def test_required_bits_scales_linearly_with_rate():
+    assert required_bitmap_bits(3600, 3.5) == 12_600
+    assert required_bitmap_bits(3600, 0.35) == 1_260
+
+
+def test_required_bits_is_at_least_one():
+    assert required_bitmap_bits(1, 0.0001) == 1
+
+
+def test_storage_slots_round_up_to_256_bit_words():
+    assert bitmap_storage_slots(1) == 1
+    assert bitmap_storage_slots(256) == 1
+    assert bitmap_storage_slots(257) == 2
+    assert bitmap_storage_slots(126_000) == 493

@@ -1,0 +1,125 @@
+"""Tests for replicated Token Services and fail-over (§VII-B availability)."""
+
+import pytest
+
+from repro.core import ClientWallet, OwnerWallet, TokenType
+from repro.core.acr import WhitelistRule
+from repro.core.replication import NoReplicaAvailable, ReplicatedTokenService
+from repro.core.token_request import TokenRequest
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def replicated_ts(chain):
+    return ReplicatedTokenService(
+        replica_count=3,
+        keypair=KeyPair.from_seed("replicated-ts"),
+        clock=chain.clock,
+        seed=23,
+    )
+
+
+@pytest.fixture
+def protected(chain, owner, replicated_ts):
+    receipt = owner.deploy(
+        ProtectedRecorder,
+        ts_address=replicated_ts.address,
+        one_time_bitmap_bits=1024,
+    )
+    return receipt.return_value
+
+
+def test_all_replicas_share_the_signing_identity(replicated_ts):
+    addresses = {replica.address for replica in replicated_ts.replicas}
+    assert addresses == {replicated_ts.address}
+
+
+def test_round_robin_spreads_requests(replicated_ts, alice, protected):
+    request = TokenRequest.method_token(protected.this, alice.address, "submit")
+    for _ in range(6):
+        replicated_ts.issue_token(request)
+    issued = [replica.issued_count for replica in replicated_ts.replicas]
+    assert sum(issued) == 6
+    assert all(count >= 1 for count in issued)
+
+
+def test_tokens_from_any_replica_verify_on_chain(chain, alice, replicated_ts, protected):
+    wallet = ClientWallet(alice, {protected.this: replicated_ts})
+    for i in range(3):
+        receipt = wallet.call_with_token(protected, "submit", amount=i + 1,
+                                         token_type=TokenType.METHOD)
+        assert receipt.success
+    assert chain.read(protected, "entries") == 3
+
+
+def test_failover_keeps_service_available(chain, alice, replicated_ts, protected):
+    request = TokenRequest.method_token(protected.this, alice.address, "submit")
+    replicated_ts.take_down(0)
+    replicated_ts.take_down(1)
+    token = replicated_ts.issue_token(request)
+    assert token is not None
+    assert replicated_ts.available_replicas() == [2]
+    replicated_ts.bring_up(0)
+    assert 0 in replicated_ts.available_replicas()
+
+
+def test_all_replicas_down_raises(replicated_ts, alice, protected):
+    for index in range(3):
+        replicated_ts.take_down(index)
+    with pytest.raises(NoReplicaAvailable):
+        replicated_ts.issue_token(
+            TokenRequest.method_token(protected.this, alice.address, "submit")
+        )
+    with pytest.raises(IndexError):
+        replicated_ts.take_down(9)
+
+
+def test_one_time_indexes_unique_across_replicas(chain, alice, replicated_ts, protected):
+    """The Raft-replicated counter guarantees globally unique indexes."""
+    request = TokenRequest.method_token(protected.this, alice.address, "submit",
+                                        one_time=True)
+    indexes = [replicated_ts.issue_token(request).index for _ in range(9)]
+    assert indexes == list(range(9))
+    assert replicated_ts.issued_indexes_are_unique()
+
+
+def test_one_time_tokens_from_different_replicas_consumed_once_on_chain(
+    chain, alice, replicated_ts, protected
+):
+    wallet = ClientWallet(alice, {protected.this: replicated_ts})
+    token = wallet.request_token(protected, TokenType.METHOD, "submit", one_time=True)
+    assert alice.transact(protected, "submit", 5, token=token.to_bytes()).success
+    assert not alice.transact(protected, "submit", 5, token=token.to_bytes()).success
+
+
+def test_shared_rule_updates_apply_to_every_replica(chain, alice, eve, replicated_ts, protected):
+    replicated_ts.update_rules(lambda rules: rules.add_rule(WhitelistRule([alice.address])))
+    ok = replicated_ts.submit(
+        TokenRequest.method_token(protected.this, alice.address, "submit")
+    )
+    denied = replicated_ts.submit(
+        TokenRequest.method_token(protected.this, eve.address, "submit")
+    )
+    assert ok[0].issued
+    assert not denied[0].issued
+
+
+def test_unreplicated_counter_ablation_produces_duplicate_indexes(chain, alice, protected):
+    """Without the replicated counter, independent replicas repeat indexes --
+    the failure mode §VII-B warns about."""
+    naive = ReplicatedTokenService(
+        replica_count=2,
+        keypair=KeyPair.from_seed("naive"),
+        clock=chain.clock,
+        replicate_counter=False,
+    )
+    request = TokenRequest.method_token(protected.this, alice.address, "submit",
+                                        one_time=True)
+    indexes = [naive.issue_token(request).index for _ in range(4)]
+    assert len(set(indexes)) < len(indexes)
+
+
+def test_replica_count_validation(chain):
+    with pytest.raises(ValueError):
+        ReplicatedTokenService(replica_count=0, clock=chain.clock)

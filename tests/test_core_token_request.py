@@ -1,0 +1,89 @@
+"""Unit tests for token requests (Fig. 2, Tab. I)."""
+
+import pytest
+
+from repro.core.token import TokenType
+from repro.core.token_request import InvalidTokenRequest, TokenRequest
+from repro.crypto.keys import KeyPair
+
+CLIENT = KeyPair.from_seed("req-client").address
+CONTRACT = KeyPair.from_seed("req-contract").address
+
+
+def test_super_request_shape():
+    request = TokenRequest.super_token(CONTRACT, CLIENT)
+    assert request.token_type is TokenType.SUPER
+    assert request.method is None
+    assert not request.arguments
+    assert not request.one_time
+
+
+def test_method_request_shape():
+    request = TokenRequest.method_token(CONTRACT, CLIENT, "withdraw", one_time=True)
+    assert request.token_type is TokenType.METHOD
+    assert request.method == "withdraw"
+    assert request.one_time
+
+
+def test_argument_request_shape():
+    request = TokenRequest.argument_token(CONTRACT, CLIENT, "submit", {"amount": 9})
+    assert request.token_type is TokenType.ARGUMENT
+    assert request.arguments == {"amount": 9}
+
+
+def test_table1_super_rejects_method_and_arguments():
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.SUPER, CONTRACT, CLIENT, method="m")
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.SUPER, CONTRACT, CLIENT, arguments={"a": 1})
+
+
+def test_table1_method_requires_method_and_no_arguments():
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.METHOD, CONTRACT, CLIENT)
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.METHOD, CONTRACT, CLIENT, method="m", arguments={"a": 1})
+
+
+def test_table1_argument_requires_method_and_arguments():
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.ARGUMENT, CONTRACT, CLIENT, method="m")
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest(TokenType.ARGUMENT, CONTRACT, CLIENT, arguments={"a": 1})
+
+
+def test_addresses_must_be_20_bytes():
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest.super_token(b"\x01" * 19, CLIENT)
+    with pytest.raises(InvalidTokenRequest):
+        TokenRequest.super_token(CONTRACT, b"\x01" * 21)
+
+
+def test_encode_layout_starts_with_type_and_addresses():
+    request = TokenRequest.method_token(CONTRACT, CLIENT, "withdraw")
+    payload = request.encode()
+    assert payload[0] == int(TokenType.METHOD)
+    assert payload[1:21] == CONTRACT
+    assert payload[21:41] == CLIENT
+    assert b"withdraw" in payload
+
+
+def test_encode_grows_with_arguments():
+    small = TokenRequest.argument_token(CONTRACT, CLIENT, "m", {"a": 1}).encode()
+    large = TokenRequest.argument_token(CONTRACT, CLIENT, "m", {"a": 1, "b": "x" * 50}).encode()
+    assert len(large) > len(small)
+
+
+def test_encode_one_time_flag_changes_payload():
+    plain = TokenRequest.method_token(CONTRACT, CLIENT, "m").encode()
+    one_time = TokenRequest.method_token(CONTRACT, CLIENT, "m", one_time=True).encode()
+    assert plain != one_time
+
+
+def test_describe_is_informative():
+    request = TokenRequest.argument_token(CONTRACT, CLIENT, "submit", {"amount": 5},
+                                          one_time=True)
+    text = request.describe()
+    assert "argument token" in text
+    assert "submit" in text
+    assert "one-time" in text

@@ -1,0 +1,173 @@
+"""Tests for client/owner wallets, service discovery and the Fig. 4 transformer."""
+
+import pytest
+
+from repro.chain.contract import Contract, external, method_visibility, public
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import (
+    ClientWallet,
+    OwnerWallet,
+    TokenService,
+    TokenType,
+    make_smacs_enabled,
+)
+from repro.core.discovery import ServiceDiscovery
+from repro.core.smacs_contract import SMACSContract
+from repro.core.wallet import NoTokenServiceKnown
+from repro.crypto.keys import KeyPair
+
+
+# --- wallets -------------------------------------------------------------------------
+
+
+def test_client_wallet_requires_known_service(chain, alice, recorder):
+    wallet = ClientWallet(alice)
+    with pytest.raises(NoTokenServiceKnown):
+        wallet.request_token(recorder, TokenType.SUPER)
+
+
+def test_client_wallet_one_stop_call(chain, alice, recorder, token_service):
+    wallet = ClientWallet(alice, {recorder.this: token_service})
+    receipt = wallet.call_with_token(recorder, "submit", amount=11,
+                                     token_type=TokenType.ARGUMENT)
+    assert receipt.success
+    assert chain.read(recorder, "total") == 11
+
+
+def test_argument_calls_must_use_keywords(chain, alice, recorder, token_service):
+    wallet = ClientWallet(alice, {recorder.this: token_service})
+    with pytest.raises(ValueError):
+        wallet.call_with_token(recorder, "submit", 11, token_type=TokenType.ARGUMENT)
+
+
+def test_owner_wallet_preloads_ts_address(chain, owner, token_service):
+    owner_wallet = OwnerWallet(owner, token_service)
+    receipt = owner_wallet.deploy_protected(ProtectedRecorder, one_time_bitmap_bits=512)
+    contract = receipt.return_value
+    assert contract.token_service_address() == token_service.address
+    assert contract.owner == owner.address
+    assert contract.bitmap_storage_slots() == 2
+
+
+def test_owner_wallet_rule_updates_flow_to_service(chain, owner, alice, eve, token_service,
+                                                   recorder):
+    from repro.core.acr import WhitelistRule
+
+    owner_wallet = OwnerWallet(owner, token_service)
+    owner_wallet.update_rules(lambda rules: rules.add_rule(WhitelistRule([alice.address])))
+    alice_wallet = ClientWallet(alice, {recorder.this: token_service})
+    eve_wallet = ClientWallet(eve, {recorder.this: token_service})
+    assert alice_wallet.request_token(recorder, TokenType.METHOD, "submit")
+    from repro.core import TokenDenied
+
+    with pytest.raises(TokenDenied):
+        eve_wallet.request_token(recorder, TokenType.METHOD, "submit")
+
+
+# --- service discovery (§VII-B) ----------------------------------------------------------
+
+
+def test_discovery_resolves_ts_from_contract_metadata(chain, owner, alice, token_service):
+    discovery = ServiceDiscovery(chain)
+    discovery.publish("https://ts.example.org", token_service)
+    owner_wallet = OwnerWallet(owner, token_service)
+    contract = owner_wallet.deploy_protected(
+        ProtectedRecorder, ts_url="https://ts.example.org"
+    ).return_value
+
+    assert discovery.url_for(contract.this) == "https://ts.example.org"
+    assert discovery.resolve(contract.this) is token_service
+    assert discovery.known_urls() == ["https://ts.example.org"]
+
+    wallet = ClientWallet(alice, discovery=discovery)
+    receipt = wallet.call_with_token(contract, "submit", 5, token_type=TokenType.METHOD)
+    assert receipt.success
+
+
+def test_discovery_returns_none_for_unpublished_contract(chain, owner, token_service, recorder):
+    discovery = ServiceDiscovery(chain)
+    assert discovery.url_for(recorder.this) is None
+    assert discovery.resolve(recorder.this) is None
+
+
+# --- the Fig. 4 transformer -------------------------------------------------------------------
+
+
+class LegacyVault(Contract):
+    """A legacy contract in the style of Fig. 4's left column."""
+
+    def constructor(self, start: int = 0) -> None:
+        self.storage["value"] = start
+
+    @external
+    def f(self) -> int:
+        self.h()
+        return self.storage["value"]
+
+    @public
+    def h(self) -> int:
+        return self.storage.increment("value")
+
+    @public
+    def read(self) -> int:
+        return self.storage["value"]
+
+
+def test_transformer_generates_protected_subclass():
+    generated = make_smacs_enabled(LegacyVault)
+    assert issubclass(generated, SMACSContract)
+    assert issubclass(generated, LegacyVault)
+    assert generated.__name__ == "SMACSLegacyVault"
+    assert set(generated._smacs_protected_methods) == {"f", "h", "read"}
+    # Internal twins exist with internal visibility.
+    assert method_visibility(generated._h) == "internal"
+    assert getattr(generated.f, "_smacs_protected", False)
+
+
+def test_transformer_respects_protect_and_skip_filters():
+    only_f = make_smacs_enabled(LegacyVault, protect={"f"}, name="OnlyF")
+    assert only_f._smacs_protected_methods == ("f",)
+    skip_read = make_smacs_enabled(LegacyVault, skip={"read"}, name="SkipRead")
+    assert "read" not in skip_read._smacs_protected_methods
+
+
+def test_transformer_rejects_non_contracts_and_double_wrapping():
+    with pytest.raises(TypeError):
+        make_smacs_enabled(object)  # type: ignore[arg-type]
+    generated = make_smacs_enabled(LegacyVault, name="Once")
+    with pytest.raises(TypeError):
+        make_smacs_enabled(generated)
+
+
+def test_transformed_contract_enforces_tokens_end_to_end(chain, owner, alice, token_service):
+    generated = make_smacs_enabled(LegacyVault)
+    owner_wallet = OwnerWallet(owner, token_service)
+    contract = owner_wallet.deploy_protected(generated, 5).return_value
+    assert chain.state.storage_get(contract.this, "value") == 5
+
+    # Without a token the legacy behaviour is now blocked.
+    assert not alice.transact(contract, "h").success
+
+    wallet = ClientWallet(alice, {contract.this: token_service})
+    receipt = wallet.call_with_token(contract, "h", token_type=TokenType.METHOD)
+    assert receipt.success
+
+    # f() calls h() internally; one token for f is enough (Fig. 4 split).
+    receipt = wallet.call_with_token(contract, "f", token_type=TokenType.METHOD)
+    assert receipt.success
+    assert receipt.return_value == 7
+
+
+def test_transformed_contract_keeps_legacy_semantics(chain, owner, alice, token_service):
+    legacy_owner = chain.create_account("legacy-owner", seed="legacy-owner")
+    legacy = legacy_owner.deploy(LegacyVault, 5).return_value
+    alice.transact(legacy, "h")
+    legacy_value = chain.read(legacy, "read")
+
+    generated = make_smacs_enabled(LegacyVault)
+    protected = OwnerWallet(owner, token_service).deploy_protected(generated, 5).return_value
+    wallet = ClientWallet(alice, {protected.this: token_service})
+    wallet.call_with_token(protected, "h", token_type=TokenType.METHOD)
+    protected_value = chain.state.storage_get(protected.this, "value")
+
+    assert legacy_value == protected_value == 6

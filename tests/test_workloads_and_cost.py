@@ -1,0 +1,151 @@
+"""Tests for workload generators, synthetic traces and the cost model."""
+
+import pytest
+
+from repro.chain import gas
+from repro.core.cost import ether_to_usd, gas_to_ether, gas_to_usd, usd
+from repro.core.token import TokenType
+from repro.crypto.keys import KeyPair
+from repro.workloads import (
+    PopularContractTrace,
+    TokenRequestWorkload,
+    WorkloadConfig,
+    synthetic_popular_contract_traces,
+)
+from repro.workloads.generator import batch_size_sweep
+from repro.workloads.traces import average_peak_rate
+
+CONTRACT = KeyPair.from_seed("wl-contract").address
+CLIENTS = [KeyPair.from_seed(f"wl-client-{i}").address for i in range(4)]
+
+
+# --- workload generator ---------------------------------------------------------------
+
+
+def test_workload_generates_valid_requests_of_each_type():
+    for token_type in TokenType:
+        workload = TokenRequestWorkload(
+            WorkloadConfig(contract=CONTRACT, clients=CLIENTS, token_type=token_type)
+        )
+        batch = workload.batch(20)
+        assert len(batch) == 20
+        assert all(r.token_type is token_type for r in batch)
+        assert all(r.contract == CONTRACT for r in batch)
+        assert all(r.client in CLIENTS for r in batch)
+
+
+def test_workload_argument_requests_draw_from_argument_space():
+    workload = TokenRequestWorkload(
+        WorkloadConfig(
+            contract=CONTRACT,
+            clients=CLIENTS,
+            token_type=TokenType.ARGUMENT,
+            argument_space={"amount": [1, 2, 3]},
+        )
+    )
+    assert all(r.arguments["amount"] in (1, 2, 3) for r in workload.batch(30))
+
+
+def test_workload_is_deterministic_per_seed():
+    def clients_of(seed):
+        workload = TokenRequestWorkload(
+            WorkloadConfig(contract=CONTRACT, clients=CLIENTS, seed=seed)
+        )
+        return [r.client for r in workload.batch(10)]
+
+    assert clients_of(3) == clients_of(3)
+    assert clients_of(3) != clients_of(4)
+
+
+def test_workload_stream_and_one_time_flag():
+    workload = TokenRequestWorkload(
+        WorkloadConfig(contract=CONTRACT, clients=CLIENTS, one_time=True)
+    )
+    requests = list(workload.stream(5))
+    assert len(requests) == 5
+    assert all(r.one_time for r in requests)
+
+
+def test_batch_size_sweep_matches_fig9_axis():
+    assert batch_size_sweep(5) == [1, 10, 100, 1000, 10_000, 100_000]
+    assert batch_size_sweep(2) == [1, 10, 100]
+
+
+# --- synthetic traces (Tab. IV sizing input) -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return synthetic_popular_contract_traces(duration_seconds=1800, seed=7)
+
+
+def test_ten_popular_contracts_are_modelled(traces):
+    assert len(traces) == 10
+    names = {t.name for t in traces}
+    assert "CryptoKitties" in names
+
+
+def test_average_peak_is_about_35_tx_per_second(traces):
+    assert average_peak_rate(traces) == pytest.approx(35.0, abs=2.0)
+
+
+def test_cryptokitties_peak_is_the_highest(traces):
+    kitties = next(t for t in traces if t.name == "CryptoKitties")
+    assert kitties.peak_tx_per_second == max(t.peak_tx_per_second for t in traces)
+    assert kitties.peak_tx_per_second == pytest.approx(48.0, abs=1.0)
+
+
+def test_traces_have_positive_traffic_and_bursts(traces):
+    for trace in traces:
+        assert trace.duration_seconds == 1800
+        assert trace.total_transactions > 0
+        assert trace.observed_peak >= 1
+        assert trace.average_rate() < trace.peak_tx_per_second
+
+
+def test_trace_peak_window_rate_between_average_and_peak(traces):
+    trace = traces[0]
+    window = trace.peak_window_rate(60)
+    assert trace.average_rate() <= window + 1e-9
+    assert window <= trace.observed_peak
+
+
+def test_traces_deterministic_per_seed():
+    a = synthetic_popular_contract_traces(duration_seconds=300, seed=1)
+    b = synthetic_popular_contract_traces(duration_seconds=300, seed=1)
+    c = synthetic_popular_contract_traces(duration_seconds=300, seed=2)
+    assert [t.arrivals for t in a] == [t.arrivals for t in b]
+    assert [t.arrivals for t in a] != [t.arrivals for t in c]
+
+
+def test_empty_trace_edge_cases():
+    trace = PopularContractTrace("empty", 1.0, [])
+    assert trace.average_rate() == 0.0
+    assert trace.peak_window_rate() == 0.0
+    assert trace.observed_peak == 0
+    assert average_peak_rate([]) == 0.0
+
+
+# --- cost model --------------------------------------------------------------------------------------
+
+
+def test_gas_to_ether_and_usd_scaling():
+    assert gas_to_ether(0) == 0
+    assert gas_to_usd(2_000_000) == pytest.approx(2 * gas_to_usd(1_000_000))
+    assert ether_to_usd(1.0) == gas.ETH_USD
+
+
+def test_paper_table2_conversion_anchors():
+    # Tab. II reports ~$0.04 for ~166k gas and ~$0.10 for ~416k gas.
+    assert gas_to_usd(165_957) == pytest.approx(0.041, abs=0.02)
+    assert gas_to_usd(416_248) == pytest.approx(0.101, abs=0.04)
+
+
+def test_paper_table4_deployment_anchor():
+    # Tab. IV: 8 849 037 gas is about two dollars.
+    assert gas_to_usd(8_849_037) == pytest.approx(2.14, abs=0.8)
+
+
+def test_usd_formatting():
+    assert usd(0.0412) == "0.041"
+    assert usd(2.1399) == "2.140"
