@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import env_int, report
 from repro.chain import gas
@@ -26,7 +25,6 @@ from repro.core.acr import RuleSet
 from repro.core.replication import ReplicatedTokenService
 from repro.core.smacs_contract import SMACSContract, smacs_protected
 from repro.core.token_request import TokenRequest
-from repro.contracts.protected_target import ProtectedRecorder
 from repro.crypto.keys import KeyPair
 
 ONE_TIME_CALLS = env_int("SMACS_ABLATION_CALLS", 25)

@@ -10,7 +10,6 @@ update costing no gas, plus a constant ~$0.04-0.10 verification per call).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import env_int, report
 from repro.contracts import OnChainWhitelist, WhitelistedVault

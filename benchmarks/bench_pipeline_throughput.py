@@ -1,0 +1,253 @@
+"""Token-pipeline throughput: serial vs batched vs sharded issuance.
+
+The Fig. 9 harness measures one Token Service against uniform batches; this
+harness measures the *pipeline* against the named scenario mixes
+(flash-sale bursts, adversarial replay storm, multi-contract fan-out) in
+three configurations over the same request stream:
+
+* ``serial``  -- one request per submission (per-request session overhead);
+* ``batched`` -- one submission per scenario batch (amortised overhead);
+* ``sharded`` -- :class:`~repro.core.batch_service.BatchTokenService` with
+  worker shards, per-batch overhead and the shared deterministic-signature
+  cache.
+
+A second micro-benchmark times the packed-word Alg. 2 bitmap against the
+list-of-bits implementation it replaced, over an identical index stream with
+replays, window slides and resets.
+
+Set ``SMACS_PIPELINE_BURST`` / ``SMACS_BITMAP_OPS`` to scale the workloads
+(CI runs a quick configuration).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import env_int, report
+from repro.core import BatchTokenService, TokenService
+from repro.core.acr import RuleSet
+from repro.core.bitmap import ListOfBitsBitmap, OneTimeBitmap
+from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
+from repro.workloads import (
+    ScenarioMix,
+    flash_sale_bursts,
+    multi_contract_fanout,
+    replay_storm,
+)
+
+BURST = env_int("SMACS_PIPELINE_BURST", 48)
+SHARDS = env_int("SMACS_PIPELINE_SHARDS", 4)
+BITMAP_OPS = env_int("SMACS_BITMAP_OPS", 20_000)
+
+TS_KEYPAIR = KeyPair.from_seed("pipeline-ts")
+CONTRACTS = [KeyPair.from_seed(f"pipeline-contract-{i}").address for i in range(4)]
+CLIENTS = [KeyPair.from_seed(f"pipeline-client-{i}").address for i in range(12)]
+
+
+def _scenarios() -> list[ScenarioMix]:
+    flash = flash_sale_bursts(
+        CONTRACTS[0], CLIENTS, bursts=4, burst_size=BURST, seed=11
+    )
+    storm = replay_storm(
+        CONTRACTS[0], CLIENTS,
+        unique_requests=max(BURST // 4, 4), replays_per_request=12,
+        batch_size=BURST, seed=12,
+    )
+    fanout = multi_contract_fanout(
+        CONTRACTS, CLIENTS,
+        requests_per_contract=max(BURST // 2, 8), batch_size=BURST, seed=13,
+    )
+    combined = ScenarioMix(
+        name="combined",
+        batches=flash.batches + storm.batches + fanout.batches,
+        description="flash-sale + replay-storm + fan-out, interleaved by batch",
+    )
+    return [flash, storm, fanout, combined]
+
+
+def _fresh_service() -> TokenService:
+    return TokenService(keypair=TS_KEYPAIR, rules=RuleSet())
+
+
+def _run_serial(mix: ScenarioMix) -> float:
+    service = _fresh_service()
+    requests = mix.flattened()
+    start = time.perf_counter()
+    for request in requests:
+        results = service.submit(request)
+        assert results[0].issued
+    return len(requests) / (time.perf_counter() - start)
+
+
+def _run_batched(mix: ScenarioMix) -> float:
+    service = _fresh_service()
+    start = time.perf_counter()
+    issued = 0
+    for batch in mix.batches:
+        results = service.submit(list(batch))
+        assert all(result.issued for result in results)
+        issued += len(results)
+    return issued / (time.perf_counter() - start)
+
+
+def _run_sharded(mix: ScenarioMix) -> tuple[float, dict]:
+    service = BatchTokenService(
+        keypair=TS_KEYPAIR,
+        rules=RuleSet(),
+        shards=SHARDS,
+        signature_cache=SignatureCache(),
+    )
+    start = time.perf_counter()
+    issued = 0
+    for batch in mix.batches:
+        results = service.submit_batch(list(batch))
+        assert all(result.issued for result in results)
+        issued += len(results)
+    return issued / (time.perf_counter() - start), service.stats()
+
+
+def test_pipeline_throughput_serial_vs_batched_vs_sharded(benchmark):
+    table: dict[str, dict[str, float]] = {}
+    stats: dict[str, dict] = {}
+
+    def run():
+        for mix in _scenarios():
+            serial = _run_serial(mix)
+            batched = _run_batched(mix)
+            sharded, shard_stats = _run_sharded(mix)
+            table[mix.name] = {"serial": serial, "batched": batched, "sharded": sharded}
+            stats[mix.name] = shard_stats
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Pipeline throughput (tokens issued per second, same request stream)",
+        f"{'scenario':<24}{'serial':>12}{'batched':>12}{'sharded':>12}"
+        f"{'batch x':>10}{'shard x':>10}",
+    ]
+    data: dict[str, dict] = {}
+    for name, row in table.items():
+        batch_speedup = row["batched"] / row["serial"]
+        shard_speedup = row["sharded"] / row["serial"]
+        lines.append(
+            f"{name:<24}{row['serial']:>12.1f}{row['batched']:>12.1f}"
+            f"{row['sharded']:>12.1f}{batch_speedup:>10.2f}{shard_speedup:>10.2f}"
+        )
+        data[name] = {
+            **{k: round(v, 1) for k, v in row.items()},
+            "batched_speedup": round(batch_speedup, 2),
+            "sharded_speedup": round(shard_speedup, 2),
+            "signature_cache": stats[name]["signature_cache"],
+            "shard_loads": stats[name]["shard_loads"],
+        }
+    report("pipeline_throughput", lines, data=data)
+    benchmark.extra_info.update(
+        {f"{name}_sharded_speedup": data[name]["sharded_speedup"] for name in data}
+    )
+
+    for name, row in table.items():
+        # Amortising the session overhead must always pay.
+        assert row["batched"] > row["serial"], name
+        assert row["sharded"] > row["serial"], name
+    # Acceptance: the batched+sharded pipeline sustains >= 3x serial issuance
+    # on the same workload; the replay storm (where the signature cache bites
+    # hardest) carries the hard bound, the mixed stream a conservative one.
+    assert table["replay-storm"]["sharded"] >= 3.0 * table["replay-storm"]["serial"]
+    assert table["combined"]["sharded"] >= 2.5 * table["combined"]["serial"]
+    # The deterministic-signature cache must actually be hitting under replay.
+    assert stats["replay-storm"]["signature_cache"]["hit_rate"] > 0.5
+
+
+def test_sharded_issuance_matches_serial_decisions(benchmark):
+    """Same workload, same accept/deny decisions -- speed must not change policy."""
+    mix = _scenarios()[1]  # replay storm
+    serial_service = _fresh_service()
+    sharded_service = BatchTokenService(
+        keypair=TS_KEYPAIR, rules=RuleSet(), shards=SHARDS,
+        signature_cache=SignatureCache(),
+    )
+
+    def run():
+        serial = [serial_service.try_issue(r) for r in mix.flattened()]
+        sharded = sharded_service.submit_stream(mix.flattened(), batch_size=BURST)
+        return serial, sharded
+
+    serial, sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [r.issued for r in serial] == [r.issued for r in sharded]
+
+
+# --- packed-word bitmap vs the list-of-bits baseline --------------------------
+
+
+def _bitmap_index_stream(size: int, ops: int, seed: int = 5) -> list[int]:
+    """Replays, slides and resets over a mostly-dense window."""
+    import random
+
+    rng = random.Random(seed)
+    cursor = 0
+    stream = []
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.45:  # the intended workload: the next consecutive index
+            stream.append(cursor)
+            cursor += 1
+        elif roll < 0.70:  # replay attack on a recently used index
+            stream.append(rng.randint(max(0, cursor - size // 2), max(cursor, 1)))
+        elif roll < 0.95:  # burst gap: slide the window (exercises seek)
+            cursor += size // 3
+            stream.append(cursor)
+            cursor += 1
+        else:  # long quiet period: far jump (exercises reset)
+            cursor += 3 * size
+            stream.append(cursor)
+            cursor += 1
+    return stream
+
+
+def test_bitmap_mark_used_packed_beats_list(benchmark):
+    size = 16_384
+    stream = _bitmap_index_stream(size, BITMAP_OPS)
+
+    def timed(bitmap) -> tuple[float, list[bool]]:
+        decisions = []
+        start = time.perf_counter()
+        for index in stream:
+            decisions.append(bitmap.mark_used(index))
+        return time.perf_counter() - start, decisions
+
+    results = {}
+
+    def run():
+        results["list"] = timed(ListOfBitsBitmap(size))
+        results["packed"] = timed(OneTimeBitmap(size=size))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    list_elapsed, list_decisions = results["list"]
+    packed_elapsed, packed_decisions = results["packed"]
+    assert packed_decisions == list_decisions  # same Alg. 2 semantics
+
+    list_rate = len(stream) / list_elapsed
+    packed_rate = len(stream) / packed_elapsed
+    speedup = packed_rate / list_rate
+    report(
+        "bitmap_mark_used",
+        [
+            "Alg. 2 mark_used micro-benchmark (replay + slide + reset mix)",
+            f"{'storage':<16}{'ops/s':>14}",
+            f"{'list-of-bits':<16}{list_rate:>14.0f}",
+            f"{'packed-words':<16}{packed_rate:>14.0f}",
+            f"speedup: {speedup:.2f}x over {len(stream)} ops, size {size}",
+        ],
+        data={
+            "size": size,
+            "ops": len(stream),
+            "list_ops_per_sec": round(list_rate),
+            "packed_ops_per_sec": round(packed_rate),
+            "speedup": round(speedup, 2),
+        },
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    # Acceptance: a measurable improvement over the list-based seed.
+    assert speedup > 1.15

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import env_int, report
 from repro.chain import Blockchain
-from repro.contracts import Bank, SMACSBank
+from repro.contracts import SMACSBank
 from repro.core import TokenService, TokenType
 from repro.core.acr import RuleSet, RuntimeVerificationRule
 from repro.core.token_request import TokenRequest

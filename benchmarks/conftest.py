@@ -2,14 +2,19 @@
 
 Each benchmark module regenerates one table or figure of the paper's
 evaluation (§VI).  Besides the pytest-benchmark timings, every harness prints
-its reproduced table and writes it to ``benchmarks/results/<name>.txt`` so the
-numbers are inspectable after a ``--benchmark-only`` run (where stdout is
-captured).  EXPERIMENTS.md records a reference run next to the paper's
-numbers.
+its reproduced table and writes it to ``benchmarks/results/<name>.txt``
+(human-readable) and ``benchmarks/results/BENCH_<name>.json`` (machine
+readable; uploaded as a CI artifact) so the numbers are inspectable after a
+``--benchmark-only`` run (where stdout is captured).  EXPERIMENTS.md records
+a reference run next to the paper's numbers.
+
+Every test collected from this directory is tagged with the ``bench`` marker
+so the CI lanes can select or exclude the harnesses wholesale.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -25,12 +30,33 @@ RESULTS_DIR = Path(__file__).parent / "results"
 ETHER = 10**18
 
 
-def report(name: str, lines: "list[str]") -> None:
-    """Print a reproduced table and persist it under benchmarks/results/."""
+def report(name: str, lines: "list[str]", data: "dict | None" = None) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/.
+
+    Writes both the plain-text table and a ``BENCH_<name>.json`` document;
+    ``data`` carries any structured numbers the harness wants machine-read
+    (CI uploads the JSON files as artifacts).
+    """
     text = "\n".join(lines)
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    document = {"name": name, "lines": lines, "data": data or {}}
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every harness in this directory with the ``bench`` marker."""
+    here = Path(__file__).parent
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).is_relative_to(here)
+        except ValueError:  # pragma: no cover - foreign rootdir layouts
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

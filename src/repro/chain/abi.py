@@ -15,6 +15,7 @@ realistic and so that any change to the arguments changes ``msg.data``.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any
 
 from repro.chain.address import is_address
@@ -24,8 +25,14 @@ SELECTOR_SIZE = 4
 WORD = 32
 
 
+@lru_cache(maxsize=4096)
 def method_selector(method_name: str) -> bytes:
-    """Return the 4-byte selector for a method name (``msg.sig``)."""
+    """Return the 4-byte selector for a method name (``msg.sig``).
+
+    Memoized: the selector is a pure function of the name, and the pure-Python
+    keccak behind it is the single most expensive step of datagram
+    construction on the issuance hot path.
+    """
     return keccak256(method_name.encode())[:SELECTOR_SIZE]
 
 

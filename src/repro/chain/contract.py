@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterator, TYPE_CHECKING
 
 from repro.chain import gas
 from repro.chain.address import Address, address_hex
-from repro.chain.errors import Revert, VisibilityError
+from repro.chain.errors import Revert
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.chain.evm import Env

@@ -34,6 +34,7 @@ from repro.chain.errors import (
 from repro.chain.events import LogEntry
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
+from repro.crypto.sigcache import DEFAULT_SIGNATURE_CACHE, SignatureCache
 
 
 @dataclass
@@ -228,8 +229,19 @@ class CallTracer:
 class ExecutionEngine:
     """Executes transactions and message calls against the world state."""
 
-    def __init__(self, state: WorldState | None = None):
+    def __init__(
+        self,
+        state: WorldState | None = None,
+        signature_cache: SignatureCache | None = None,
+    ):
         self.state = state if state is not None else WorldState()
+        # Node-level memo for ``ecrecover`` results, shared with the Token
+        # Service issuance path by default (see repro.crypto.sigcache).  Gas
+        # metering is unaffected; pass a private instance to isolate
+        # cache-hit measurements.
+        self.signature_cache = (
+            signature_cache if signature_cache is not None else DEFAULT_SIGNATURE_CACHE
+        )
         self.contracts: dict[Address, Contract] = {}
         # Who deployed each contract (public chain data, used e.g. by the
         # ECFChecker rule to find contracts controlled by a token requester).

@@ -3,6 +3,12 @@
 Only ``ecrecover`` is needed by SMACS: the on-chain token verification
 (Alg. 1) recovers the Token Service address from the token signature and
 compares it with the address stored at deployment time.
+
+Recovery results are memoized in the execution engine's
+:class:`~repro.crypto.sigcache.SignatureCache` (a node-level optimisation:
+the same token signature verified twice costs the curve math once).  The
+precompile's gas cost is charged on every call regardless -- caching is
+invisible to the protocol's cost model.
 """
 
 from __future__ import annotations
@@ -20,6 +26,10 @@ def ecrecover(env: "object", digest: bytes, signature: Signature) -> Address:
     signature rather than raising.
     """
     env.meter.charge(gas.CALL_BASE + gas.ECRECOVER_PRECOMPILE)
+    cache = getattr(env.evm, "signature_cache", None)
+    if cache is not None:
+        recovered = cache.recover(digest, signature)
+        return recovered if recovered is not None else ZERO_ADDRESS
     try:
         return recover_address(digest, signature)
     except SignatureError:

@@ -12,7 +12,7 @@ state (term, vote, log) survives a crash, which matches Raft's assumptions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.consensus.log import LogEntry, RaftLog

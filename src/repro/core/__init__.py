@@ -27,6 +27,11 @@ from repro.core.acr import (
     WhitelistRule,
 )
 from repro.core.token_service import TokenService, TokenDenied
+from repro.core.batch_service import (
+    BatchTokenService,
+    IndexBlockAllocator,
+    ShardCounter,
+)
 from repro.core.smacs_contract import SMACSContract, smacs_protected
 from repro.core.call_chain import TokenBundle
 from repro.core.wallet import ClientWallet, OwnerWallet
@@ -40,6 +45,9 @@ __all__ = [
     "TokenBundle",
     "TokenService",
     "TokenDenied",
+    "BatchTokenService",
+    "IndexBlockAllocator",
+    "ShardCounter",
     "OneTimeBitmap",
     "ONE_TIME_UNSET",
     "SMACSContract",

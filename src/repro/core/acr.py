@@ -22,7 +22,7 @@ flexibility/extensibility goal of §III-B.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, TYPE_CHECKING
 
 from repro.chain.address import Address, to_address

@@ -16,15 +16,31 @@ tokens holding such indexes are rejected even if never used -- the paper
 calls this a *token miss* and sizes the bitmap as
 ``token_lifetime × max_tx_per_second`` bits to avoid it (§IV-C, Tab. IV).
 
-Two faithful notes on Alg. 2 as printed:
+The bit array is stored packed, 256 bits per Python integer word -- the same
+packing the on-chain incarnation uses for its 32-byte storage slots -- so
+``mark``/``test`` touch a single word and ``seek``/``reset`` run word-at-a-time
+with integer bit tricks instead of per-bit Python loops.  The public API
+(including the ``snapshot()`` schema and the ``bits`` list view) is unchanged
+from the list-of-bits implementation it replaces.
+
+Three faithful notes on Alg. 2 as printed:
 
 * the reset branch (``i > end + n``) does not mark index ``i`` as used in the
   pseudo-code; that would let the very token that triggered the reset be
   replayed once, so this implementation sets its bit (the evident intent);
 * ``seek()`` may find no suitable cell (every candidate bit is stale-1); the
-  paper leaves this case implicit and we fall back to the reset branch.
+  paper leaves this case implicit and we fall back to the reset branch;
+* when ``seek()`` skips past stale-1 cells (returns ``j`` beyond
+  ``startPtr + (i - end)``), the pseudo-code keeps ``start = i - n + 1`` while
+  moving ``startPtr`` to ``j``.  That desynchronises the circular mapping:
+  indexes that remain inside the window change cells, so an already-used
+  index can land on a clear cell and be accepted twice.  This implementation
+  slides ``start`` by the full seek distance as well, keeping the
+  index-to-cell mapping consistent (the window then overshoots ``i`` by the
+  number of skipped stale cells, which only ever turns double-spends into
+  misses).
 
-Both notes are covered by dedicated unit tests.
+All three notes are covered by dedicated unit and property tests.
 
 This module is the *pure* algorithm (used directly by the property-based
 tests and by the Token Service for miss-rate modelling); the on-chain,
@@ -32,29 +48,50 @@ gas-metered incarnation lives in
 :class:`repro.core.smacs_contract.SMACSContract`.
 """
 
-from __future__ import annotations
+WORD_BITS = 256  # one EVM storage slot worth of bits per packed word
+_WORD_MASK = (1 << WORD_BITS) - 1
 
-from dataclasses import dataclass, field
 
-
-@dataclass
 class OneTimeBitmap:
-    """In-memory implementation of the Alg. 2 state machine."""
+    """In-memory implementation of the Alg. 2 state machine (packed words)."""
 
-    size: int
-    bits: list[int] = field(default_factory=list)
-    start: int = 0
-    start_ptr: int = 0
+    __slots__ = ("size", "start", "start_ptr", "_words")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
+    def __init__(
+        self,
+        size: int,
+        bits: "list[int] | None" = None,
+        start: int = 0,
+        start_ptr: int = 0,
+    ):
+        if size <= 0:
             raise ValueError("bitmap size must be positive")
-        if not self.bits:
-            self.bits = [0] * self.size
-        if len(self.bits) != self.size:
-            raise ValueError("bits length must equal size")
+        self.size = size
+        self.start = start
+        self.start_ptr = start_ptr
+        word_count = (size + WORD_BITS - 1) // WORD_BITS
+        if bits is None:
+            self._words = [0] * word_count
+        else:
+            if len(bits) != size:
+                raise ValueError("bits length must equal size")
+            self._words = [0] * word_count
+            for cell, bit in enumerate(bits):
+                if bit:
+                    self._words[cell // WORD_BITS] |= 1 << (cell % WORD_BITS)
 
     # -- derived state -------------------------------------------------------
+
+    @property
+    def bits(self) -> list[int]:
+        """The circular bit array as a plain list (API/snapshot compatibility)."""
+        out = []
+        remaining = self.size
+        for word in self._words:
+            for offset in range(min(WORD_BITS, remaining)):
+                out.append((word >> offset) & 1)
+            remaining -= WORD_BITS
+        return out
 
     @property
     def end(self) -> int:
@@ -72,28 +109,47 @@ class OneTimeBitmap:
 
     def is_marked(self, index: int) -> bool:
         """Whether the bit for an in-window index is set."""
-        return self.bits[self.cell_for(index)] == 1
+        return self._get_bit(self.cell_for(index)) == 1
+
+    # -- packed-word primitives ----------------------------------------------
+
+    def _get_bit(self, cell: int) -> int:
+        return (self._words[cell // WORD_BITS] >> (cell % WORD_BITS)) & 1
+
+    def _set_bit(self, cell: int) -> None:
+        self._words[cell // WORD_BITS] |= 1 << (cell % WORD_BITS)
 
     # -- Alg. 2 --------------------------------------------------------------------
 
-    def _seek(self, index: int) -> int | None:
+    def _seek(self, index: int) -> "int | None":
         """The paper's ``seek(S, i, end, startPtr)``.
 
         Returns the smallest cell ``j`` such that ``S[j] = 0`` and
         ``i - end <= j - startPtr``, or ``None`` when no such cell exists.
+        Scans word-at-a-time: each packed word is tested for a clear bit with
+        integer ops rather than a per-cell loop.
         """
-        shift = index - self.end
-        for j in range(self.start_ptr + shift, self.size):
-            if self.bits[j] == 0:
-                return j
+        low = self.start_ptr + (index - self.end)
+        if low >= self.size:
+            return None
+        word_index = low // WORD_BITS
+        for wi in range(word_index, len(self._words)):
+            free = ~self._words[wi] & _WORD_MASK
+            base = wi * WORD_BITS
+            if base < low:
+                free &= _WORD_MASK ^ ((1 << (low - base)) - 1)
+            if base + WORD_BITS > self.size:
+                free &= (1 << (self.size - base)) - 1
+            if free:
+                return base + (free & -free).bit_length() - 1
         return None
 
     def _reset(self, index: int) -> bool:
-        self.bits = [0] * self.size
+        self._words = [0] * len(self._words)
         self.start_ptr = 0
         self.start = index
         # Mark the triggering index as used (see the module docstring).
-        self.bits[0] = 1
+        self._words[0] = 1
         return True
 
     def mark_used(self, index: int) -> bool:
@@ -108,20 +164,31 @@ class OneTimeBitmap:
         if index < self.start:
             return False  # token miss: the window already slid past it
 
-        if index <= self.end:
-            cell = self.cell_for(index)
-            if self.bits[cell] == 1:
+        end = self.end
+        if index <= end:
+            cell = (self.start_ptr + index - self.start) % self.size
+            word_index, offset = divmod(cell, WORD_BITS)
+            mask = 1 << offset
+            if self._words[word_index] & mask:
                 return False
-            self.bits[cell] = 1
+            self._words[word_index] |= mask
             return True
 
-        if index <= self.end + self.size:
+        if index <= end + self.size:
+            shift = index - end
             new_start_ptr = self._seek(index)
             if new_start_ptr is None:
                 return self._reset(index)
+            # Slide `start` by the same distance as `start_ptr` so the
+            # index-to-cell mapping of surviving window entries is preserved
+            # (see the module docstring -- the safety fix over the printed
+            # pseudo-code).  The cell of `index` itself is then the cell just
+            # below the seek floor, and is marked unconditionally: `index`
+            # lies above the old window, so it was never accepted before.
+            extra = new_start_ptr - (self.start_ptr + shift)
+            self._set_bit((self.start_ptr + shift - 1) % self.size)
             self.start_ptr = new_start_ptr
-            self.start = index - self.size + 1
-            self.bits[self.end_ptr] = 1
+            self.start = index - self.size + 1 + extra
             return True
 
         return self._reset(index)
@@ -129,21 +196,101 @@ class OneTimeBitmap:
     # -- introspection helpers ----------------------------------------------------------
 
     def used_count(self) -> int:
-        return sum(self.bits)
+        return sum(word.bit_count() for word in self._words)
 
-    def window(self) -> tuple[int, int]:
+    def window(self) -> tuple:
         return (self.start, self.end)
 
     def snapshot(self) -> dict:
         """Serializable view of the full state tuple (for persistence tests)."""
         return {
             "size": self.size,
-            "bits": list(self.bits),
+            "bits": self.bits,
             "start": self.start,
             "start_ptr": self.start_ptr,
             "end": self.end,
             "end_ptr": self.end_ptr,
         }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "OneTimeBitmap":
+        """Rebuild a bitmap from a :meth:`snapshot` dict (persistence)."""
+        return cls(
+            size=snapshot["size"],
+            bits=list(snapshot["bits"]),
+            start=snapshot["start"],
+            start_ptr=snapshot["start_ptr"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OneTimeBitmap(size={self.size}, start={self.start}, "
+            f"start_ptr={self.start_ptr}, used={self.used_count()})"
+        )
+
+
+class ListOfBitsBitmap:
+    """Plain list-of-bits Alg. 2 model (the storage layout this module's
+    packed implementation replaced).
+
+    Kept as the executable specification: the property suite asserts the
+    packed :class:`OneTimeBitmap` is state-equivalent to this model over
+    random index streams, and the pipeline micro-benchmark measures the
+    packed layout against it.  Semantics (including the window-slide
+    consistency fix) must match :class:`OneTimeBitmap` exactly; only the
+    storage differs.
+    """
+
+    __slots__ = ("size", "bits", "start", "start_ptr")
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("bitmap size must be positive")
+        self.size = size
+        self.bits = [0] * size
+        self.start = 0
+        self.start_ptr = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size - 1
+
+    def _seek(self, index: int) -> "int | None":
+        for j in range(self.start_ptr + index - self.end, self.size):
+            if self.bits[j] == 0:
+                return j
+        return None
+
+    def _reset(self, index: int) -> bool:
+        self.bits = [0] * self.size
+        self.start_ptr = 0
+        self.start = index
+        self.bits[0] = 1
+        return True
+
+    def mark_used(self, index: int) -> bool:
+        if index < 0:
+            raise ValueError("one-time indexes are non-negative")
+        if index < self.start:
+            return False
+        end = self.end
+        if index <= end:
+            cell = (self.start_ptr + index - self.start) % self.size
+            if self.bits[cell]:
+                return False
+            self.bits[cell] = 1
+            return True
+        if index <= end + self.size:
+            shift = index - end
+            j = self._seek(index)
+            if j is None:
+                return self._reset(index)
+            extra = j - (self.start_ptr + shift)
+            self.bits[(self.start_ptr + shift - 1) % self.size] = 1
+            self.start_ptr = j
+            self.start = index - self.size + 1 + extra
+            return True
+        return self._reset(index)
 
 
 def required_bitmap_bits(token_lifetime_seconds: float, max_tx_per_second: float) -> int:

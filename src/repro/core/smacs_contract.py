@@ -31,7 +31,7 @@ import functools
 import inspect
 from typing import Any, Callable
 
-from repro.chain import abi, gas
+from repro.chain import abi
 from repro.chain.address import Address
 from repro.chain.contract import Contract
 from repro.core import verifier
@@ -191,10 +191,26 @@ class SMACSContract(Contract):
             self._set_bitmap_word(word_index, 0)
 
     def _bitmap_seek(self, size: int, start_ptr: int, shift: int) -> int | None:
-        """On-chain ``seek``: smallest clear cell ``j`` with ``j - startPtr >= shift``."""
-        for cell in range(start_ptr + shift, size):
-            if self._bitmap_get_bit(cell) == 0:
-                return cell
+        """On-chain ``seek``: smallest clear cell ``j`` with ``j - startPtr >= shift``.
+
+        Scans the packed bitmap one 256-bit storage word at a time (a single
+        SLOAD per word) and finds the clear bit with integer ops, instead of
+        issuing one SLOAD per candidate cell.
+        """
+        low = start_ptr + shift
+        if low >= size:
+            return None
+        full_word = (1 << _WORD_BITS) - 1
+        last_word = (size - 1) // _WORD_BITS
+        for word_index in range(low // _WORD_BITS, last_word + 1):
+            free = ~self._bitmap_word(word_index) & full_word
+            base = word_index * _WORD_BITS
+            if base < low:
+                free &= full_word ^ ((1 << (low - base)) - 1)
+            if base + _WORD_BITS > size:
+                free &= (1 << (size - base)) - 1
+            if free:
+                return base + (free & -free).bit_length() - 1
         return None
 
     def _bitmap_mark_used(self, index: int) -> bool:
@@ -232,10 +248,14 @@ class SMACSContract(Contract):
             new_start_ptr = self._bitmap_seek(size, start_ptr, shift)
             if new_start_ptr is None:
                 return self._bitmap_reset(size, index)
-            new_start = index - size + 1
-            end_ptr = (new_start_ptr + size - 1) % size
-            self._bitmap_set_bit(end_ptr)
-            self.storage[_BITMAP_START_SLOT] = new_start
+            # Slide `start` by the same distance as `startPtr` so surviving
+            # window entries keep their cells; `index`'s own cell is the one
+            # just below the seek floor and is set unconditionally (it lies
+            # above the old window, so it was never accepted).  Mirrors the
+            # safety fix in :mod:`repro.core.bitmap` over the printed Alg. 2.
+            extra = new_start_ptr - (start_ptr + shift)
+            self._bitmap_set_bit((start_ptr + shift - 1) % size)
+            self.storage[_BITMAP_START_SLOT] = index - size + 1 + extra
             self.storage[_BITMAP_START_PTR_SLOT] = new_start_ptr
             return True
 

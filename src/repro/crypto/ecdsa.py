@@ -18,9 +18,7 @@ from dataclasses import dataclass
 
 from repro.crypto import secp256k1
 from repro.crypto.secp256k1 import (
-    GENERATOR,
     N,
-    P,
     Point,
     generator_multiply,
     lift_x,

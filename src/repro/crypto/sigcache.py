@@ -1,0 +1,177 @@
+"""A shared LRU cache for the expensive ECDSA operations on the hot path.
+
+Both halves of the SMACS pipeline are dominated by secp256k1 point math:
+
+* the Token Service signs one digest per issued token (and one per front-end
+  session), and
+* the contract-side verifier recovers the signer address from every token
+  signature via the ``ecrecover`` precompile.
+
+Signing is RFC-6979 deterministic (:mod:`repro.crypto.ecdsa`), so a
+``(signer, digest) -> signature`` memo returns byte-identical signatures, and
+address recovery is a pure function of ``(digest, signature)``.  Caching both
+is therefore semantically invisible -- it never changes an accept/reject
+decision, only skips redundant curve operations when the same token (or the
+same request payload) is seen again, as happens constantly under replayed
+workloads and batched issuance.
+
+Gas accounting is unaffected: the on-chain verifier still charges the full
+``ecrecover`` precompile cost on every call (the cache models a node-level
+optimisation, not a protocol change).
+
+One process-wide :data:`DEFAULT_SIGNATURE_CACHE` is shared by default between
+the :class:`~repro.core.batch_service.BatchTokenService` issuance path and
+the execution engine's verifier path
+(:func:`repro.chain.precompiles.ecrecover`); both accept a private instance
+for isolated measurements.
+"""
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.crypto.ecdsa import Signature, SignatureError
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import recover_address
+
+_RECOVER_FAILED = object()  # cached sentinel for unrecoverable signatures
+
+
+class SignatureCache:
+    """LRU memo for signature recovery and deterministic signing.
+
+    ``maxsize`` bounds each of the two internal maps independently; the
+    eviction policy is least-recently-used.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("cache size must be positive")
+        self.maxsize = maxsize
+        self._recovered: "OrderedDict[tuple, object]" = OrderedDict()
+        self._signatures: "OrderedDict[tuple, Signature]" = OrderedDict()
+        self._digests: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._derived: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- internal LRU plumbing ------------------------------------------------
+
+    def _lookup(self, table: OrderedDict, key: tuple):
+        try:
+            value = table[key]
+        except KeyError:
+            self.misses += 1
+            return None, False
+        table.move_to_end(key)
+        self.hits += 1
+        return value, True
+
+    def _store(self, table: OrderedDict, key: tuple, value) -> None:
+        table[key] = value
+        if len(table) > self.maxsize:
+            table.popitem(last=False)
+
+    # -- recovery (the verifier path) -----------------------------------------
+
+    def recover(self, digest: bytes, signature: Signature) -> "bytes | None":
+        """Memoized :func:`repro.crypto.keys.recover_address`.
+
+        Returns the 20-byte signer address, or ``None`` when the signature is
+        unrecoverable (the caller maps that to the zero address, mirroring
+        Solidity's ``ecrecover``).  Failures are cached too, so a replay storm
+        of forged tokens cannot force repeated curve work.
+        """
+        key = (digest, signature.r, signature.s, signature.v)
+        value, found = self._lookup(self._recovered, key)
+        if found:
+            return None if value is _RECOVER_FAILED else value
+        try:
+            address = recover_address(digest, signature)
+        except SignatureError:
+            self._store(self._recovered, key, _RECOVER_FAILED)
+            return None
+        self._store(self._recovered, key, address)
+        return address
+
+    # -- signing (the issuance path) ------------------------------------------
+
+    def signature_for(self, keypair, digest: bytes) -> Signature:
+        """Memoized ``keypair.sign(digest)``.
+
+        Sound because signing is RFC-6979 deterministic: the cached signature
+        is byte-identical to a fresh one.  Keyed by the signer address so a
+        cache can safely be shared between services with different keys.
+        """
+        key = (keypair.address, digest)
+        value, found = self._lookup(self._signatures, key)
+        if found:
+            return value
+        signature = keypair.sign(digest)
+        self._store(self._signatures, key, signature)
+        return signature
+
+    def digest_for(self, datagram: bytes) -> bytes:
+        """Memoized ``keccak256(datagram)`` -- the token ``signing_digest``.
+
+        The pure-Python keccak costs as much as the ECDSA sign itself, so
+        replayed datagrams should pay it once.
+        """
+        value, found = self._lookup(self._digests, datagram)
+        if found:
+            return value
+        digest = keccak256(datagram)
+        self._store(self._digests, datagram, digest)
+        return digest
+
+    def memoize(self, key: tuple, factory: Callable):
+        """Generic LRU memo for derived issuance artefacts.
+
+        The batched Token Service keys fully-built non-one-time tokens by
+        ``(signer, expire, request bytes)``: a replayed request inside the
+        same lifetime window reproduces a byte-identical token, so the whole
+        datagram/digest/sign chain collapses to one lookup.
+        """
+        value, found = self._lookup(self._derived, key)
+        if found:
+            return value
+        value = factory()
+        self._store(self._derived, key, value)
+        return value
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self._recovered)
+            + len(self._signatures)
+            + len(self._digests)
+            + len(self._derived)
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "recovered_entries": len(self._recovered),
+            "signature_entries": len(self._signatures),
+            "digest_entries": len(self._digests),
+            "derived_entries": len(self._derived),
+        }
+
+    def clear(self) -> None:
+        self._recovered.clear()
+        self._signatures.clear()
+        self._digests.clear()
+        self._derived.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache shared by the batch issuance and on-chain verifier paths.
+DEFAULT_SIGNATURE_CACHE = SignatureCache()

@@ -8,12 +8,23 @@
   size the one-time bitmap (peak ≈ 35 tx/s, §VI-A and Tab. IV).
 """
 
-from repro.workloads.generator import TokenRequestWorkload, WorkloadConfig
+from repro.workloads.generator import (
+    ScenarioMix,
+    TokenRequestWorkload,
+    WorkloadConfig,
+    flash_sale_bursts,
+    multi_contract_fanout,
+    replay_storm,
+)
 from repro.workloads.traces import PopularContractTrace, synthetic_popular_contract_traces
 
 __all__ = [
+    "ScenarioMix",
     "TokenRequestWorkload",
     "WorkloadConfig",
+    "flash_sale_bursts",
+    "multi_contract_fanout",
+    "replay_storm",
     "PopularContractTrace",
     "synthetic_popular_contract_traces",
 ]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chain import Blockchain, Contract, external, internal, payable, private, public
+from repro.chain import Contract, external, internal, payable, private, public
 from repro.chain.contract import StorageView, is_payable, method_visibility
 from repro.chain.errors import Revert
 

@@ -1,6 +1,5 @@
 """Unit tests for Access Control Rules and rule sets (§IV-E, Fig. 6)."""
 
-import pytest
 
 from repro.core.acr import (
     AccessDecision,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.contracts.call_chain_demo import ChainContract, build_call_chain
+from repro.contracts.call_chain_demo import build_call_chain
 from repro.core import ClientWallet, TokenBundle, TokenService, TokenType
 from repro.core.call_chain import normalise_token_argument
 from repro.core.token import TOKEN_SIZE, Token

@@ -5,11 +5,9 @@ embedded token -> contract-side verification -> method body execution, and
 check every rejection branch of Alg. 1 plus the gas-category accounting.
 """
 
-import pytest
 
 from repro.core import TokenType
 from repro.core.token import ONE_TIME_UNSET, Token, signing_digest
-from repro.crypto.ecdsa import Signature
 from repro.crypto.keys import KeyPair
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ClientWallet, OwnerWallet, TokenType
+from repro.core import ClientWallet, TokenType
 from repro.core.acr import WhitelistRule
 from repro.core.replication import NoReplicaAvailable, ReplicatedTokenService
 from repro.core.token_request import TokenRequest

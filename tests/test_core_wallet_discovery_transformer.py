@@ -7,14 +7,12 @@ from repro.contracts.protected_target import ProtectedRecorder
 from repro.core import (
     ClientWallet,
     OwnerWallet,
-    TokenService,
     TokenType,
     make_smacs_enabled,
 )
 from repro.core.discovery import ServiceDiscovery
 from repro.core.smacs_contract import SMACSContract
 from repro.core.wallet import NoTokenServiceKnown
-from repro.crypto.keys import KeyPair
 
 
 # --- wallets -------------------------------------------------------------------------

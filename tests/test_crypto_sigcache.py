@@ -1,0 +1,116 @@
+"""The LRU signature-verification cache (repro.crypto.sigcache)."""
+
+import pytest
+
+from repro.core import TokenType
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import KeyPair, recover_address
+from repro.crypto.sigcache import DEFAULT_SIGNATURE_CACHE, SignatureCache
+
+KEYPAIR = KeyPair.from_seed("sigcache-key")
+DIGEST = keccak256(b"sigcache-digest")
+
+
+def test_signature_for_matches_fresh_signing():
+    cache = SignatureCache()
+    cached = cache.signature_for(KEYPAIR, DIGEST)
+    assert cached == KEYPAIR.sign(DIGEST)  # RFC-6979 determinism
+    assert cache.signature_for(KEYPAIR, DIGEST) == cached
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_signature_memo_is_keyed_by_signer():
+    cache = SignatureCache()
+    other = KeyPair.from_seed("sigcache-other")
+    assert cache.signature_for(KEYPAIR, DIGEST) != cache.signature_for(other, DIGEST)
+
+
+def test_recover_matches_direct_recovery_and_caches():
+    cache = SignatureCache()
+    signature = KEYPAIR.sign(DIGEST)
+    expected = recover_address(DIGEST, signature)
+    assert cache.recover(DIGEST, signature) == expected == KEYPAIR.address
+    assert cache.recover(DIGEST, signature) == expected
+    assert cache.hits == 1
+
+
+def test_unrecoverable_signatures_return_none_and_are_cached():
+    cache = SignatureCache()
+    # A syntactically valid signature that does not recover for this digest
+    # on the flipped parity; brute-force one that actually fails to recover.
+    bogus = Signature(r=2**200, s=2**200, v=0)
+    first = cache.recover(DIGEST, bogus)
+    second = cache.recover(DIGEST, bogus)
+    assert first == second
+    assert cache.hits == 1  # the failure itself was memoised
+
+
+def test_digest_for_matches_keccak():
+    cache = SignatureCache()
+    assert cache.digest_for(b"datagram") == keccak256(b"datagram")
+    assert cache.digest_for(b"datagram") == keccak256(b"datagram")
+    assert cache.hits == 1
+
+
+def test_memoize_calls_factory_once():
+    cache = SignatureCache()
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "token"
+
+    assert cache.memoize(("k",), factory) == "token"
+    assert cache.memoize(("k",), factory) == "token"
+    assert calls == [1]
+
+
+def test_lru_eviction_bounds_each_table():
+    cache = SignatureCache(maxsize=4)
+    for i in range(10):
+        cache.digest_for(bytes([i]))
+    assert len(cache) == 4
+    # The oldest entry was evicted: recomputing it is a miss again.
+    misses_before = cache.misses
+    cache.digest_for(bytes([0]))
+    assert cache.misses == misses_before + 1
+
+
+def test_stats_and_clear():
+    cache = SignatureCache()
+    cache.digest_for(b"x")
+    cache.digest_for(b"x")
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["digest_entries"] == 1
+    cache.clear()
+    assert len(cache) == 0 and cache.hit_rate == 0.0
+
+
+def test_invalid_maxsize_rejected():
+    with pytest.raises(ValueError):
+        SignatureCache(maxsize=0)
+
+
+def test_default_cache_is_shared_with_the_execution_engine():
+    from repro.chain.evm import ExecutionEngine
+
+    assert ExecutionEngine().signature_cache is DEFAULT_SIGNATURE_CACHE
+    private = SignatureCache()
+    assert ExecutionEngine(signature_cache=private).signature_cache is private
+
+
+def test_verifier_path_uses_the_engine_cache(chain, alice, alice_wallet, recorder):
+    """A token verified on-chain warms the engine's ecrecover memo."""
+    engine_cache = chain.evm.signature_cache
+    lookups_before = engine_cache.hits + engine_cache.misses
+    token = alice_wallet.request_token(recorder, TokenType.METHOD, "submit")
+    first = alice.transact(recorder, "submit", 3, token=token.to_bytes())
+    assert first.success, first.error
+    assert engine_cache.hits + engine_cache.misses > lookups_before
+    hits_before = engine_cache.hits
+    second = alice.transact(recorder, "submit", 4, token=token.to_bytes())
+    assert second.success, second.error
+    assert engine_cache.hits > hits_before  # same signature: recovery memoised

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chain import Blockchain
 from repro.contracts import SMACSAttacker, SMACSBank
 from repro.contracts.protected_target import ProtectedRecorder
 from repro.core import (
@@ -13,7 +12,6 @@ from repro.core import (
     TokenType,
 )
 from repro.core.acr import BlacklistRule, WhitelistRule
-from repro.core.token_request import TokenRequest
 from repro.crypto.keys import KeyPair
 
 ETHER = 10**18

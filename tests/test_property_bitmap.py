@@ -3,11 +3,20 @@
 The safety property SMACS needs from the bitmap is: **no one-time index is
 ever accepted twice**, regardless of arrival order, gaps or resets.  Misses
 (valid tokens rejected) are allowed; double-spends are not.
+
+The packed-word implementation is additionally checked for state equivalence
+against a straightforward list-of-bits reference model, and the
+``snapshot()`` schema for persistence round-trips.
 """
 
+import json
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.bitmap import OneTimeBitmap
+from repro.core.bitmap import ListOfBitsBitmap, OneTimeBitmap
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
 
 index_sequences = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=120)
 bitmap_sizes = st.integers(min_value=1, max_value=64)
@@ -65,3 +74,32 @@ def test_accepted_index_is_marked_if_still_in_window(size, indexes):
     for index in indexes:
         if bitmap.mark_used(index) and bitmap.start <= index <= bitmap.end:
             assert bitmap.is_marked(index)
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=200, deadline=None)
+def test_packed_bitmap_equivalent_to_list_of_bits_reference(size, indexes):
+    """Storage packing must be unobservable: same decisions, same state."""
+    packed = OneTimeBitmap(size=size)
+    reference = ListOfBitsBitmap(size)
+    for index in indexes:
+        assert packed.mark_used(index) == reference.mark_used(index), index
+        assert packed.bits == reference.bits
+        assert packed.start == reference.start
+        assert packed.start_ptr == reference.start_ptr
+
+
+@given(size=bitmap_sizes, indexes=index_sequences)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_json_round_trip_preserves_behaviour(size, indexes):
+    """Persisting and restoring mid-stream must not change any decision."""
+    split = len(indexes) // 2
+    original = OneTimeBitmap(size=size)
+    for index in indexes[:split]:
+        original.mark_used(index)
+
+    restored = OneTimeBitmap.from_snapshot(json.loads(json.dumps(original.snapshot())))
+    assert restored.snapshot() == original.snapshot()
+    for index in indexes[split:]:
+        assert restored.mark_used(index) == original.mark_used(index)
+    assert restored.snapshot() == original.snapshot()

@@ -1,11 +1,11 @@
 """Property-based tests for token encoding, the signed datagram and crypto."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chain import abi
 from repro.core.bitmap import OneTimeBitmap
 from repro.core.token import (
-    ONE_TIME_UNSET,
     Token,
     TokenType,
     signing_datagram,
@@ -13,6 +13,8 @@ from repro.core.token import (
 from repro.crypto.ecdsa import Signature
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import KeyPair, recover_address
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
 
 _KEYPAIR = KeyPair.from_seed("property-test-key")
 

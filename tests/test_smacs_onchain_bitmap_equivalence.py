@@ -5,7 +5,7 @@ import pytest
 from repro.chain.contract import external
 from repro.core import OwnerWallet
 from repro.core.bitmap import OneTimeBitmap
-from repro.core.smacs_contract import SMACSContract, smacs_protected
+from repro.core.smacs_contract import SMACSContract
 
 
 class BitmapProbe(SMACSContract):

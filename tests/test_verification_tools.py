@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chain import Blockchain
 from repro.contracts import Bank, Attacker
 from repro.contracts.protected_target import ProtectedRecorder
 from repro.core import OwnerWallet, TokenService, TokenType
