@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail CI when end-to-end throughput regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_end_to_end_regression.py \
+        benchmarks/baselines/BENCH_end_to_end.json \
+        benchmarks/results/BENCH_end_to_end.json \
+        [--tolerance 0.30]
+
+Compares the freshly measured ``pipelined_e2e_tx_per_s`` and
+``block_production_tx_per_s`` against the committed baseline: a drop larger
+than the tolerance on either metric exits non-zero.  Speed-ups (the
+machine-independent ratios) are printed alongside for context.  When a
+hardware change legitimately moves the numbers, refresh the baseline by
+copying the new ``BENCH_end_to_end.json`` over the committed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Absolute throughput (what the committed baseline records) plus the
+#: speed-up ratios.  The ratios are machine-independent: a slower CI runner
+#: moves serial and pipelined numbers together, so a ratio regression is a
+#: code regression even when raw tx/s merely reflects different hardware.
+GATED_METRICS = (
+    "pipelined_e2e_tx_per_s",
+    "block_production_tx_per_s",
+    "e2e_speedup",
+    "block_production_speedup",
+)
+CONTEXT_METRICS = ("serial_tx_per_s",)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_end_to_end.json")
+    parser.add_argument("fresh", help="freshly produced BENCH_end_to_end.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="maximum allowed fractional regression (default 0.30 = 30%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)["data"]
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)["data"]
+
+    if baseline.get("window_seconds") != fresh.get("window_seconds"):
+        print(
+            f"note: window_seconds differ (baseline "
+            f"{baseline.get('window_seconds')} vs fresh {fresh.get('window_seconds')}) "
+            "-- comparing different workload sizes",
+        )
+
+    failures = []
+    print(f"{'metric':<32}{'baseline':>12}{'fresh':>12}{'change':>10}")
+    for metric in GATED_METRICS + CONTEXT_METRICS:
+        base, now = baseline.get(metric), fresh.get(metric)
+        if base is None or now is None:
+            print(f"{metric:<32}{'?':>12}{'?':>12}{'n/a':>10}")
+            continue
+        change = (now - base) / base if base else 0.0
+        print(f"{metric:<32}{base:>12.1f}{now:>12.1f}{change:>+9.1%}")
+        if metric in GATED_METRICS and change < -args.tolerance:
+            failures.append(
+                f"{metric} regressed {-change:.1%} "
+                f"(> {args.tolerance:.0%} tolerance): {base} -> {now}"
+            )
+
+    if failures:
+        print("\nFAIL: end-to-end throughput regression", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf this is an intentional change (or new reference hardware), "
+            "refresh benchmarks/baselines/BENCH_end_to_end.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Python, including every substrate the prototype depends on:
 * :mod:`repro.core` -- the SMACS framework itself: tokens, the Token Service,
   Access Control Rules, the one-time bitmap, SMACS-enabled contracts, the
   legacy-contract transformer, wallets and TS replication;
+* :mod:`repro.pipeline` -- the production ingest path: SMACS-aware mempool,
+  gas-limit block builder and cache-pre-warming block executor;
 * :mod:`repro.verification` -- runtime verification tools (Hydra uniformity,
   ECFChecker) pluggable into the Token Service;
 * :mod:`repro.consensus` -- a Raft implementation backing the replicated
@@ -28,6 +30,7 @@ __all__ = [
     "contracts",
     "core",
     "crypto",
+    "pipeline",
     "verification",
     "workloads",
 ]

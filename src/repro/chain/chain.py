@@ -153,6 +153,30 @@ class Blockchain:
         self.pending.append(tx)
         return None
 
+    def validate_transaction(self, tx: Transaction) -> None:
+        """Run the node's admission checks (signature, nonce, balance).
+
+        Raises :class:`InvalidTransaction` / :class:`InsufficientFunds` on a
+        bad transaction; public so mempools can validate without submitting.
+        """
+        self._validate(tx)
+
+    def enqueue_validated(self, tx: Transaction) -> None:
+        """Queue an already-validated transaction for the next block.
+
+        This is the mempool -> block-builder handoff of the execution
+        pipeline: admission checks ran when the transaction entered the
+        mempool (:mod:`repro.pipeline.mempool`), so re-running them at block
+        inclusion would double-pay the signature recovery.  Only ever pass
+        transactions that went through :meth:`validate_transaction`; requires
+        batch mode (``auto_mine=False``).
+        """
+        if self.auto_mine:
+            raise InvalidTransaction(
+                "enqueue_validated requires batch mode (auto_mine=False)"
+            )
+        self.pending.append(tx)
+
     def mine_block(self) -> list[Receipt]:
         """Mine all pending transactions into a single block."""
         batch = [(tx, None) for tx in self.pending]

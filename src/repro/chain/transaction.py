@@ -45,6 +45,7 @@ class Transaction:
     def __post_init__(self) -> None:
         if isinstance(self.args, list):
             self.args = tuple(self.args)
+        self._cached_hash: bytes | None = None
 
     @property
     def calldata(self) -> bytes:
@@ -71,14 +72,23 @@ class Transaction:
         return header + self.calldata
 
     def hash(self) -> bytes:
-        """The transaction hash (over the signing payload plus signature)."""
-        sig_bytes = self.signature.to_bytes() if self.signature else b""
-        return keccak256(self.signing_payload() + sig_bytes)
+        """The transaction hash (over the signing payload plus signature).
+
+        Memoized after the first computation: a transaction is hashed several
+        times on its way through the node (mempool dedup, its receipt, the
+        enclosing block header), and the fields it covers are frozen once the
+        transaction is signed.  :meth:`sign_with` invalidates the memo.
+        """
+        if self._cached_hash is None:
+            sig_bytes = self.signature.to_bytes() if self.signature else b""
+            self._cached_hash = keccak256(self.signing_payload() + sig_bytes)
+        return self._cached_hash
 
     def sign_with(self, keypair: "Any") -> "Transaction":
         """Sign in place using a :class:`repro.crypto.keys.KeyPair`-like object."""
         digest = keccak256(self.signing_payload())
         self.signature = keypair.sign(digest)
+        self._cached_hash = None
         return self
 
     def verify_signature(self) -> bool:

@@ -17,7 +17,7 @@ implements that substrate:
 
 from repro.consensus.network import SimulatedNetwork
 from repro.consensus.raft import RaftNode, Role
-from repro.consensus.counter import ReplicatedCounter, CounterCluster
+from repro.consensus.counter import ReplicatedCounter, CounterCluster, CounterTimeout
 
 __all__ = [
     "SimulatedNetwork",
@@ -25,4 +25,5 @@ __all__ = [
     "Role",
     "ReplicatedCounter",
     "CounterCluster",
+    "CounterTimeout",
 ]

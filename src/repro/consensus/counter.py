@@ -16,6 +16,17 @@ from repro.consensus.network import SimulatedNetwork
 from repro.consensus.raft import RaftNode, Role
 
 
+class CounterTimeout(RuntimeError):
+    """A counter increment could not commit within its deadline.
+
+    Raised instead of a bare ``RuntimeError`` so front ends can tell a
+    *transient* condition (leader election in progress, partition healing)
+    from a programming error and retry the request -- typically through a
+    different Token Service replica (see
+    :class:`repro.core.replication.ReplicatedTokenService`).
+    """
+
+
 class CounterStateMachine:
     """The replicated state: a single integer counter."""
 
@@ -55,7 +66,7 @@ class CounterCluster:
         """Run the simulation until some replica becomes leader."""
         ok = self.network.run_until(lambda: self.leader() is not None, timeout=timeout)
         if not ok:
-            raise RuntimeError("no leader elected within the timeout")
+            raise CounterTimeout("no leader elected within the timeout")
         leader = self.leader()
         assert leader is not None
         return leader
@@ -100,7 +111,7 @@ class CounterCluster:
                 return handle.result
             # The command may have been lost with a deposed leader; retry.
             self.network.run_for(0.1)
-        raise RuntimeError("replicated counter could not commit an increment")
+        raise CounterTimeout("replicated counter could not commit an increment")
 
 
 class ReplicatedCounter:

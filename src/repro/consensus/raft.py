@@ -328,6 +328,13 @@ class RaftNode:
             entry = self.log.entry_at(self.last_applied)
             result = self.apply_command(entry.command)
             handle = self._pending.pop(self.last_applied, None)
-            if handle is not None:
+            if handle is not None and handle.term == entry.term:
+                # Only fulfil the client handle when the committed entry is
+                # the very command the client proposed.  A deposed (or
+                # zombie-restarted) leader can have a pending handle at an
+                # index that a newer leader's entry later overwrites; blindly
+                # completing it would hand one client another command's
+                # result -- observed as a *duplicate one-time index* before
+                # this check existed.  Such clients time out and retry.
                 handle.applied = True
                 handle.result = result

@@ -65,6 +65,14 @@ class TokenBundle:
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "TokenBundle":
+        """Decode the wire array, rejecting malformed layouts.
+
+        A truncated (or otherwise misaligned) array cannot be split into
+        whole ``addr || token`` entries and is rejected; so is an array that
+        lists the same contract twice -- on the wire that is ambiguous about
+        which token the contract should verify, and accepting the later entry
+        would let an attacker shadow the legitimate one.
+        """
         if len(raw) % _ENTRY_SIZE:
             raise ValueError(
                 f"token array length {len(raw)} is not a multiple of {_ENTRY_SIZE}"
@@ -73,6 +81,10 @@ class TokenBundle:
         for offset in range(0, len(raw), _ENTRY_SIZE):
             address = raw[offset:offset + 20]
             token = raw[offset + 20:offset + _ENTRY_SIZE]
+            if address in bundle:
+                raise ValueError(
+                    f"token array lists contract 0x{address.hex()} more than once"
+                )
             bundle.add(address, token)
         return bundle
 

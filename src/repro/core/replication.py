@@ -14,12 +14,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.chain.clock import SimulatedClock
-from repro.consensus.counter import CounterCluster, ReplicatedCounter
+from repro.consensus.counter import CounterCluster, CounterTimeout, ReplicatedCounter
 from repro.core.acr import RuleSet
 from repro.core.token import Token
 from repro.core.token_request import TokenRequest
 from repro.core.token_service import IssuanceResult, TokenService
 from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
 
 
 class NoReplicaAvailable(Exception):
@@ -32,7 +33,11 @@ class ReplicatedTokenService:
     All replicas share the same ``skTS`` (so any of them can issue tokens the
     contract will accept), the same rule set object (owner updates apply
     everywhere at once), and -- when one-time tokens are enabled -- a
-    Raft-replicated counter guaranteeing globally unique indexes.
+    Raft-replicated counter guaranteeing globally unique indexes.  Each
+    replica holds its *own* client handle onto the shared counter cluster
+    (modelling one Raft client connection per web server), so a transient
+    counter timeout at one replica is retried through another before the
+    error ever reaches the client.
     """
 
     def __init__(
@@ -44,17 +49,17 @@ class ReplicatedTokenService:
         token_lifetime: int = 3600,
         replicate_counter: bool = True,
         seed: int = 7,
+        signature_cache: SignatureCache | None = None,
     ):
         if replica_count < 1:
             raise ValueError("need at least one replica")
         self.keypair = keypair or KeyPair.generate()
         self.rules = rules or RuleSet()
         self.clock = clock or SimulatedClock()
+        self.signature_cache = signature_cache
         self.counter_cluster: CounterCluster | None = None
-        counter = None
         if replicate_counter:
             self.counter_cluster = CounterCluster(size=replica_count, seed=seed)
-            counter = ReplicatedCounter(cluster=self.counter_cluster)
         self.replicas: list[TokenService] = []
         for i in range(replica_count):
             replica = TokenService(
@@ -62,12 +67,18 @@ class ReplicatedTokenService:
                 rules=self.rules,
                 clock=self.clock,
                 token_lifetime=token_lifetime,
-                counter=counter if counter is not None else None,
+                counter=(
+                    ReplicatedCounter(cluster=self.counter_cluster)
+                    if self.counter_cluster is not None
+                    else None
+                ),
                 label=f"ts-replica-{i}",
+                signature_cache=signature_cache,
             )
             self.replicas.append(replica)
         self._down: set[int] = set()
         self._next = 0
+        self.transient_failovers = 0
 
     # -- identity --------------------------------------------------------------
 
@@ -100,13 +111,38 @@ class ReplicatedTokenService:
         self._next += 1
         return choice, self.replicas[choice]
 
+    def _with_failover(self, operation):
+        """Run ``operation(replica)``, retrying through the other replicas.
+
+        A :class:`CounterTimeout` is transient (a leader election or partition
+        heal in progress): the front end retries the request on each remaining
+        replica -- in round-robin order, skipping the one that just failed --
+        and only surfaces the error when every live replica timed out.
+        Anything else (rule denials, programming errors) propagates untouched.
+        """
+        tried: set[int] = set()
+        last_timeout: CounterTimeout | None = None
+        while True:
+            available = self.available_replicas()
+            if not available:
+                raise NoReplicaAvailable("all Token Service replicas are down")
+            if last_timeout is not None and tried.issuperset(available):
+                raise last_timeout
+            index, replica = self._pick_replica()
+            if index in tried:
+                continue
+            tried.add(index)
+            try:
+                return operation(replica)
+            except CounterTimeout as exc:
+                last_timeout = exc
+                self.transient_failovers += 1
+
     def issue_token(self, request: TokenRequest) -> Token:
-        _, replica = self._pick_replica()
-        return replica.issue_token(request)
+        return self._with_failover(lambda replica: replica.issue_token(request))
 
     def submit(self, requests: "TokenRequest | Sequence[TokenRequest]") -> list[IssuanceResult]:
-        _, replica = self._pick_replica()
-        return replica.submit(requests)
+        return self._with_failover(lambda replica: replica.submit(requests))
 
     # -- owner management --------------------------------------------------------------
 

@@ -38,11 +38,14 @@ from repro.core import verifier
 from repro.core.call_chain import TokenBundle, normalise_token_argument
 from repro.core.verifier import TS_ADDRESS_SLOT
 
-# Storage slots used by the on-chain bitmap (Alg. 2 state tuple).
-_BITMAP_SIZE_SLOT = "smacs/bitmap/size"
-_BITMAP_START_SLOT = "smacs/bitmap/start"
-_BITMAP_START_PTR_SLOT = "smacs/bitmap/start_ptr"
-_BITMAP_WORD_SLOT = "smacs/bitmap/word/{}"
+# Storage slots used by the on-chain bitmap (Alg. 2 state tuple).  Public:
+# the execution pipeline's mempool reads them directly off the world state
+# (a node-local, gas-free view) to screen duplicate one-time indexes before
+# a transaction ever reaches a block.
+BITMAP_SIZE_SLOT = "smacs/bitmap/size"
+BITMAP_START_SLOT = "smacs/bitmap/start"
+BITMAP_START_PTR_SLOT = "smacs/bitmap/start_ptr"
+BITMAP_WORD_SLOT = "smacs/bitmap/word/{}"
 _WORD_BITS = 256
 
 # Calibrated cost of the in-EVM bit manipulation of one bitmap update
@@ -140,15 +143,15 @@ class SMACSContract(Contract):
         if bits <= 0:
             raise ValueError("bitmap size must be positive")
         words = (bits + _WORD_BITS - 1) // _WORD_BITS
-        self.storage[_BITMAP_SIZE_SLOT] = bits
-        self.storage[_BITMAP_START_SLOT] = 0
-        self.storage[_BITMAP_START_PTR_SLOT] = 0
+        self.storage[BITMAP_SIZE_SLOT] = bits
+        self.storage[BITMAP_START_SLOT] = 0
+        self.storage[BITMAP_START_PTR_SLOT] = 0
         # Pre-allocate the word slots: the calibrated one-time deployment cost
         # of Tab. IV, charged to the "bitmap" category.
         self.storage.allocate(words, category="bitmap")
         state = self.env.evm.state
         for word_index in range(words):
-            state.storage_set(self.this, _BITMAP_WORD_SLOT.format(word_index), 0)
+            state.storage_set(self.this, BITMAP_WORD_SLOT.format(word_index), 0)
 
     # -- owner / discovery metadata ------------------------------------------------
 
@@ -171,10 +174,10 @@ class SMACSContract(Contract):
     # -- on-chain bitmap (Alg. 2 over contract storage) ------------------------------
 
     def _bitmap_word(self, word_index: int) -> int:
-        return self.storage.get(_BITMAP_WORD_SLOT.format(word_index), 0)
+        return self.storage.get(BITMAP_WORD_SLOT.format(word_index), 0)
 
     def _set_bitmap_word(self, word_index: int, value: int) -> None:
-        self.storage[_BITMAP_WORD_SLOT.format(word_index)] = value
+        self.storage[BITMAP_WORD_SLOT.format(word_index)] = value
 
     def _bitmap_get_bit(self, cell: int) -> int:
         word = self._bitmap_word(cell // _WORD_BITS)
@@ -220,13 +223,13 @@ class SMACSContract(Contract):
         then not accepted), when the index was already used, or when the
         index was missed by a window slide.
         """
-        size = self.storage.get(_BITMAP_SIZE_SLOT, 0)
+        size = self.storage.get(BITMAP_SIZE_SLOT, 0)
         if not size:
             return False
         self.charge_gas(_BITMAP_LOGIC_GAS)
 
-        start = self.storage.get(_BITMAP_START_SLOT, 0)
-        start_ptr = self.storage.get(_BITMAP_START_PTR_SLOT, 0)
+        start = self.storage.get(BITMAP_START_SLOT, 0)
+        start_ptr = self.storage.get(BITMAP_START_PTR_SLOT, 0)
         end = start + size - 1
 
         if index < start:
@@ -239,8 +242,8 @@ class SMACSContract(Contract):
             self._bitmap_set_bit(cell)
             # The paper's Solidity contract rewrites the window bookkeeping on
             # every successful one-time access; keep the same storage traffic.
-            self.storage[_BITMAP_START_SLOT] = start
-            self.storage[_BITMAP_START_PTR_SLOT] = start_ptr
+            self.storage[BITMAP_START_SLOT] = start
+            self.storage[BITMAP_START_PTR_SLOT] = start_ptr
             return True
 
         if index <= end + size:
@@ -255,16 +258,16 @@ class SMACSContract(Contract):
             # safety fix in :mod:`repro.core.bitmap` over the printed Alg. 2.
             extra = new_start_ptr - (start_ptr + shift)
             self._bitmap_set_bit((start_ptr + shift - 1) % size)
-            self.storage[_BITMAP_START_SLOT] = index - size + 1 + extra
-            self.storage[_BITMAP_START_PTR_SLOT] = new_start_ptr
+            self.storage[BITMAP_START_SLOT] = index - size + 1 + extra
+            self.storage[BITMAP_START_PTR_SLOT] = new_start_ptr
             return True
 
         return self._bitmap_reset(size, index)
 
     def _bitmap_reset(self, size: int, index: int) -> bool:
         self._bitmap_clear_all(size)
-        self.storage[_BITMAP_START_SLOT] = index
-        self.storage[_BITMAP_START_PTR_SLOT] = 0
+        self.storage[BITMAP_START_SLOT] = index
+        self.storage[BITMAP_START_PTR_SLOT] = 0
         self._bitmap_set_bit(0)
         return True
 
@@ -272,9 +275,9 @@ class SMACSContract(Contract):
 
     def bitmap_state(self) -> dict[str, int]:
         """Read the bitmap bookkeeping without charging gas (tests/monitoring)."""
-        size = self.storage.peek(_BITMAP_SIZE_SLOT, 0)
-        start = self.storage.peek(_BITMAP_START_SLOT, 0)
-        start_ptr = self.storage.peek(_BITMAP_START_PTR_SLOT, 0)
+        size = self.storage.peek(BITMAP_SIZE_SLOT, 0)
+        start = self.storage.peek(BITMAP_START_SLOT, 0)
+        start_ptr = self.storage.peek(BITMAP_START_PTR_SLOT, 0)
         return {
             "size": size,
             "start": start,
@@ -284,5 +287,5 @@ class SMACSContract(Contract):
 
     def bitmap_storage_slots(self) -> int:
         """Number of 256-bit words allocated for the bitmap."""
-        size = self.storage.peek(_BITMAP_SIZE_SLOT, 0)
+        size = self.storage.peek(BITMAP_SIZE_SLOT, 0)
         return (size + _WORD_BITS - 1) // _WORD_BITS if size else 0

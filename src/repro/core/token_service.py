@@ -165,11 +165,20 @@ class TokenService:
             method=request.method,
             arguments=request.arguments if request.token_type is TokenType.ARGUMENT else None,
         )
-        if self.signature_cache is not None and index < 0:
-            # One-time datagrams are unique by construction (fresh index), so
-            # caching them would only evict reusable entries from the LRU.
+        if self.signature_cache is not None:
             digest = self.signature_cache.digest_for(datagram)
-            signature = self.signature_cache.signature_for(self.keypair, digest)
+            if index < 0:
+                # Reusable datagram: the deterministic signature is worth
+                # memoizing (signature_for primes the recovery side as well).
+                signature = self.signature_cache.signature_for(self.keypair, digest)
+            else:
+                # One-time datagrams are unique by construction (fresh index),
+                # so memoizing the *signing* step would only evict reusable
+                # entries -- but the digest and the known recovery result are
+                # exactly what the execution pipeline's pre-checks and the
+                # verifier's ``ecrecover`` will ask for, so prime those.
+                signature = self.keypair.sign(digest)
+                self.signature_cache.prime_recovery(digest, signature, self.keypair.address)
         else:
             digest = keccak256(datagram)
             signature = self.keypair.sign(digest)

@@ -124,7 +124,17 @@ def verify_token(
             meter.charge(gas.CALIBRATED_METHOD_EXTRA)
             meter.charge(gas.CALIBRATED_ARGUMENT_EXTRA)
 
-        digest = contract.keccak(datagram)
+        # keccak gas is charged as usual; the digest itself goes through the
+        # node-level signature cache (primed at issuance / by the mempool) so
+        # a warm pipeline skips the pure-Python hash, exactly like the
+        # ``ecrecover`` memo below skips the curve math.
+        meter.charge(gas.keccak_cost(len(datagram)))
+        cache = getattr(env.evm, "signature_cache", None)
+        digest = (
+            cache.digest_for(datagram)
+            if cache is not None
+            else token_mod.keccak256(datagram)
+        )
         recovered = precompiles.ecrecover(env, digest, token.signature)
 
         meter.charge(gas.SLOAD)  # load the trusted TS address

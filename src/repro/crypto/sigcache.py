@@ -73,6 +73,32 @@ class SignatureCache:
 
     # -- recovery (the verifier path) -----------------------------------------
 
+    @staticmethod
+    def _recover_key(digest: bytes, signature: Signature) -> tuple:
+        return (digest, signature.r, signature.s, signature.v)
+
+    def prime_recovery(self, digest: bytes, signature: Signature, signer: bytes) -> None:
+        """Record a known ``recover(digest, signature) == signer`` fact.
+
+        The issuance path calls this right after signing: a freshly produced
+        recoverable signature recovers to its signer by construction, so the
+        entry can be inserted without any curve math.  Later ``ecrecover``
+        calls for the same token (mempool pre-checks, the block executor's
+        pre-warm pass, the in-EVM verifier) then hit the cache -- this is what
+        lets issuance warm the whole execution pipeline.
+        """
+        self._store(self._recovered, self._recover_key(digest, signature), signer)
+
+    def peek_recovery(self, digest: bytes, signature: Signature) -> "bytes | None":
+        """Cached recovery result without computing on a miss (and without
+        touching hit/miss counters).  ``None`` means unknown *or* cached
+        failure -- cheap-screening callers treat both as "defer to the full
+        check"."""
+        value = self._recovered.get(self._recover_key(digest, signature))
+        if value is None or value is _RECOVER_FAILED:
+            return None
+        return value
+
     def recover(self, digest: bytes, signature: Signature) -> "bytes | None":
         """Memoized :func:`repro.crypto.keys.recover_address`.
 
@@ -81,7 +107,7 @@ class SignatureCache:
         Solidity's ``ecrecover``).  Failures are cached too, so a replay storm
         of forged tokens cannot force repeated curve work.
         """
-        key = (digest, signature.r, signature.s, signature.v)
+        key = self._recover_key(digest, signature)
         value, found = self._lookup(self._recovered, key)
         if found:
             return None if value is _RECOVER_FAILED else value
@@ -108,6 +134,8 @@ class SignatureCache:
             return value
         signature = keypair.sign(digest)
         self._store(self._signatures, key, signature)
+        # Signing proves what recovery will find; warm the verifier side too.
+        self.prime_recovery(digest, signature, keypair.address)
         return signature
 
     def digest_for(self, datagram: bytes) -> bytes:

@@ -1,0 +1,327 @@
+"""The SMACS-aware mempool: cheap admission checks at the ingest edge.
+
+A production node does not discover that a transaction is garbage while it is
+building a block -- it screens at admission, where a rejection costs
+microseconds instead of a wasted block slot.  This mempool runs the node's
+standard admission checks (signature, nonce, balance, dedup) plus three
+SMACS-specific pre-checks that need no gas and no EVM frame:
+
+* **expiry** -- a token whose ``expire`` already passed can never verify, so
+  the transaction is refused on arrival;
+* **datagram digest screen** -- the token's signed datagram is reconstructed
+  from the transaction context and its digest fetched through the shared
+  :class:`~repro.crypto.sigcache.SignatureCache`; when issuance primed the
+  cache (the normal case) this also yields the known recovery result, letting
+  the mempool refuse tokens that provably do not recover to the contract's
+  trusted Token Service.  Unknown signatures are *not* computed here -- they
+  are left for the block executor's batched pre-warm pass;
+* **one-time index screen** -- a read-only view over the contract's stored
+  Alg. 2 bitmap (:class:`BitmapView`) refuses indexes that were already
+  consumed on-chain or fell behind the window, and an in-pool reservation
+  table refuses a second pending transaction carrying the same index.
+
+Admission is the only place transaction signatures are verified; the block
+executor hands admitted transactions to the chain through
+:meth:`repro.chain.chain.Blockchain.enqueue_validated`, so the expensive
+recovery is paid exactly once per transaction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.chain.address import Address
+from repro.chain.chain import Blockchain
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.core.call_chain import TokenBundle
+from repro.core.smacs_contract import (
+    BITMAP_SIZE_SLOT,
+    BITMAP_START_SLOT,
+    BITMAP_START_PTR_SLOT,
+    BITMAP_WORD_SLOT,
+    SMACSContract,
+)
+from repro.core.token import MalformedToken, Token, TOKEN_SIZE
+from repro.core.verifier import TS_ADDRESS_SLOT
+from repro.crypto.sigcache import SignatureCache
+
+_WORD_BITS = 256
+
+#: Ethereum's block gas limit around the paper's evaluation period was
+#: ~10M; the simulator's default is roomier so benchmark blocks can hold a
+#: full burst of SMACS calls.  Lives here (not in the builder) because
+#: admission must refuse transactions that could never fit one block.
+DEFAULT_BLOCK_GAS_LIMIT = 30_000_000
+
+
+class BitmapView:
+    """Read-only view of a contract's on-chain one-time bitmap (no gas).
+
+    Reads the Alg. 2 state tuple straight off the world state, the way a
+    node-local mempool would read its own database.  It never mutates: the
+    authoritative check-and-mark still happens inside the EVM when the block
+    executes.  The view is conservative on purpose -- indexes above the
+    current window are admitted (the window will slide), known-consumed and
+    known-missed indexes are refused.
+    """
+
+    def __init__(self, state: WorldState, contract: Address):
+        self._state = state
+        self._contract = contract
+
+    @property
+    def size(self) -> int:
+        return self._state.storage_get(self._contract, BITMAP_SIZE_SLOT, 0)
+
+    @property
+    def start(self) -> int:
+        return self._state.storage_get(self._contract, BITMAP_START_SLOT, 0)
+
+    @property
+    def start_ptr(self) -> int:
+        return self._state.storage_get(self._contract, BITMAP_START_PTR_SLOT, 0)
+
+    def _bit(self, cell: int) -> int:
+        word = self._state.storage_get(
+            self._contract, BITMAP_WORD_SLOT.format(cell // _WORD_BITS), 0
+        )
+        return (word >> (cell % _WORD_BITS)) & 1
+
+    def screen(self, index: int) -> "str | None":
+        """Why ``index`` would certainly be refused on-chain, or None if it
+        may still be accepted."""
+        size = self.size
+        if not size:
+            return "contract has no one-time bitmap"
+        start = self.start
+        if index < start:
+            return "one-time index fell behind the bitmap window (token miss)"
+        end = start + size - 1
+        if index <= end and self._bit((self.start_ptr + index - start) % size):
+            return "one-time index already consumed on-chain"
+        return None
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one mempool admission attempt."""
+
+    admitted: bool
+    reason: str = "admitted"
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.admitted
+
+
+@dataclass
+class _PoolEntry:
+    transaction: Transaction
+    one_time_reservations: tuple  # ((contract, index), ...) held by this tx
+
+
+class Mempool:
+    """Admission-checked holding area feeding the block builder."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        signature_cache: "SignatureCache | None" = None,
+        max_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+    ):
+        self.chain = chain
+        self.signature_cache = (
+            signature_cache
+            if signature_cache is not None
+            else chain.evm.signature_cache
+        )
+        #: a transaction whose gas limit exceeds one block's budget can never
+        #: be packed; admitting it would strand it (and any one-time index it
+        #: reserves) in the pool forever.
+        self.max_gas_limit = max_gas_limit
+        self._pool: "OrderedDict[bytes, _PoolEntry]" = OrderedDict()
+        self._pending_nonces: dict[Address, int] = {}   # extra nonces held in-pool
+        self._pending_spend: dict[Address, int] = {}    # value committed in-pool
+        self._reserved_indexes: set[tuple[Address, int]] = set()
+        self.admitted_count = 0
+        self.rejected: dict[str, int] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._pool
+
+    def transactions(self) -> list[Transaction]:
+        """Pool contents in admission (and therefore per-sender nonce) order."""
+        return [entry.transaction for entry in self._pool.values()]
+
+    def stats(self) -> dict:
+        return {
+            "pooled": len(self._pool),
+            "admitted": self.admitted_count,
+            "rejected": dict(self.rejected),
+            "reserved_one_time_indexes": len(self._reserved_indexes),
+        }
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self, tx: Transaction) -> AdmissionDecision:
+        """Run all admission checks; pool the transaction when they pass."""
+        tx_hash = tx.hash()
+        if tx_hash in self._pool or tx_hash in self.chain.receipts:
+            return self._reject("duplicate transaction")
+
+        decision = self._check_node_rules(tx)
+        if decision is not None:
+            return decision
+
+        reservations = ()
+        if tx.is_contract_call:
+            smacs_decision, reservations = self._check_smacs(tx)
+            if smacs_decision is not None:
+                return smacs_decision
+
+        self._pool[tx_hash] = _PoolEntry(tx, reservations)
+        self._pending_nonces[tx.sender] = self._pending_nonces.get(tx.sender, 0) + 1
+        self._pending_spend[tx.sender] = self._pending_spend.get(tx.sender, 0) + tx.value
+        self._reserved_indexes.update(reservations)
+        self.admitted_count += 1
+        return AdmissionDecision(True)
+
+    def admit_many(self, txs: Iterable[Transaction]) -> list[AdmissionDecision]:
+        return [self.admit(tx) for tx in txs]
+
+    def _reject(self, reason: str) -> AdmissionDecision:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        return AdmissionDecision(False, reason)
+
+    def _check_node_rules(self, tx: Transaction) -> "AdmissionDecision | None":
+        """Signature / nonce / balance -- the checks ``Blockchain._validate``
+        runs, but aware of nonces *and value* already held in this pool.
+
+        The cumulative-spend check matters because admitted transactions skip
+        re-validation at block inclusion: two transfers that are each covered
+        by the sender's balance but not jointly would otherwise both reach
+        the EVM, where the second blows up mid-block."""
+        if tx.gas_limit > self.max_gas_limit:
+            return self._reject("transaction gas limit exceeds the block gas limit")
+        if not tx.verify_signature():
+            return self._reject("invalid signature")
+        expected = self.chain.state.nonce_of(tx.sender) + self._pending_nonces.get(
+            tx.sender, 0
+        ) + sum(1 for p in self.chain.pending if p.sender == tx.sender)
+        if tx.nonce != expected:
+            return self._reject("bad nonce")
+        committed = self._pending_spend.get(tx.sender, 0)
+        if self.chain.state.balance_of(tx.sender) < committed + tx.value:
+            return self._reject("insufficient funds")
+        return None
+
+    def _check_smacs(
+        self, tx: Transaction
+    ) -> tuple["AdmissionDecision | None", tuple]:
+        """The SMACS pre-checks; returns (decision, one-time reservations)."""
+        contract = self.chain.evm.contracts.get(tx.to)
+        if not isinstance(contract, SMACSContract):
+            return None, ()
+        raw = tx.kwargs.get("token")
+        if raw is None:
+            # Methods without tokens (unprotected or fallback) are the EVM's
+            # problem; nothing to screen here.
+            return None, ()
+
+        token_bytes = self._token_bytes_for(raw, tx.to)
+        if token_bytes is None:
+            return self._reject("malformed or missing token entry"), ()
+        try:
+            token = Token.from_bytes(token_bytes)
+        except MalformedToken:
+            return self._reject("malformed or missing token entry"), ()
+
+        # Cheap check 1: expiry.  Admission uses the node clock; the
+        # authoritative check re-runs against the block timestamp.
+        if self.chain.clock.now() > token.expire:
+            return self._reject("expired token"), ()
+
+        # Cheap check 2: datagram digest through the shared cache.  When the
+        # recovery result is already known (primed at issuance or by an
+        # earlier block), a signer mismatch is definitive; unknown signatures
+        # are deferred to the executor's batched pre-warm.
+        digest = self._datagram_digest(tx, contract, token)
+        if digest is not None:
+            known_signer = self.signature_cache.peek_recovery(digest, token.signature)
+            trusted = self.chain.state.storage_get(tx.to, TS_ADDRESS_SLOT, None)
+            if known_signer is not None and known_signer != trusted:
+                return self._reject("token not signed by the trusted Token Service"), ()
+
+        # Cheap check 3: one-time index screening.
+        if token.is_one_time:
+            reservation = (tx.to, token.index)
+            if reservation in self._reserved_indexes:
+                return self._reject("duplicate one-time index in pool"), ()
+            refusal = BitmapView(self.chain.state, tx.to).screen(token.index)
+            if refusal is not None:
+                return self._reject(refusal), ()
+            return None, (reservation,)
+        return None, ()
+
+    def _token_bytes_for(self, raw: Any, contract: Address) -> "bytes | None":
+        """This contract's token bytes out of a single token or a bundle."""
+        if isinstance(raw, Token):
+            return raw.to_bytes()
+        if isinstance(raw, TokenBundle):
+            return raw.token_for(contract)
+        if isinstance(raw, (bytes, bytearray)):
+            raw = bytes(raw)
+            if len(raw) == TOKEN_SIZE:
+                return raw
+            try:
+                return TokenBundle.from_bytes(raw).token_for(contract)
+            except ValueError:
+                return None
+        return None
+
+    def _datagram_digest(
+        self, tx: Transaction, contract: SMACSContract, token: Token
+    ) -> "bytes | None":
+        """Digest of the datagram the verifier will reconstruct, via the cache.
+
+        Returns None when the call arguments cannot be bound to the target
+        method (the EVM will revert such calls anyway).
+        """
+        from repro.pipeline.executor import reconstruct_datagram
+
+        datagram = reconstruct_datagram(tx, contract, token)
+        if datagram is None:
+            return None
+        return self.signature_cache.digest_for(datagram)
+
+    # -- builder interface ------------------------------------------------------
+
+    def remove(self, txs: Iterable[Transaction]) -> None:
+        """Drop transactions (after block inclusion) and free reservations."""
+        for tx in txs:
+            entry = self._pool.pop(tx.hash(), None)
+            if entry is None:
+                continue
+            self._pending_nonces[tx.sender] = max(
+                0, self._pending_nonces.get(tx.sender, 1) - 1
+            )
+            self._pending_spend[tx.sender] = max(
+                0, self._pending_spend.get(tx.sender, tx.value) - tx.value
+            )
+            for reservation in entry.one_time_reservations:
+                self._reserved_indexes.discard(reservation)
+
+
+__all__ = [
+    "AdmissionDecision",
+    "BitmapView",
+    "DEFAULT_BLOCK_GAS_LIMIT",
+    "Mempool",
+]

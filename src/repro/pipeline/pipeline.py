@@ -1,0 +1,102 @@
+"""The end-to-end execution pipeline: mempool -> block builder -> executor.
+
+:class:`ExecutionPipeline` wires the three stages around one batch-mode
+:class:`~repro.chain.chain.Blockchain` and one shared
+:class:`~repro.crypto.sigcache.SignatureCache`:
+
+* transactions **ingest** through the mempool's admission checks;
+* :meth:`run_block` packs one gas-limited block and executes it with the
+  batched cache pre-warm;
+* :meth:`drain` repeats until the pool is empty, returning every block's
+  result.
+
+The pipeline is deliberately synchronous -- stages run back-to-back inside
+one Python process -- but the *accounting* is production-shaped: admission
+work happens once per transaction at ingest, block production touches only
+cache-warmed material, and every rejection is counted by reason so a
+workload's bitmap misses or duplicate indexes are visible instead of being
+silent transaction failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.chain.chain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.crypto.sigcache import SignatureCache
+from repro.pipeline.builder import BlockBuilder, DEFAULT_BLOCK_GAS_LIMIT
+from repro.pipeline.executor import BlockExecutor, BlockResult
+from repro.pipeline.mempool import AdmissionDecision, Mempool
+
+
+class ExecutionPipeline:
+    """Mempool, block builder and block executor over one chain."""
+
+    def __init__(
+        self,
+        chain: "Blockchain | None" = None,
+        signature_cache: "SignatureCache | None" = None,
+        block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+    ):
+        if chain is None:
+            chain = Blockchain(auto_mine=False)
+        if chain.auto_mine:
+            raise ValueError("the pipeline needs a batch-mode chain (auto_mine=False)")
+        self.chain = chain
+        if signature_cache is not None:
+            chain.evm.signature_cache = signature_cache
+        self.signature_cache = chain.evm.signature_cache
+        self.mempool = Mempool(
+            chain, signature_cache=self.signature_cache, max_gas_limit=block_gas_limit
+        )
+        self.builder = BlockBuilder(self.mempool, block_gas_limit=block_gas_limit)
+        self.executor = BlockExecutor(chain, signature_cache=self.signature_cache)
+        self.blocks_executed = 0
+        self.transactions_executed = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def ingest(self, txs: "Transaction | Iterable[Transaction]") -> list[AdmissionDecision]:
+        """Admit transactions into the mempool (signature, nonce, SMACS checks)."""
+        if isinstance(txs, Transaction):
+            txs = [txs]
+        return self.mempool.admit_many(txs)
+
+    # -- block production ----------------------------------------------------------
+
+    def run_block(self, pre_warm: bool = True) -> "BlockResult | None":
+        """Pack and execute the next block; None when the pool is empty."""
+        plan = self.builder.build()
+        if not plan:
+            return None
+        result = self.executor.execute(plan.transactions, pre_warm=pre_warm)
+        self.mempool.remove(plan.transactions)
+        self.blocks_executed += 1
+        self.transactions_executed += result.executed
+        return result
+
+    def drain(self, pre_warm: bool = True, max_blocks: int = 10_000) -> list[BlockResult]:
+        """Run blocks until the mempool is empty."""
+        results: list[BlockResult] = []
+        while len(self.mempool):
+            result = self.run_block(pre_warm=pre_warm)
+            if result is None:
+                break
+            results.append(result)
+            if len(results) >= max_blocks:
+                raise RuntimeError("drain exceeded max_blocks (stuck mempool?)")
+        return results
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "mempool": self.mempool.stats(),
+            "blocks_executed": self.blocks_executed,
+            "transactions_executed": self.transactions_executed,
+            "signature_cache": self.signature_cache.stats(),
+        }
+
+
+__all__ = ["ExecutionPipeline"]

@@ -16,7 +16,14 @@ from repro.workloads.generator import (
     multi_contract_fanout,
     replay_storm,
 )
-from repro.workloads.traces import PopularContractTrace, synthetic_popular_contract_traces
+from repro.workloads.traces import (
+    PopularContractTrace,
+    average_peak_rate,
+    observed_average_peak,
+    peak_window,
+    synthetic_popular_contract_traces,
+    trace_named,
+)
 
 __all__ = [
     "ScenarioMix",
@@ -26,5 +33,9 @@ __all__ = [
     "multi_contract_fanout",
     "replay_storm",
     "PopularContractTrace",
+    "average_peak_rate",
+    "observed_average_peak",
+    "peak_window",
     "synthetic_popular_contract_traces",
+    "trace_named",
 ]

@@ -1,0 +1,235 @@
+"""Fault injection for the Raft-backed Token Service (§VII-B availability).
+
+Three failure families are exercised against the replicated one-time
+counter:
+
+* the counter **leader crashes mid-batch** of issuance;
+* the cluster suffers a **network partition** that later heals;
+* a replica raises a **transient counter timeout**, which the front end must
+  retry on a different replica instead of surfacing to the client.
+
+The safety property under every scenario is the same: issued one-time
+indexes stay globally unique, and no one-time token is ever accepted twice
+on-chain.
+"""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.consensus.counter import CounterTimeout
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import OwnerWallet
+from repro.core.acr import RuleSet
+from repro.core.replication import NoReplicaAvailable, ReplicatedTokenService
+from repro.core.token_request import TokenRequest
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def chain():
+    return Blockchain()
+
+
+@pytest.fixture
+def rts(chain):
+    return ReplicatedTokenService(
+        replica_count=3,
+        keypair=KeyPair.from_seed("fault-ts"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        seed=41,
+    )
+
+
+@pytest.fixture
+def protected(chain, rts):
+    owner = chain.create_account("owner", seed="fault-owner")
+    receipt = OwnerWallet(owner, rts.replicas[0]).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=4096
+    )
+    assert receipt.success
+    return receipt.return_value
+
+
+@pytest.fixture
+def alice(chain):
+    return chain.create_account("alice", seed="fault-alice")
+
+
+def _one_time_request(protected, alice):
+    return TokenRequest.method_token(
+        protected.this, alice.address, "submit", one_time=True
+    )
+
+
+def _issue_batch(rts, request, count):
+    return [rts.issue_token(request) for _ in range(count)]
+
+
+# --- leader crash mid-batch --------------------------------------------------------
+
+
+def test_leader_crash_mid_batch_keeps_indexes_unique(rts, protected, alice):
+    request = _one_time_request(protected, alice)
+    tokens = _issue_batch(rts, request, 5)
+    crashed = rts.counter_cluster.crash_leader()
+    tokens += _issue_batch(rts, request, 5)
+    indexes = [t.index for t in tokens]
+    assert len(set(indexes)) == len(indexes)
+    assert rts.issued_indexes_are_unique()
+    # The crashed node recovers and catches up without disturbing uniqueness.
+    rts.counter_cluster.restart(crashed)
+    tokens += _issue_batch(rts, request, 3)
+    indexes = [t.index for t in tokens]
+    assert len(set(indexes)) == len(indexes)
+    assert rts.issued_indexes_are_unique()
+
+
+def test_repeated_leader_crashes(rts, protected, alice):
+    request = _one_time_request(protected, alice)
+    tokens = []
+    crashed = None
+    for _ in range(2):
+        tokens += _issue_batch(rts, request, 3)
+        if crashed is not None:
+            rts.counter_cluster.restart(crashed)
+        crashed = rts.counter_cluster.crash_leader()
+    tokens += _issue_batch(rts, request, 3)
+    indexes = [t.index for t in tokens]
+    assert len(set(indexes)) == len(indexes)
+    assert rts.issued_indexes_are_unique()
+
+
+def test_tokens_issued_across_crash_all_verify_once_on_chain(
+    chain, rts, protected, alice
+):
+    """No one-time token is accepted twice on-chain, crash or no crash."""
+    request = _one_time_request(protected, alice)
+    tokens = _issue_batch(rts, request, 4)
+    rts.counter_cluster.crash_leader()
+    tokens += _issue_batch(rts, request, 4)
+    for amount, token in enumerate(tokens, start=1):
+        first = alice.transact(protected, "submit", amount, token=token.to_bytes())
+        assert first.success, first.error
+        replay = alice.transact(protected, "submit", amount, token=token.to_bytes())
+        assert not replay.success
+        assert "SMACS" in replay.error
+    assert chain.read(protected, "entries") == len(tokens)
+
+
+# --- partitions --------------------------------------------------------------------
+
+
+def test_partition_and_heal_keeps_indexes_unique(rts, protected, alice):
+    request = _one_time_request(protected, alice)
+    tokens = _issue_batch(rts, request, 4)
+
+    network = rts.counter_cluster.network
+    nodes = sorted(rts.counter_cluster.nodes)
+    # Majority partition {0, 1} keeps committing; {2} is isolated.
+    network.partition(nodes[:2], nodes[2:])
+    tokens += _issue_batch(rts, request, 4)
+
+    network.heal_partition()
+    tokens += _issue_batch(rts, request, 4)
+
+    indexes = [t.index for t in tokens]
+    assert len(set(indexes)) == len(indexes)
+    assert rts.issued_indexes_are_unique()
+
+
+def test_minority_leader_cannot_commit_duplicates(chain, rts, protected, alice):
+    """Indexes committed before an isolation are never re-issued after it:
+    the isolated ex-leader's uncommitted state cannot fork the counter."""
+    request = _one_time_request(protected, alice)
+    before = [t.index for t in _issue_batch(rts, request, 3)]
+    leader = rts.counter_cluster.elect_leader()
+    network = rts.counter_cluster.network
+    others = [n for n in rts.counter_cluster.nodes if n != leader.node_id]
+    network.partition(others, [leader.node_id])
+    after = [t.index for t in _issue_batch(rts, request, 3)]
+    network.heal_partition()
+    healed = [t.index for t in _issue_batch(rts, request, 3)]
+    indexes = before + after + healed
+    assert len(set(indexes)) == len(indexes)
+    assert rts.issued_indexes_are_unique()
+
+
+# --- transient counter timeouts (the failover-retry fix) ----------------------------
+
+
+def test_transient_timeout_retries_on_another_replica(rts, protected, alice, monkeypatch):
+    """A single transient CounterTimeout is absorbed by fail-over."""
+    request = _one_time_request(protected, alice)
+    victim = rts.replicas[rts._next % len(rts.replicas)]  # the next pick
+    original = victim.issue_token
+    calls = {"n": 0}
+
+    def flaky(req):
+        if calls["n"] == 0:
+            calls["n"] += 1
+            raise CounterTimeout("injected: leader election in progress")
+        return original(req)
+
+    monkeypatch.setattr(victim, "issue_token", flaky)
+    token = rts.issue_token(request)
+    assert token is not None
+    assert rts.transient_failovers == 1
+    assert rts.issued_indexes_are_unique()
+
+
+def test_transient_timeout_in_submit_retries_whole_batch(rts, protected, alice, monkeypatch):
+    request = _one_time_request(protected, alice)
+    victim = rts.replicas[rts._next % len(rts.replicas)]
+    original = victim.submit
+    calls = {"n": 0}
+
+    def flaky(requests):
+        if calls["n"] == 0:
+            calls["n"] += 1
+            raise CounterTimeout("injected: commit deadline exceeded")
+        return original(requests)
+
+    monkeypatch.setattr(victim, "submit", flaky)
+    results = rts.submit([request, request])
+    assert all(result.issued for result in results)
+    assert rts.transient_failovers == 1
+    indexes = [result.token.index for result in results]
+    assert len(set(indexes)) == len(indexes)
+
+
+def test_persistent_timeout_surfaces_after_all_replicas(rts, protected, alice, monkeypatch):
+    request = _one_time_request(protected, alice)
+    for replica in rts.replicas:
+        def always_timeout(req, _r=replica):
+            raise CounterTimeout("injected: cluster has no quorum")
+
+        monkeypatch.setattr(replica, "issue_token", always_timeout)
+    with pytest.raises(CounterTimeout):
+        rts.issue_token(request)
+    assert rts.transient_failovers == len(rts.replicas)
+
+
+def test_all_replicas_down_still_raises_no_replica(rts, protected, alice):
+    for index in range(len(rts.replicas)):
+        rts.take_down(index)
+    with pytest.raises(NoReplicaAvailable):
+        rts.issue_token(_one_time_request(protected, alice))
+
+
+def test_real_no_quorum_timeout_is_transient_and_recovers(rts, protected, alice):
+    """With 2 of 3 counter replicas crashed there is no quorum: issuance
+    times out (as CounterTimeout, via every replica) -- and succeeds again
+    once a replica returns."""
+    request = _one_time_request(protected, alice)
+    first = rts.issue_token(request)
+    cluster = rts.counter_cluster
+    nodes = sorted(cluster.nodes)
+    cluster.network.take_down(nodes[0])
+    cluster.network.take_down(nodes[1])
+    with pytest.raises(CounterTimeout):
+        rts.issue_token(request)
+    cluster.network.bring_up(nodes[0])
+    token = rts.issue_token(request)
+    assert token.index != first.index
+    assert rts.issued_indexes_are_unique()

@@ -1,0 +1,373 @@
+"""Unit tests for the pipeline's mempool admission and block builder."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import OwnerWallet, TokenType
+from repro.core.acr import RuleSet
+from repro.core.token import Token
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import TokenService
+from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
+from repro.pipeline import BitmapView, BlockBuilder, Mempool
+
+
+@pytest.fixture
+def cache():
+    return SignatureCache(maxsize=16384)
+
+
+@pytest.fixture
+def batch_chain(cache):
+    chain = Blockchain(auto_mine=False)
+    chain.evm.signature_cache = cache
+    return chain
+
+
+@pytest.fixture
+def service(batch_chain, cache):
+    return TokenService(
+        keypair=KeyPair.from_seed("pool-ts"),
+        rules=RuleSet(),
+        clock=batch_chain.clock,
+        signature_cache=cache,
+    )
+
+
+@pytest.fixture
+def protected(batch_chain, service):
+    batch_chain.auto_mine = True
+    owner = batch_chain.create_account("owner", seed="pool-owner")
+    receipt = OwnerWallet(owner, service).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=1024
+    )
+    batch_chain.auto_mine = False
+    assert receipt.success
+    return receipt.return_value
+
+
+@pytest.fixture
+def client(batch_chain):
+    batch_chain.auto_mine = True
+    account = batch_chain.create_account("client", seed="pool-client")
+    batch_chain.auto_mine = False
+    return account
+
+
+@pytest.fixture
+def mempool(batch_chain, cache):
+    return Mempool(batch_chain, signature_cache=cache)
+
+
+def _token_tx(client, protected, service, one_time=False, amount=1, nonce=None):
+    request = TokenRequest.method_token(
+        protected.this, client.address, "submit", one_time=one_time
+    )
+    token = service.issue_token(request)
+    tx = Transaction(
+        sender=client.address,
+        to=protected.this,
+        nonce=client.nonce if nonce is None else nonce,
+        method="submit",
+        args=(amount,),
+        kwargs={"token": token.to_bytes()},
+        gas_limit=300_000,
+    )
+    return tx.sign_with(client.keypair), token
+
+
+# --- admission ---------------------------------------------------------------------
+
+
+def test_admits_valid_token_transaction(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    decision = mempool.admit(tx)
+    assert decision.admitted, decision.reason
+    assert len(mempool) == 1
+
+
+def test_rejects_duplicate_transaction(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    assert mempool.admit(tx).admitted
+    decision = mempool.admit(tx)
+    assert not decision.admitted
+    assert decision.reason == "duplicate transaction"
+
+
+def test_rejects_invalid_signature(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    tx.signature = None
+    assert mempool.admit(tx).reason == "invalid signature"
+
+
+def test_rejects_bad_nonce(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service, nonce=7)
+    assert mempool.admit(tx).reason == "bad nonce"
+
+
+def test_tracks_in_pool_nonces(mempool, client, protected, service):
+    first, _ = _token_tx(client, protected, service, nonce=0)
+    second, _ = _token_tx(client, protected, service, nonce=1)
+    assert mempool.admit(first).admitted
+    assert mempool.admit(second).admitted  # nonce 1 is next *given the pool*
+    replay, _ = _token_tx(client, protected, service, amount=9, nonce=1)
+    assert mempool.admit(replay).reason == "bad nonce"
+
+
+def test_rejects_expired_token(mempool, batch_chain, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    batch_chain.clock.advance(service.token_lifetime + 60)
+    assert mempool.admit(tx).reason == "expired token"
+
+
+def test_rejects_malformed_token(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    tx.kwargs["token"] = b"\xff" * 13
+    tx.sign_with(client.keypair)
+    assert mempool.admit(tx).reason == "malformed or missing token entry"
+
+
+def test_rejects_foreign_ts_signature_when_cached(mempool, client, protected, service, cache):
+    """A token signed by an untrusted key is refused at admission once its
+    recovery is known to the cache (here: primed by the foreign issuer)."""
+    foreign = TokenService(
+        keypair=KeyPair.from_seed("untrusted-ts"),
+        rules=RuleSet(),
+        clock=service.clock,
+        signature_cache=cache,  # foreign issuer shares the node cache
+    )
+    tx, _ = _token_tx(client, protected, foreign)
+    assert mempool.admit(tx).reason == "token not signed by the trusted Token Service"
+
+
+def test_unknown_signature_defers_to_execution(mempool, client, protected, service, cache):
+    """Foreign tokens with unknown recovery are admitted (screening is
+    cheap-only) and left for the executor / EVM to refuse."""
+    foreign = TokenService(
+        keypair=KeyPair.from_seed("untrusted-ts-2"),
+        rules=RuleSet(),
+        clock=service.clock,
+        signature_cache=None,  # nothing primes the node cache
+    )
+    tx, _ = _token_tx(client, protected, foreign)
+    assert mempool.admit(tx).admitted
+
+
+def test_duplicate_one_time_index_screened_in_pool(mempool, client, protected, service):
+    tx, token = _token_tx(client, protected, service, one_time=True, nonce=0)
+    assert mempool.admit(tx).admitted
+    # A second transaction reusing the same token (same index), next nonce.
+    replayed = Transaction(
+        sender=client.address,
+        to=protected.this,
+        nonce=1,
+        method="submit",
+        args=(2,),
+        kwargs={"token": token.to_bytes()},
+        gas_limit=300_000,
+    ).sign_with(client.keypair)
+    assert mempool.admit(replayed).reason == "duplicate one-time index in pool"
+
+
+def test_consumed_index_screened_against_chain_state(
+    mempool, batch_chain, client, protected, service
+):
+    tx, token = _token_tx(client, protected, service, one_time=True, nonce=0)
+    batch_chain.auto_mine = True
+    receipt = batch_chain.send_transaction(tx)
+    assert receipt.success
+    batch_chain.auto_mine = False
+    replayed = Transaction(
+        sender=client.address,
+        to=protected.this,
+        nonce=1,
+        method="submit",
+        args=(2,),
+        kwargs={"token": token.to_bytes()},
+        gas_limit=300_000,
+    ).sign_with(client.keypair)
+    assert mempool.admit(replayed).reason == "one-time index already consumed on-chain"
+
+
+def test_reservation_freed_after_removal(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service, one_time=True)
+    assert mempool.admit(tx).admitted
+    assert mempool.stats()["reserved_one_time_indexes"] == 1
+    mempool.remove([tx])
+    assert mempool.stats()["reserved_one_time_indexes"] == 0
+    assert len(mempool) == 0
+
+
+def test_plain_transfer_needs_no_token(mempool, batch_chain, client):
+    recipient = KeyPair.from_seed("someone").address
+    tx = Transaction(
+        sender=client.address, to=recipient, nonce=0, value=10
+    ).sign_with(client.keypair)
+    assert mempool.admit(tx).admitted
+
+
+def test_cumulative_pool_spend_cannot_exceed_balance(mempool, batch_chain, client):
+    """Two transfers each covered by the balance -- but not jointly -- must
+    not both be admitted: the second would blow up mid-block (admitted
+    transactions skip re-validation at inclusion)."""
+    balance = batch_chain.state.balance_of(client.address)
+    recipient = KeyPair.from_seed("someone").address
+    first = Transaction(
+        sender=client.address, to=recipient, nonce=0, value=balance
+    ).sign_with(client.keypair)
+    second = Transaction(
+        sender=client.address, to=recipient, nonce=1, value=balance
+    ).sign_with(client.keypair)
+    assert mempool.admit(first).admitted
+    assert mempool.admit(second).reason == "insufficient funds"
+    # Inclusion frees the committed value again.
+    mempool.remove([first])
+    assert mempool.stats()["pooled"] == 0
+
+
+def test_oversized_gas_limit_rejected_at_admission(mempool, batch_chain, client):
+    """A transaction that can never fit one block must not be pooled -- it
+    would strand forever (holding any one-time index it reserves)."""
+    recipient = KeyPair.from_seed("someone").address
+    tx = Transaction(
+        sender=client.address, to=recipient, nonce=0, value=1,
+        gas_limit=mempool.max_gas_limit + 1,
+    ).sign_with(client.keypair)
+    decision = mempool.admit(tx)
+    assert decision.reason == "transaction gas limit exceeds the block gas limit"
+    assert len(mempool) == 0
+
+
+# --- the read-only bitmap view -------------------------------------------------------
+
+
+def test_bitmap_view_reads_window_without_mutating(
+    batch_chain, client, protected, service
+):
+    view = BitmapView(batch_chain.evm.state, protected.this)
+    assert view.size == 1024
+    assert view.screen(5) is None  # unknown index: may be accepted
+    tx, token = _token_tx(client, protected, service, one_time=True)
+    batch_chain.auto_mine = True
+    assert batch_chain.send_transaction(tx).success
+    batch_chain.auto_mine = False
+    assert view.screen(token.index) == "one-time index already consumed on-chain"
+    # The view itself never changed contract state.
+    assert protected.bitmap_state()["size"] == 1024
+
+
+def test_bitmap_view_on_contract_without_bitmap(batch_chain, service):
+    batch_chain.auto_mine = True
+    owner = batch_chain.create_account("owner2", seed="pool-owner-2")
+    receipt = OwnerWallet(owner, service).deploy_protected(ProtectedRecorder)
+    batch_chain.auto_mine = False
+    view = BitmapView(batch_chain.evm.state, receipt.return_value.this)
+    assert view.screen(0) == "contract has no one-time bitmap"
+
+
+# --- the block builder -----------------------------------------------------------------
+
+
+def test_builder_packs_under_gas_limit(mempool, client, protected, service):
+    for nonce in range(6):
+        tx, _ = _token_tx(client, protected, service, nonce=nonce)
+        assert mempool.admit(tx).admitted
+    builder = BlockBuilder(mempool, block_gas_limit=4 * 300_000)
+    plan = builder.build()
+    assert plan.transaction_count == 4
+    assert plan.gas_budget == 4 * 300_000
+    assert plan.deferred == 2
+    assert 0 < plan.fill_ratio <= 1
+
+
+def test_builder_preserves_nonce_order_on_deferral(
+    mempool, batch_chain, protected, service
+):
+    batch_chain.auto_mine = True
+    a = batch_chain.create_account("a", seed="builder-a")
+    b = batch_chain.create_account("b", seed="builder-b")
+    batch_chain.auto_mine = False
+    txs = []
+    for nonce in range(3):
+        tx, _ = _token_tx(a, protected, service, nonce=nonce)
+        txs.append(tx)
+        tx, _ = _token_tx(b, protected, service, nonce=nonce)
+        txs.append(tx)
+    for tx in txs:
+        assert mempool.admit(tx).admitted
+    # Room for three calls only: a0, b0, a1 fit; once a2 would overflow the
+    # limit nothing later from the same sender may jump the queue.
+    builder = BlockBuilder(mempool, block_gas_limit=3 * 300_000)
+    plan = builder.build()
+    nonces_by_sender = {}
+    for tx in plan.transactions:
+        nonces_by_sender.setdefault(tx.sender, []).append(tx.nonce)
+    for sender, nonces in nonces_by_sender.items():
+        assert nonces == sorted(nonces)
+        assert nonces[0] == 0  # no sender starts mid-sequence
+    assert plan.transaction_count == 3
+
+
+def test_builder_leaves_pool_untouched_until_removal(mempool, client, protected, service):
+    tx, _ = _token_tx(client, protected, service)
+    mempool.admit(tx)
+    builder = BlockBuilder(mempool)
+    plan = builder.build()
+    assert plan.transaction_count == 1
+    assert len(mempool) == 1  # crash safety: still pooled
+    mempool.remove(plan.transactions)
+    assert len(mempool) == 0
+
+
+def test_builder_rejects_nonpositive_gas_limit(mempool):
+    with pytest.raises(ValueError):
+        BlockBuilder(mempool, block_gas_limit=0)
+
+
+def test_empty_pool_builds_empty_plan(mempool):
+    plan = BlockBuilder(mempool).build()
+    assert not plan
+    assert plan.transaction_count == 0
+
+
+# --- misc -------------------------------------------------------------------------------
+
+
+def test_token_type_bundle_entry_screened(mempool, batch_chain, client, protected, service):
+    """A call-chain bundle missing this contract's entry is refused."""
+    from repro.core.call_chain import TokenBundle
+
+    other = KeyPair.from_seed("other-contract").address
+    request = TokenRequest.method_token(protected.this, client.address, "submit")
+    token = service.issue_token(request)
+    bundle = TokenBundle({other: token.to_bytes()})
+    tx = Transaction(
+        sender=client.address,
+        to=protected.this,
+        nonce=0,
+        method="submit",
+        args=(1,),
+        kwargs={"token": bundle.to_bytes()},
+        gas_limit=300_000,
+    ).sign_with(client.keypair)
+    assert mempool.admit(tx).reason == "malformed or missing token entry"
+
+
+def test_admission_accepts_token_object_argument(mempool, client, protected, service):
+    request = TokenRequest.method_token(protected.this, client.address, "submit")
+    token = service.issue_token(request)
+    assert isinstance(token, Token)
+    tx = Transaction(
+        sender=client.address,
+        to=protected.this,
+        nonce=0,
+        method="submit",
+        args=(1,),
+        kwargs={"token": token.to_bytes()},
+        gas_limit=300_000,
+    ).sign_with(client.keypair)
+    assert mempool.admit(tx).admitted
+    assert TokenType.METHOD is token.token_type

@@ -1,0 +1,105 @@
+"""Property-based tests for the call-chain token array (§IV-D).
+
+The :class:`~repro.core.call_chain.TokenBundle` wire format is the only part
+of a SMACS transaction assembled by *clients* and parsed by *contracts*, so
+its decoder is attack surface: round-trips must be lossless, per-contract
+extraction exact, and malformed arrays (truncated, misaligned, or listing a
+contract twice) must be rejected rather than silently reinterpreted.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.call_chain import TokenBundle, normalise_token_argument
+from repro.core.token import TOKEN_SIZE
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
+
+_ENTRY_SIZE = 20 + TOKEN_SIZE
+
+addresses = st.binary(min_size=20, max_size=20)
+token_blobs = st.binary(min_size=TOKEN_SIZE, max_size=TOKEN_SIZE)
+entry_maps = st.dictionaries(addresses, token_blobs, min_size=0, max_size=6)
+nonempty_entry_maps = st.dictionaries(addresses, token_blobs, min_size=1, max_size=6)
+
+
+@given(entries=entry_maps)
+@settings(max_examples=80, deadline=None)
+def test_bundle_roundtrip(entries):
+    bundle = TokenBundle(entries)
+    decoded = TokenBundle.from_bytes(bundle.to_bytes())
+    assert len(decoded) == len(bundle)
+    assert decoded.addresses() == bundle.addresses()  # order preserved
+    for address, raw in entries.items():
+        assert decoded.token_for(address) == raw
+
+
+@given(entries=nonempty_entry_maps)
+@settings(max_examples=80, deadline=None)
+def test_entry_extraction_per_contract(entries):
+    bundle = TokenBundle(entries)
+    for address, raw in entries.items():
+        assert address in bundle
+        assert bundle.token_for(address) == raw
+    # A contract not in the chain extracts nothing.
+    absent = bytes(b ^ 0xFF for b in next(iter(entries)))
+    if absent not in entries:
+        assert bundle.token_for(absent) is None
+        assert absent not in bundle
+
+
+@given(entries=nonempty_entry_maps, cut=st.integers(min_value=1, max_value=_ENTRY_SIZE - 1))
+@settings(max_examples=80, deadline=None)
+def test_truncated_arrays_rejected(entries, cut):
+    raw = TokenBundle(entries).to_bytes()
+    with pytest.raises(ValueError):
+        TokenBundle.from_bytes(raw[:-cut])
+
+
+@given(entries=nonempty_entry_maps, junk=st.binary(min_size=1, max_size=_ENTRY_SIZE - 1))
+@settings(max_examples=80, deadline=None)
+def test_misaligned_suffix_rejected(entries, junk):
+    raw = TokenBundle(entries).to_bytes() + junk
+    with pytest.raises(ValueError):
+        TokenBundle.from_bytes(raw)
+
+
+@given(entries=nonempty_entry_maps, shadow=token_blobs)
+@settings(max_examples=80, deadline=None)
+def test_overlapping_entries_rejected(entries, shadow):
+    """An array listing the same contract twice is ambiguous -- the decoder
+    must refuse it instead of letting the later entry shadow the earlier."""
+    bundle = TokenBundle(entries)
+    victim = bundle.addresses()[0]
+    raw = bundle.to_bytes() + victim + shadow
+    with pytest.raises(ValueError):
+        TokenBundle.from_bytes(raw)
+
+
+@given(entries=nonempty_entry_maps)
+@settings(max_examples=40, deadline=None)
+def test_normalise_token_argument_bundle_path(entries):
+    bundle = TokenBundle(entries)
+    normalised = normalise_token_argument(bundle.to_bytes())
+    if len(bundle) == 1 and len(bundle.to_bytes()) == TOKEN_SIZE:
+        pytest.skip("single-entry arrays cannot collide with a bare token")
+    assert isinstance(normalised, TokenBundle)
+    assert normalised.addresses() == bundle.addresses()
+
+
+@given(address=addresses, blob=token_blobs)
+@settings(max_examples=40, deadline=None)
+def test_client_side_add_still_overwrites(address, blob):
+    """``add`` (the client-side builder) may replace a token -- only the wire
+    decoder treats duplicates as malformed."""
+    bundle = TokenBundle({address: bytes(TOKEN_SIZE)})
+    bundle.add(address, blob)
+    assert len(bundle) == 1
+    assert bundle.token_for(address) == blob
+
+
+def test_bad_entry_sizes_rejected():
+    with pytest.raises(ValueError):
+        TokenBundle({b"\x01" * 19: bytes(TOKEN_SIZE)})
+    with pytest.raises(ValueError):
+        TokenBundle({b"\x01" * 20: bytes(TOKEN_SIZE - 1)})
