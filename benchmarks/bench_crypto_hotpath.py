@@ -1,0 +1,153 @@
+"""Crypto hot-path micro-benchmarks: the ecrecover/keccak kernel numbers.
+
+SMACS's on-chain cost story is one ``ecrecover`` per protected call, so in
+this reproduction the secp256k1 recovery path is the dominant kernel of both
+the Fig. 9 issuance benchmark and the end-to-end pipeline.  This harness
+times the primitives that path is built from:
+
+* ``sign``             -- RFC-6979 issuance signature (fixed-base comb);
+* ``verify``           -- interleaved dual-scalar wNAF ladder;
+* ``recover``          -- one-pass ``Q = (s*r^-1)*R + (-z*r^-1)*G``;
+* ``recover_reference``-- the seed's three-multiplication recovery (kept as
+  the differential-test reference and the speedup yardstick);
+* ``recover_batch``    -- the GLV block kernel with shared Montgomery batch
+  inversions, measured per signature on a block of
+  ``SMACS_CRYPTO_BLOCK`` signatures;
+* ``keccak256``        -- the datagram digest, on 1 KiB payloads (MB/s) and
+  on token-datagram-sized payloads (ops/s).
+
+Acceptance (asserted here, regression-gated in CI via
+``check_crypto_regression.py`` against the committed baseline):
+
+* single ``recover`` >= 2.5x the pre-PR reference implementation;
+* ``recover_batch`` >= 1.3x per-signature over looped single recovery.
+
+Set ``SMACS_CRYPTO_OPS`` / ``SMACS_CRYPTO_BLOCK`` / ``SMACS_CRYPTO_ROUNDS``
+to scale the workload (CI runs the defaults; timings take the best of
+``ROUNDS`` runs to damp scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import env_int, report
+from repro.crypto.ecdsa import recover, recover_batch, recover_reference, verify
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import KeyPair
+
+OPS = env_int("SMACS_CRYPTO_OPS", 32)
+BLOCK = env_int("SMACS_CRYPTO_BLOCK", 64)
+ROUNDS = env_int("SMACS_CRYPTO_ROUNDS", 3)
+
+KEYPAIR = KeyPair.from_seed("crypto-hotpath-bench")
+
+#: the 80-byte signing datagram of an argument token is the typical payload
+_DATAGRAM = b"\x02" + b"\x00" * 3 + b"\xaa" * 20 + b"\xbb" * 20 + b"method()" + b"\xcc" * 28
+
+
+def _best_rate(operations: int, run) -> float:
+    """ops/s over ``operations``, best of ``ROUNDS`` runs."""
+    elapsed = min(_timed(run) for _ in range(ROUNDS))
+    return operations / elapsed
+
+
+def _timed(run) -> float:
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def test_crypto_hotpath(benchmark):
+    digests = [keccak256(b"hotpath-%d" % i) for i in range(max(OPS, BLOCK))]
+    signatures = {d: KEYPAIR.sign(d) for d in digests}
+    pairs = [(d, signatures[d]) for d in digests]
+    block = pairs[:BLOCK]
+    single = pairs[:OPS]
+    public = KEYPAIR.public.point
+
+    rates: dict[str, float] = {}
+
+    def run():
+        rates["sign"] = _best_rate(
+            OPS, lambda: [KEYPAIR.sign(d) for d, _ in single]
+        )
+        rates["verify"] = _best_rate(
+            OPS, lambda: [verify(d, s, public) for d, s in single]
+        )
+        rates["recover"] = _best_rate(
+            OPS, lambda: [recover(d, s) for d, s in single]
+        )
+        rates["recover_reference"] = _best_rate(
+            OPS, lambda: [recover_reference(d, s) for d, s in single]
+        )
+        rates["recover_batch"] = _best_rate(
+            BLOCK, lambda: recover_batch(block)
+        )
+        payload = b"\xd5" * 1024
+        keccak_rate = _best_rate(64, lambda: [keccak256(payload) for _ in range(64)])
+        rates["keccak_mb_per_sec"] = keccak_rate * len(payload) / 1e6
+        rates["keccak_short"] = _best_rate(
+            256, lambda: [keccak256(_DATAGRAM) for _ in range(256)]
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    recover_speedup = rates["recover"] / rates["recover_reference"]
+    batch_speedup = rates["recover_batch"] / rates["recover"]
+    lines = [
+        "Crypto hot-path (secp256k1 + keccak-256 kernels)",
+        f"{'operation':<24}{'ops/s':>12}",
+        f"{'sign':<24}{rates['sign']:>12.1f}",
+        f"{'verify':<24}{rates['verify']:>12.1f}",
+        f"{'recover (reference)':<24}{rates['recover_reference']:>12.1f}",
+        f"{'recover (one-pass)':<24}{rates['recover']:>12.1f}",
+        f"{'recover_batch /sig':<24}{rates['recover_batch']:>12.1f}",
+        f"{'keccak 80B datagram':<24}{rates['keccak_short']:>12.1f}",
+        f"keccak 1KiB payloads: {rates['keccak_mb_per_sec']:.2f} MB/s",
+        f"one-pass recover speedup vs reference: {recover_speedup:.2f}x",
+        f"batch ({BLOCK} sigs) speedup vs looped recover: {batch_speedup:.2f}x",
+    ]
+    report(
+        "crypto_hotpath",
+        lines,
+        data={
+            "ops": OPS,
+            "block_size": BLOCK,
+            "sign_ops_per_sec": round(rates["sign"], 1),
+            "verify_ops_per_sec": round(rates["verify"], 1),
+            "recover_ops_per_sec": round(rates["recover"], 1),
+            "recover_reference_ops_per_sec": round(
+                rates["recover_reference"], 1
+            ),
+            "recover_batch_ops_per_sec": round(rates["recover_batch"], 1),
+            "recover_speedup_vs_reference": round(recover_speedup, 2),
+            "batch_speedup_vs_looped": round(batch_speedup, 2),
+            "keccak_mb_per_sec": round(rates["keccak_mb_per_sec"], 3),
+            "keccak_short_ops_per_sec": round(rates["keccak_short"], 1),
+        },
+    )
+    benchmark.extra_info.update(
+        {
+            "recover_speedup_vs_reference": round(recover_speedup, 2),
+            "batch_speedup_vs_looped": round(batch_speedup, 2),
+        }
+    )
+
+    # Acceptance: the one-pass ladder must decisively beat the seed's
+    # three-multiplication recovery, and the GLV block kernel must make
+    # batching worth routing the executor's pre-warm through.
+    assert recover_speedup >= 2.5, f"one-pass recover only {recover_speedup:.2f}x"
+    assert batch_speedup >= 1.3, f"batch recovery only {batch_speedup:.2f}x"
+
+
+def test_batch_recovery_matches_looped(benchmark):
+    """Same block, same recovered keys -- speed must not change results."""
+    digests = [keccak256(b"equiv-%d" % i) for i in range(BLOCK)]
+    pairs = [(d, KEYPAIR.sign(d)) for d in digests]
+
+    def run():
+        return recover_batch(pairs), [recover(d, s) for d, s in pairs]
+
+    batched, looped = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert batched == looped

@@ -18,9 +18,10 @@ copying the new ``BENCH_end_to_end.json`` over the committed one.
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
+try:  # invoked as `python benchmarks/check_end_to_end_regression.py`
+    from regression_gate import run_gate
+except ImportError:  # imported as part of the benchmarks package
+    from benchmarks.regression_gate import run_gate
 
 #: Absolute throughput (what the committed baseline records) plus the
 #: speed-up ratios.  The ratios are machine-independent: a slower CI runner
@@ -36,54 +37,14 @@ CONTEXT_METRICS = ("serial_tx_per_s",)
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_end_to_end.json")
-    parser.add_argument("fresh", help="freshly produced BENCH_end_to_end.json")
-    parser.add_argument(
-        "--tolerance", type=float, default=0.30,
-        help="maximum allowed fractional regression (default 0.30 = 30%%)",
+    return run_gate(
+        description=__doc__,
+        gated_metrics=GATED_METRICS,
+        context_metrics=CONTEXT_METRICS,
+        workload_keys=("window_seconds",),
+        failure_title="end-to-end throughput regression",
+        baseline_path_hint="benchmarks/baselines/BENCH_end_to_end.json",
     )
-    args = parser.parse_args()
-
-    with open(args.baseline, encoding="utf-8") as handle:
-        baseline = json.load(handle)["data"]
-    with open(args.fresh, encoding="utf-8") as handle:
-        fresh = json.load(handle)["data"]
-
-    if baseline.get("window_seconds") != fresh.get("window_seconds"):
-        print(
-            f"note: window_seconds differ (baseline "
-            f"{baseline.get('window_seconds')} vs fresh {fresh.get('window_seconds')}) "
-            "-- comparing different workload sizes",
-        )
-
-    failures = []
-    print(f"{'metric':<32}{'baseline':>12}{'fresh':>12}{'change':>10}")
-    for metric in GATED_METRICS + CONTEXT_METRICS:
-        base, now = baseline.get(metric), fresh.get(metric)
-        if base is None or now is None:
-            print(f"{metric:<32}{'?':>12}{'?':>12}{'n/a':>10}")
-            continue
-        change = (now - base) / base if base else 0.0
-        print(f"{metric:<32}{base:>12.1f}{now:>12.1f}{change:>+9.1%}")
-        if metric in GATED_METRICS and change < -args.tolerance:
-            failures.append(
-                f"{metric} regressed {-change:.1%} "
-                f"(> {args.tolerance:.0%} tolerance): {base} -> {now}"
-            )
-
-    if failures:
-        print("\nFAIL: end-to-end throughput regression", file=sys.stderr)
-        for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
-        print(
-            "\nIf this is an intentional change (or new reference hardware), "
-            "refresh benchmarks/baselines/BENCH_end_to_end.json.",
-            file=sys.stderr,
-        )
-        return 1
-    print("\nOK: within tolerance")
-    return 0
 
 
 if __name__ == "__main__":

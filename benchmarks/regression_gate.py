@@ -1,0 +1,83 @@
+"""Shared baseline-vs-fresh comparison behind the CI benchmark gates.
+
+Both regression checkers (``check_end_to_end_regression.py`` and
+``check_crypto_regression.py``) load a committed ``BENCH_*.json`` baseline
+and a freshly produced one, print a metric table and exit non-zero when any
+gated metric dropped by more than the tolerance.  This module holds that
+logic once; the checkers only declare which metrics are gated, which are
+context, and which workload knobs must match for the comparison to be
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def run_gate(
+    *,
+    description: str,
+    gated_metrics: tuple,
+    context_metrics: tuple,
+    workload_keys: tuple,
+    failure_title: str,
+    baseline_path_hint: str,
+    argv: "list[str] | None" = None,
+) -> int:
+    """Compare fresh numbers against the committed baseline; 0 = OK.
+
+    ``gated_metrics`` fail the gate when they regress beyond the tolerance;
+    ``context_metrics`` are printed for orientation only.  A mismatch in any
+    of ``workload_keys`` (sweep-size knobs) is reported as a note, since it
+    means the two documents measured different workload sizes.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="maximum allowed fractional regression (default 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)["data"]
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)["data"]
+
+    for knob in workload_keys:
+        if baseline.get(knob) != fresh.get(knob):
+            print(
+                f"note: {knob} differs (baseline {baseline.get(knob)} vs "
+                f"fresh {fresh.get(knob)}) -- comparing different workload sizes",
+            )
+
+    failures = []
+    print(f"{'metric':<36}{'baseline':>12}{'fresh':>12}{'change':>10}")
+    for metric in gated_metrics + context_metrics:
+        base, now = baseline.get(metric), fresh.get(metric)
+        if base is None or now is None:
+            print(f"{metric:<36}{'?':>12}{'?':>12}{'n/a':>10}")
+            continue
+        change = (now - base) / base if base else 0.0
+        print(f"{metric:<36}{base:>12.2f}{now:>12.2f}{change:>+9.1%}")
+        if metric in gated_metrics and change < -args.tolerance:
+            failures.append(
+                f"{metric} regressed {-change:.1%} "
+                f"(> {args.tolerance:.0%} tolerance): {base} -> {now}"
+            )
+
+    if failures:
+        print(f"\nFAIL: {failure_title}", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf this is an intentional change (or new reference hardware), "
+            f"refresh {baseline_path_hint}.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: within tolerance")
+    return 0

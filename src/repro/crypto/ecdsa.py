@@ -6,8 +6,15 @@ This module provides:
 
 * :func:`sign` -- RFC-6979 deterministic ECDSA producing a recoverable
   signature (low-s normalised, as enforced by Ethereum since EIP-2).
-* :func:`verify` -- classic signature verification against a public key.
-* :func:`recover` -- public-key recovery from a signature (``ecrecover``).
+* :func:`verify` -- signature verification against a public key, through the
+  interleaved dual-scalar ladder and rejecting high-s signatures (EIP-2).
+* :func:`recover` -- public-key recovery from a signature (``ecrecover``)
+  computing ``Q = (s*r^-1)*R + (-z*r^-1)*G`` in a single joint wNAF ladder.
+* :func:`recover_batch` -- block-level recovery sharing one Montgomery batch
+  inversion for the ``r^-1`` scalars and one for the Jacobian-to-affine
+  conversions across all signatures.
+* :func:`recover_reference` -- the seed's three-multiplication recovery,
+  kept as the reference for differential tests and the microbench gate.
 """
 
 from __future__ import annotations
@@ -22,9 +29,11 @@ from repro.crypto.secp256k1 import (
     Point,
     generator_multiply,
     lift_x,
-    point_multiply,
+    point_multiply_reference,
     shamir_multiply,
 )
+
+_HALF_N = N >> 1
 
 
 class SignatureError(ValueError):
@@ -67,8 +76,12 @@ class Signature:
         r = int.from_bytes(raw[0:32], "big")
         s = int.from_bytes(raw[32:64], "big")
         v = raw[64]
-        if v >= 27:
+        if v in (27, 28):  # Ethereum wire encoding
             v -= 27
+        elif v not in (0, 1):
+            raise SignatureError(
+                f"recovery id byte must be 0, 1, 27 or 28, got {v}"
+            )
         return cls(r, s, v)
 
 
@@ -119,10 +132,18 @@ def sign(digest: bytes, private_key: int) -> Signature:
 
 
 def verify(digest: bytes, signature: Signature, public_key: Point) -> bool:
-    """Verify a signature against a known public key."""
+    """Verify a signature against a known public key.
+
+    Routes through the interleaved dual-scalar ladder and rejects high-s
+    signatures (EIP-2), matching the canonical form :func:`sign` emits: a
+    mauled ``(r, N - s)`` variant of a valid signature is refused even
+    though classic ECDSA would accept it.
+    """
     if len(digest) != 32:
         raise SignatureError("digest must be 32 bytes")
     if public_key.is_infinity():
+        return False
+    if signature.s > _HALF_N:
         return False
     z = int.from_bytes(digest, "big")
     try:
@@ -137,27 +158,105 @@ def verify(digest: bytes, signature: Signature, public_key: Point) -> bool:
     return point.x % N == signature.r
 
 
+def _recovery_point(signature: Signature) -> Point:
+    """Lift ``r`` to the curve point R, mapping failure to SignatureError."""
+    # For secp256k1, r + N >= P in all but astronomically rare cases, so the
+    # candidate x is simply r (we do not iterate over r + j*N).
+    try:
+        return lift_x(signature.r, bool(signature.v & 1))
+    except ValueError as exc:
+        raise SignatureError("invalid signature: r is not a curve abscissa") from exc
+
+
 def recover(digest: bytes, signature: Signature) -> Point:
     """Recover the signing public key from a signature (``ecrecover``).
 
-    Raises :class:`SignatureError` when no valid key can be recovered.
+    One pass: ``Q = (s*r^-1)*R + (-z*r^-1)*G`` evaluated as a single
+    interleaved dual-scalar ladder, instead of the three full scalar
+    multiplications of the textbook formulation.  Raises
+    :class:`SignatureError` when no valid key can be recovered.
     """
     if len(digest) != 32:
         raise SignatureError("digest must be 32 bytes")
     z = int.from_bytes(digest, "big")
-    # For secp256k1, r + N >= P in all but astronomically rare cases, so the
-    # candidate x is simply r (we do not iterate over r + j*N).
-    try:
-        r_point = lift_x(signature.r, bool(signature.v & 1))
-    except ValueError as exc:
-        raise SignatureError("invalid signature: r is not a curve abscissa") from exc
+    r_point = _recovery_point(signature)
     r_inv = pow(signature.r, -1, N)
-    # Q = r^{-1} (s * R - z * G)
-    s_r = point_multiply(r_point, signature.s)
+    u1 = -z * r_inv % N
+    u2 = signature.s * r_inv % N
+    public_key = shamir_multiply(u1, u2, r_point)
+    if public_key.is_infinity():
+        raise SignatureError("recovered point at infinity")
+    return public_key
+
+
+def recover_batch(
+    pairs: list[tuple[bytes, Signature]],
+) -> "list[Point | None]":
+    """Recover public keys for a block of ``(digest, signature)`` pairs.
+
+    Per signature it evaluates the same one-pass ``Q = u2*R + u1*G``, but
+    through the heavier block kernel: both scalars are GLV-split into
+    ~128-bit halves (half the ladder doublings), each R's odd-multiples
+    table is normalised to affine so every digit addition is a mixed
+    addition, and the whole block shares one Montgomery batch inversion for
+    the ``r^-1 (mod N)`` scalars, one for the table normalisations and one
+    for the final Jacobian-to-affine conversions ``(mod P)``.
+    Unrecoverable entries yield ``None`` instead of raising, so one forged
+    token cannot poison a whole block's pre-warm.
+    """
+    results: "list[Point | None]" = [None] * len(pairs)
+    lifted: list[tuple[int, int, int, Point]] = []  # (index, z, s, R)
+    r_values: list[int] = []
+    for index, (digest, signature) in enumerate(pairs):
+        if len(digest) != 32:
+            continue
+        try:
+            r_point = _recovery_point(signature)
+        except SignatureError:
+            continue
+        lifted.append(
+            (index, int.from_bytes(digest, "big"), signature.s, r_point)
+        )
+        r_values.append(signature.r)
+    if not lifted:
+        return results
+    r_inverses = secp256k1.batch_inverse(r_values, N)
+    tables = secp256k1.affine_odd_multiples_batch(
+        [r_point for _, _, _, r_point in lifted]
+    )
+    jacobians = []
+    for (index, z, s, _r_point), r_inv, table in zip(
+        lifted, r_inverses, tables
+    ):
+        u1 = -z * r_inv % N
+        u2 = s * r_inv % N
+        jacobians.append(secp256k1._jacobian_shamir_glv(u1, u2, table))
+    points = secp256k1.jacobian_to_affine_batch(jacobians)
+    for (index, _z, _s, _r), point in zip(lifted, points):
+        if not point.is_infinity():
+            results[index] = point
+    return results
+
+
+def recover_reference(digest: bytes, signature: Signature) -> Point:
+    """The seed's ``ecrecover``: three separate scalar multiplications.
+
+    ``Q = r^-1 * (s*R - z*G)`` with a naive double-and-add ladder for the
+    non-generator multiplications and a validated affine point after each
+    step.  Kept as the reference implementation: the differential tests
+    check :func:`recover`/:func:`recover_batch` against it, and the
+    microbench gate measures the fast path's speedup over it.
+    """
+    if len(digest) != 32:
+        raise SignatureError("digest must be 32 bytes")
+    z = int.from_bytes(digest, "big")
+    r_point = _recovery_point(signature)
+    r_inv = pow(signature.r, -1, N)
+    s_r = point_multiply_reference(r_point, signature.s)
     z_g = generator_multiply(z)
     neg_z_g = secp256k1.point_negate(z_g)
     candidate = secp256k1.point_add(s_r, neg_z_g)
-    public_key = point_multiply(candidate, r_inv)
+    public_key = point_multiply_reference(candidate, r_inv)
     if public_key.is_infinity():
         raise SignatureError("recovered point at infinity")
     return public_key

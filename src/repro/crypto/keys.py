@@ -10,7 +10,7 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
-from repro.crypto.ecdsa import Signature, recover, sign, verify
+from repro.crypto.ecdsa import Signature, recover, recover_batch, sign, verify
 from repro.crypto.keccak import keccak256
 from repro.crypto.secp256k1 import GENERATOR, N, Point, point_multiply
 
@@ -120,3 +120,18 @@ def recover_address(digest: bytes, signature: Signature) -> bytes:
     """
     public_point = recover(digest, signature)
     return PublicKey(public_point).address()
+
+
+def recover_address_batch(
+    pairs: "list[tuple[bytes, Signature]]",
+) -> "list[bytes | None]":
+    """Batched :func:`recover_address` for a block of signatures.
+
+    Runs :func:`repro.crypto.ecdsa.recover_batch` (GLV split, shared
+    Montgomery inversions) and derives addresses from the recovered points;
+    unrecoverable entries come back as ``None`` instead of raising.
+    """
+    return [
+        PublicKey(point).address() if point is not None else None
+        for point in recover_batch(pairs)
+    ]

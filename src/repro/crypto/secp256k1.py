@@ -5,9 +5,24 @@ Ethereum signatures (and therefore SMACS tokens) live on the secp256k1 curve
     y^2 = x^3 + 7  over  F_p,  p = 2^256 - 2^32 - 977
 
 This module implements point addition, doubling and scalar multiplication in
-Jacobian coordinates, plus a small fixed-base window table for the generator
-so that signing (which is dominated by ``k * G``) is fast enough to drive the
-token-service throughput benchmarks.
+Jacobian coordinates, with two layers:
+
+* a **fast path** used by signing and verification: a fixed-base window table
+  for the generator (``k * G`` during signing), width-w non-adjacent-form
+  (wNAF) recoding with precomputed odd multiples of ``G`` and an on-the-fly
+  odd-multiples table for arbitrary points, a single interleaved Shamir
+  ladder for ``u1*G + u2*P`` (one pass of doublings shared by both scalars),
+  and a Montgomery batch inversion that converts many Jacobian results to
+  affine with a single field inversion; and
+* a **reference path** (:func:`point_multiply_reference`, the naive
+  double-and-add :func:`_jacobian_multiply`) kept deliberately simple so the
+  differential tests can check every fast-path result against it.
+
+Intermediate points produced by the fast path skip the curve-membership check
+in ``Point.__post_init__`` (group operations are closed, so re-validating
+every intermediate result is pure overhead); validation still happens at the
+trust boundaries -- ``Point(...)`` called with external coordinates,
+:func:`lift_x`, and public-key deserialisation.
 """
 
 from __future__ import annotations
@@ -25,7 +40,14 @@ GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
 
 @dataclass(frozen=True)
 class Point:
-    """An affine point on secp256k1.  ``Point(None, None)`` is the identity."""
+    """An affine point on secp256k1.  ``Point(None, None)`` is the identity.
+
+    Constructing a ``Point`` directly validates curve membership -- this is
+    the trust boundary for coordinates arriving from outside (deserialised
+    public keys, test vectors).  Internal arithmetic uses
+    :func:`_point_unchecked`, which skips the check: the group operations are
+    closed, so results of curve math are on the curve by construction.
+    """
 
     x: int | None
     y: int | None
@@ -38,6 +60,18 @@ class Point:
             return
         if not is_on_curve(self.x, self.y):
             raise ValueError("point is not on secp256k1")
+
+
+def _point_unchecked(x: int, y: int) -> Point:
+    """Build a ``Point`` without the curve-membership check.
+
+    Only for coordinates produced by the group operations themselves; any
+    externally supplied coordinates must go through ``Point(...)``.
+    """
+    point = object.__new__(Point)
+    object.__setattr__(point, "x", x)
+    object.__setattr__(point, "y", y)
+    return point
 
 
 def is_on_curve(x: int, y: int | None) -> bool:
@@ -54,6 +88,29 @@ GENERATOR = Point(GX, GY)
 def _inv(value: int, modulus: int) -> int:
     """Modular inverse; relies on Python's built-in extended-gcd pow."""
     return pow(value, -1, modulus)
+
+
+def batch_inverse(values: list[int], modulus: int = P) -> list[int]:
+    """Montgomery's trick: invert ``n`` field elements with one ``pow``.
+
+    Builds the running product, inverts it once, then peels the individual
+    inverses off with two multiplications each -- ``3(n-1)`` multiplications
+    plus a single modular inversion instead of ``n`` inversions.  All values
+    must be nonzero modulo ``modulus``.
+    """
+    if not values:
+        return []
+    prefix = []
+    acc = 1
+    for value in values:
+        prefix.append(acc)
+        acc = acc * value % modulus
+    inv = pow(acc, -1, modulus)
+    out = [0] * len(values)
+    for i in range(len(values) - 1, -1, -1):
+        out[i] = prefix[i] * inv % modulus
+        inv = inv * values[i] % modulus
+    return out
 
 
 # --- Jacobian coordinate arithmetic ---------------------------------------
@@ -76,7 +133,41 @@ def _from_jacobian(jac: tuple[int, int, int]) -> Point:
         return INFINITY
     z_inv = _inv(z, P)
     z_inv_sq = z_inv * z_inv % P
+    return _point_unchecked(x * z_inv_sq % P, y * z_inv_sq * z_inv % P)
+
+
+def _from_jacobian_checked(jac: tuple[int, int, int]) -> Point:
+    """Affine conversion through the validating constructor.
+
+    Used by the reference path so its cost profile matches the seed
+    implementation (which validated every affine result).
+    """
+    x, y, z = jac
+    if z == 0:
+        return INFINITY
+    z_inv = _inv(z, P)
+    z_inv_sq = z_inv * z_inv % P
     return Point(x * z_inv_sq % P, y * z_inv_sq * z_inv % P)
+
+
+def jacobian_to_affine_batch(jacs: list[tuple[int, int, int]]) -> list[Point]:
+    """Convert many Jacobian points to affine sharing one field inversion.
+
+    The per-point cost drops from one modular inversion (hundreds of
+    multiplications via extended gcd) to three multiplications -- the batch
+    half of :func:`repro.crypto.ecdsa.recover_batch`.
+    """
+    z_values = [z for _, _, z in jacs if z != 0]
+    inverses = iter(batch_inverse(z_values, P))
+    points = []
+    for x, y, z in jacs:
+        if z == 0:
+            points.append(INFINITY)
+            continue
+        z_inv = next(inverses)
+        z_inv_sq = z_inv * z_inv % P
+        points.append(_point_unchecked(x * z_inv_sq % P, y * z_inv_sq * z_inv % P))
+    return points
 
 
 def _jacobian_double(jac: tuple[int, int, int]) -> tuple[int, int, int]:
@@ -125,7 +216,11 @@ def _jacobian_add(
 def _jacobian_multiply(
     jac: tuple[int, int, int], scalar: int
 ) -> tuple[int, int, int]:
-    """Double-and-add scalar multiplication (left-to-right)."""
+    """Naive double-and-add scalar multiplication (left-to-right).
+
+    This is the reference ladder: the wNAF fast path below is checked
+    against it by the differential test suite.
+    """
     scalar %= N
     result = _J_INFINITY
     addend = jac
@@ -137,10 +232,319 @@ def _jacobian_multiply(
     return result
 
 
+def _jacobian_add_mixed(
+    p: tuple[int, int, int], q: tuple[int, int]
+) -> tuple[int, int, int]:
+    """Add an affine point (implicit z = 1) to a Jacobian point.
+
+    With ``z2 == 1`` the ``z2^2``/``z2^3`` scalings of the general formula
+    vanish: 11 field multiplications instead of 16.  Table lookups in the
+    wNAF ladders are affine (normalised once, or once per batch), so every
+    digit addition takes this cheaper path.
+    """
+    if p[2] == 0:
+        return (q[0], q[1], 1)
+    x1, y1, z1 = p
+    x2, y2 = q
+    z1sq = z1 * z1 % P
+    u2 = x2 * z1sq % P
+    s2 = y2 * z1sq * z1 % P
+    if u2 == x1:
+        if s2 != y1:
+            return _J_INFINITY
+        return _jacobian_double(p)
+    h = (u2 - x1) % P
+    r = (s2 - y1) % P
+    hsq = h * h % P
+    hcu = hsq * h % P
+    u1hsq = x1 * hsq % P
+    nx = (r * r - hcu - 2 * u1hsq) % P
+    ny = (r * (u1hsq - nx) - y1 * hcu) % P
+    nz = h * z1 % P
+    return (nx, ny, nz)
+
+
+# --- wNAF recoding and odd-multiples tables --------------------------------
+#
+# Width-w non-adjacent form rewrites a scalar as a sequence of digits that
+# are either zero or odd with |digit| < 2^(w-1); at most one digit in any w
+# consecutive positions is nonzero, so an n-bit scalar costs n doublings but
+# only ~n/(w+1) additions.  Negative digits are free on an elliptic curve
+# (negate the y coordinate), which is where wNAF beats a plain window.
+
+_WNAF_WIDTH_FIXED = 8  # generator: 64 precomputed odd multiples (affine)
+_WNAF_WIDTH_VAR = 5  # arbitrary points: 8 odd multiples built per call
+
+
+def _wnaf(scalar: int, width: int) -> list[int]:
+    """Width-``width`` NAF digits of ``scalar``, least significant first.
+
+    Exploits the NAF structure instead of walking bit by bit: emitting the
+    centred digit ``d = scalar mod 2^width`` makes the next ``width - 1``
+    digits zero by construction (``scalar - d`` is divisible by
+    ``2^width``), and runs of zero bits are skipped in one shift.
+    """
+    digits: list[int] = []
+    power = 1 << width
+    half = power >> 1
+    mask = power - 1
+    pad = [0] * (width - 1)
+    while scalar:
+        if scalar & 1:
+            digit = scalar & mask
+            if digit >= half:
+                digit -= power
+            digits.append(digit)
+            digits.extend(pad)
+            scalar = (scalar - digit) >> width
+        else:
+            run = (scalar & -scalar).bit_length() - 1
+            digits.extend([0] * run)
+            scalar >>= run
+    while digits and digits[-1] == 0:
+        digits.pop()
+    return digits
+
+
+def _build_odd_multiples(
+    jac: tuple[int, int, int], count: int
+) -> list[tuple[int, int, int]]:
+    """``[1P, 3P, 5P, ..., (2*count-1)P]`` in Jacobian coordinates."""
+    table = [jac]
+    twice = _jacobian_double(jac)
+    for _ in range(count - 1):
+        table.append(_jacobian_add(table[-1], twice))
+    return table
+
+
+def _jacobian_multiply_wnaf(
+    jac: tuple[int, int, int], scalar: int
+) -> tuple[int, int, int]:
+    """wNAF scalar multiplication for an arbitrary point."""
+    scalar %= N
+    if scalar == 0 or jac[2] == 0:
+        return _J_INFINITY
+    digits = _wnaf(scalar, _WNAF_WIDTH_VAR)
+    table = _build_odd_multiples(jac, 1 << (_WNAF_WIDTH_VAR - 2))
+    double, add = _jacobian_double, _jacobian_add
+    result = _J_INFINITY
+    for i in range(len(digits) - 1, -1, -1):
+        result = double(result)
+        digit = digits[i]
+        if digit:
+            if digit > 0:
+                result = add(result, table[digit >> 1])
+            else:
+                x, y, z = table[(-digit) >> 1]
+                result = add(result, (x, P - y, z))
+    return result
+
+
+def _jacobian_shamir(
+    u1: int, u2: int, jac: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    """``u1*G + u2*point`` in one interleaved wNAF ladder (Jacobian result).
+
+    Both scalars share a single left-to-right pass of doublings: the
+    generator digits resolve against the precomputed *affine* odd-multiples
+    table (mixed additions), the second point's digits against a small
+    Jacobian table built on the fly.  This is the kernel behind one-pass
+    ``ecrecover`` and signature verification.
+    """
+    u1 %= N
+    u2 %= N
+    naf1 = _wnaf(u1, _WNAF_WIDTH_FIXED) if u1 else []
+    naf2 = _wnaf(u2, _WNAF_WIDTH_VAR) if u2 and jac[2] != 0 else []
+    table2 = (
+        _build_odd_multiples(jac, 1 << (_WNAF_WIDTH_VAR - 2)) if naf2 else []
+    )
+    table1 = _G_ODD_AFFINE
+    len1, len2 = len(naf1), len(naf2)
+    double, add, add_mixed = _jacobian_double, _jacobian_add, _jacobian_add_mixed
+    result = _J_INFINITY
+    for i in range(max(len1, len2) - 1, -1, -1):
+        result = double(result)
+        if i < len1:
+            digit = naf1[i]
+            if digit:
+                if digit > 0:
+                    result = add_mixed(result, table1[digit >> 1])
+                else:
+                    x, y = table1[(-digit) >> 1]
+                    result = add_mixed(result, (x, P - y))
+        if i < len2:
+            digit = naf2[i]
+            if digit:
+                if digit > 0:
+                    result = add(result, table2[digit >> 1])
+                else:
+                    x, y, z = table2[(-digit) >> 1]
+                    result = add(result, (x, P - y, z))
+    return result
+
+
+def affine_odd_multiples_batch(
+    points: list[Point],
+) -> list[list[tuple[int, int]]]:
+    """Width-5 odd-multiples tables for many points, affine via one inversion.
+
+    Builds every table in Jacobian coordinates, then normalises all entries
+    of all tables with a single shared Montgomery batch inversion -- the
+    per-signature table cost in :func:`repro.crypto.ecdsa.recover_batch`.
+    """
+    count = 1 << (_WNAF_WIDTH_VAR - 2)
+    flat: list[tuple[int, int, int]] = []
+    for point in points:
+        flat.extend(_build_odd_multiples((point.x, point.y, 1), count))
+    affine = jacobian_to_affine_batch(flat)
+    return [
+        [(p.x, p.y) for p in affine[i * count:(i + 1) * count]]
+        for i in range(len(points))
+    ]
+
+
+def _jacobian_shamir_glv(
+    u1: int, u2: int, table_r: list[tuple[int, int]]
+) -> tuple[int, int, int]:
+    """``u1*G + u2*R`` with both scalars GLV-split (batch-recovery kernel).
+
+    ``table_r`` is R's affine odd-multiples table (from
+    :func:`affine_odd_multiples_batch`).  Each 256-bit scalar splits into
+    two ~128-bit halves against (G, lambda*G) and (R, lambda*R), so the
+    joint ladder runs half the doublings of :func:`_jacobian_shamir`; every
+    digit addition is a mixed (affine) addition.
+    """
+    g1, g2 = _glv_split(u1 % N)
+    k1, k2 = _glv_split(u2 % N)
+    streams: list[tuple[list[int], list[tuple[int, int]]]] = []
+    for scalar, width, table in (
+        (g1, _WNAF_WIDTH_FIXED, _G_ODD_AFFINE),
+        (g2, _WNAF_WIDTH_FIXED, _LAMBDA_G_ODD_AFFINE),
+        (k1, _WNAF_WIDTH_VAR, table_r),
+        (k2, _WNAF_WIDTH_VAR, apply_endomorphism(table_r)),
+    ):
+        if scalar:
+            if scalar < 0:
+                scalar = -scalar
+                table = [(x, P - y) for x, y in table]
+            streams.append((_wnaf(scalar, width), table))
+    return _jacobian_multi_wnaf_affine(streams)
+
+
+def _jacobian_multi_wnaf_affine(
+    streams: list[tuple[list[int], list[tuple[int, int]]]],
+) -> tuple[int, int, int]:
+    """Sum of ``k_i * P_i`` over several wNAF digit streams, one joint ladder.
+
+    Every stream pairs its NAF digits with an *affine* odd-multiples table,
+    so all digit additions are mixed additions; the doublings are shared by
+    all streams.  This is the batch-recovery kernel: four ~128-bit streams
+    (G, lambda*G, R, lambda*R after the GLV split) replace two 256-bit ones,
+    halving the doublings.
+
+    The digit streams are resolved to per-step addition events up front --
+    wNAF digits are sparse (one nonzero per ``width+1`` positions on
+    average), so the hot ladder loop only ever sees the table points it
+    will actually add.
+    """
+    length = 0
+    for naf, _table in streams:
+        if len(naf) > length:
+            length = len(naf)
+    if length == 0:
+        return _J_INFINITY
+    events: list[list[tuple[int, int]] | None] = [None] * length
+    for naf, table in streams:
+        for i, digit in enumerate(naf):
+            if digit:
+                if digit > 0:
+                    point = table[digit >> 1]
+                else:
+                    x, y = table[(-digit) >> 1]
+                    point = (x, P - y)
+                if events[i] is None:
+                    events[i] = [point]
+                else:
+                    events[i].append(point)
+    double, add_mixed = _jacobian_double, _jacobian_add_mixed
+    result = _J_INFINITY
+    for i in range(length - 1, -1, -1):
+        result = double(result)
+        step = events[i]
+        if step is not None:
+            for point in step:
+                result = add_mixed(result, point)
+    return result
+
+
+# --- The GLV endomorphism ---------------------------------------------------
+#
+# secp256k1 has an efficiently computable endomorphism phi(x, y) = (beta*x, y)
+# with phi(Q) = lambda*Q, where lambda^3 = 1 (mod N) and beta^3 = 1 (mod P).
+# Splitting a 256-bit scalar k into k1 + k2*lambda with |k1|, |k2| ~ 2^128
+# halves the doublings of a scalar multiplication.  The batch-recovery
+# kernel uses it to turn u1*G + u2*R into four ~128-bit streams.
+
+LAMBDA = 0x5363AD4CC05C30E0A5261C028812645A122E22EA20816678DF02967C1B23BD72
+BETA = 0x7AE96A2B657C07106E64479EAC3434E99CF0497512F58995C1396C28719501EE
+
+
+def _glv_basis() -> tuple[int, int, int, int, int]:
+    """Short lattice basis for {(a, b) : a + b*lambda = 0 (mod N)}.
+
+    Partial extended Euclid on (N, lambda) down to remainders ~ sqrt(N)
+    (Guide to ECC, Alg. 3.74); returns (a1, b1, a2, b2, det) with det > 0.
+    """
+    import math
+
+    sqrt_n = math.isqrt(N)
+    rows = [(N, 0), (LAMBDA, 1)]
+    while rows[-1][0] >= sqrt_n:
+        (r0, t0), (r1, t1) = rows[-2], rows[-1]
+        q = r0 // r1
+        rows.append((r0 - q * r1, t0 - q * t1))
+    (rm, tm), (rm1, tm1) = rows[-2], rows[-1]
+    q = rm // rm1
+    rm2, tm2 = rm - q * rm1, tm - q * tm1
+    a1, b1 = rm1, -tm1
+    if rm * rm + tm * tm <= rm2 * rm2 + tm2 * tm2:
+        a2, b2 = rm, -tm
+    else:
+        a2, b2 = rm2, -tm2
+    det = a1 * b2 - a2 * b1
+    if det < 0:
+        a2, b2, det = -a2, -b2, -det
+    return a1, b1, a2, b2, det
+
+
+_GLV_A1, _GLV_B1, _GLV_A2, _GLV_B2, _GLV_DET = _glv_basis()
+
+
+def _glv_split(scalar: int) -> tuple[int, int]:
+    """Split ``scalar`` into (k1, k2) with k1 + k2*lambda = scalar (mod N).
+
+    Both halves are ~128 bits (possibly negative); negation is free on the
+    curve, so the ladder flips the table's y coordinates instead.
+    """
+    c1 = (2 * _GLV_B2 * scalar + _GLV_DET) // (2 * _GLV_DET)
+    c2 = (-2 * _GLV_B1 * scalar + _GLV_DET) // (2 * _GLV_DET)
+    k1 = scalar - c1 * _GLV_A1 - c2 * _GLV_A2
+    k2 = -c1 * _GLV_B1 - c2 * _GLV_B2
+    return k1, k2
+
+
+def apply_endomorphism(table: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Map an affine odd-multiples table of P to the table of lambda*P."""
+    return [(BETA * x % P, y) for x, y in table]
+
+
 # --- Fixed-base precomputation for the generator ---------------------------
 #
 # Signing computes k * G for a fresh k on every token issuance; a 4-bit
-# windowed table over the generator cuts that to ~64 point additions.
+# windowed comb over the generator cuts that to ~64 point additions with no
+# doublings at all.  The comb entries and the wNAF odd multiples of G (and
+# lambda*G) are normalised to affine once at import, sharing one Montgomery
+# batch inversion, so every lookup feeds the cheaper mixed addition.
 
 _WINDOW_BITS = 4
 _NUM_WINDOWS = 256 // _WINDOW_BITS
@@ -159,17 +563,53 @@ def _build_generator_table() -> list[list[tuple[int, int, int]]]:
     return table
 
 
-_GENERATOR_TABLE = _build_generator_table()
+def _normalise_generator_tables() -> tuple[
+    list[list[tuple[int, int] | None]], list[tuple[int, int]]
+]:
+    """Affine forms of the comb table and the wNAF odd multiples of G."""
+    comb_jac = _build_generator_table()
+    odd_jac = _build_odd_multiples(
+        _to_jacobian(GENERATOR), 1 << (_WNAF_WIDTH_FIXED - 2)
+    )
+    flat = [entry for row in comb_jac for entry in row[1:]] + odd_jac
+    affine = jacobian_to_affine_batch(flat)
+    row_len = (1 << _WINDOW_BITS) - 1
+    comb: list[list[tuple[int, int] | None]] = []
+    for window in range(_NUM_WINDOWS):
+        chunk = affine[window * row_len:(window + 1) * row_len]
+        comb.append([None] + [(p.x, p.y) for p in chunk])
+    odd_start = _NUM_WINDOWS * row_len
+    odd = [(p.x, p.y) for p in affine[odd_start:]]
+    return comb, odd
+
+
+_GENERATOR_TABLE, _G_ODD_AFFINE = _normalise_generator_tables()
+_LAMBDA_G_ODD_AFFINE = apply_endomorphism(_G_ODD_AFFINE)
+
+# The (lambda, beta) pairing must match -- lambda*G == (beta*Gx, Gy) -- or the
+# GLV split would multiply the wrong point.  Checked once at import.
+_lambda_g = _from_jacobian(
+    _jacobian_multiply((GX, GY, 1), LAMBDA)
+)
+assert (_lambda_g.x, _lambda_g.y) == (
+    BETA * GX % P,
+    GY,
+), "GLV endomorphism constants are inconsistent"
+del _lambda_g
 
 
 def generator_multiply(scalar: int) -> Point:
     """Compute ``scalar * G`` using the precomputed window table."""
     scalar %= N
     result = _J_INFINITY
+    add_mixed = _jacobian_add_mixed
+    table = _GENERATOR_TABLE
+    mask = (1 << _WINDOW_BITS) - 1
     for window in range(_NUM_WINDOWS):
-        digit = (scalar >> (window * _WINDOW_BITS)) & ((1 << _WINDOW_BITS) - 1)
+        digit = scalar & mask
+        scalar >>= _WINDOW_BITS
         if digit:
-            result = _jacobian_add(result, _GENERATOR_TABLE[window][digit])
+            result = add_mixed(result, table[window][digit])
     return _from_jacobian(result)
 
 
@@ -179,29 +619,36 @@ def point_add(p: Point, q: Point) -> Point:
 
 
 def point_multiply(point: Point, scalar: int) -> Point:
-    """Affine scalar multiplication ``scalar * point``."""
+    """Affine scalar multiplication ``scalar * point`` (wNAF fast path)."""
     if point == GENERATOR:
         return generator_multiply(scalar)
-    return _from_jacobian(_jacobian_multiply(_to_jacobian(point), scalar))
+    return _from_jacobian(_jacobian_multiply_wnaf(_to_jacobian(point), scalar))
+
+
+def point_multiply_reference(point: Point, scalar: int) -> Point:
+    """Naive double-and-add scalar multiplication.
+
+    Mirrors the seed implementation (including the validated affine
+    conversion); kept as the reference against which the wNAF fast path is
+    differentially tested and benchmarked.
+    """
+    return _from_jacobian_checked(_jacobian_multiply(_to_jacobian(point), scalar))
 
 
 def point_negate(point: Point) -> Point:
     if point.is_infinity():
         return point
-    return Point(point.x, (-point.y) % P)
+    return _point_unchecked(point.x, (-point.y) % P)
 
 
 def shamir_multiply(u1: int, u2: int, point: Point) -> Point:
     """Compute ``u1 * G + u2 * point`` (used by verification and recovery).
 
-    Uses straightforward composition; verification performance is adequate
-    for the simulated chain (a few hundred verifications per second).
+    A true interleaved Shamir ladder: one shared pass of doublings with wNAF
+    digit additions from the fixed generator table and an on-the-fly table
+    for ``point`` -- roughly half the work of two independent ladders.
     """
-    acc = _jacobian_add(
-        _to_jacobian(generator_multiply(u1)),
-        _jacobian_multiply(_to_jacobian(point), u2),
-    )
-    return _from_jacobian(acc)
+    return _from_jacobian(_jacobian_shamir(u1, u2, _to_jacobian(point)))
 
 
 def lift_x(x: int, is_odd: bool) -> Point:
@@ -218,4 +665,4 @@ def lift_x(x: int, is_odd: bool) -> Point:
         raise ValueError("x is not on the curve")
     if (y % 2 == 1) != is_odd:
         y = P - y
-    return Point(x, y)
+    return _point_unchecked(x, y)

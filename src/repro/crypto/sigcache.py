@@ -31,7 +31,7 @@ from typing import Callable
 
 from repro.crypto.ecdsa import Signature, SignatureError
 from repro.crypto.keccak import keccak256
-from repro.crypto.keys import recover_address
+from repro.crypto.keys import recover_address, recover_address_batch
 
 _RECOVER_FAILED = object()  # cached sentinel for unrecoverable signatures
 
@@ -118,6 +118,51 @@ class SignatureCache:
             return None
         self._store(self._recovered, key, address)
         return address
+
+    def recover_batch(
+        self, pairs: "list[tuple[bytes, Signature]]"
+    ) -> "list[bytes | None]":
+        """Memoized batch recovery for a block of ``(digest, signature)``.
+
+        Cache hits resolve immediately; all misses are deduplicated and
+        resolved in one :func:`repro.crypto.keys.recover_address_batch`
+        call, sharing the GLV block kernel and its Montgomery batch
+        inversions across every missing signature.  Results (failures
+        included) land in the cache exactly as single :meth:`recover`
+        calls would.
+        """
+        results: "list[bytes | None]" = [None] * len(pairs)
+        pending: list[tuple[int, tuple]] = []
+        compute_index: dict[tuple, int] = {}
+        compute: list[tuple[bytes, Signature]] = []
+        for position, (digest, signature) in enumerate(pairs):
+            key = self._recover_key(digest, signature)
+            if key in compute_index:
+                # A block can replay the same token many times; only the
+                # first occurrence is a miss (and is computed once below),
+                # exactly as a sequence of single `recover` calls would
+                # miss once and then hit.
+                self.hits += 1
+                pending.append((position, key))
+                continue
+            value, found = self._lookup(self._recovered, key)
+            if found:
+                results[position] = None if value is _RECOVER_FAILED else value
+            else:
+                compute_index[key] = len(compute)
+                compute.append((digest, signature))
+                pending.append((position, key))
+        if compute:
+            addresses = recover_address_batch(compute)
+            for position, key in pending:
+                address = addresses[compute_index[key]]
+                self._store(
+                    self._recovered,
+                    key,
+                    _RECOVER_FAILED if address is None else address,
+                )
+                results[position] = address
+        return results
 
     # -- signing (the issuance path) ------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.chain.transaction import Transaction
 from repro.core.call_chain import TokenBundle
 from repro.core.smacs_contract import SMACSContract
 from repro.core.token import MalformedToken, Token, TokenType, TOKEN_SIZE, signing_datagram
+from repro.crypto.ecdsa import Signature
 from repro.crypto.sigcache import SignatureCache
 
 
@@ -135,11 +136,21 @@ class BlockExecutor:
     def pre_warm(self, transactions: list[Transaction]) -> tuple[int, int]:
         """Resolve every token's digest + recovery through the shared cache.
 
-        Returns ``(hits, misses)`` where a miss means the curve math ran here
-        -- once, outside any gas-metered frame -- instead of inside the EVM.
+        Walks the block plan collecting every ``(digest, signature)`` pair
+        that is not already cached, then resolves all of them in a single
+        :meth:`SignatureCache.recover_batch` call -- one GLV block kernel
+        and one set of Montgomery batch inversions for the whole block,
+        instead of one full recovery (and one modular inversion per
+        Jacobian-to-affine conversion) per token.
+
+        Returns ``(hits, misses)`` where a miss means the curve math ran
+        here -- once, outside any gas-metered frame -- instead of inside
+        the EVM.
         """
         cache = self.signature_cache
-        hits = misses = 0
+        hits = 0
+        pending: list[tuple[bytes, Signature]] = []
+        pending_keys: set[tuple] = set()
         for tx in transactions:
             for address, raw in tokens_carried(tx):
                 # Call-chain bundles carry one entry per contract; each entry
@@ -156,12 +167,22 @@ class BlockExecutor:
                 if datagram is None:
                     continue
                 digest = cache.digest_for(datagram)
-                if cache.peek_recovery(digest, token.signature) is not None:
+                signature = token.signature
+                if cache.peek_recovery(digest, signature) is not None:
                     hits += 1
                 else:
-                    cache.recover(digest, token.signature)
-                    misses += 1
-        return hits, misses
+                    # An intra-block replay of a not-yet-cached token is a
+                    # hit, not a miss: the batch computes each distinct pair
+                    # once, so `misses` keeps meaning "curve math ran here".
+                    key = (digest, signature.r, signature.s, signature.v)
+                    if key in pending_keys:
+                        hits += 1
+                    else:
+                        pending_keys.add(key)
+                        pending.append((digest, signature))
+        if pending:
+            cache.recover_batch(pending)
+        return hits, len(pending)
 
     # -- execution ----------------------------------------------------------------
 

@@ -44,6 +44,18 @@ def test_verify_rejects_wrong_key(keypair, digest):
     assert not other.verify(digest, signature)
 
 
+def test_verify_rejects_high_s_signature(keypair, digest):
+    """EIP-2 regression: the (r, N - s) mauling of a valid signature is a
+    valid classic-ECDSA signature but must be refused by verify."""
+    signature = keypair.sign(digest)
+    mauled = Signature(signature.r, N - signature.s, signature.v ^ 1)
+    assert mauled.s > N // 2  # sign() emits low-s, so the flip is high-s
+    assert keypair.verify(digest, signature)
+    assert not keypair.verify(digest, mauled)
+    # ecrecover (like the precompile) still accepts either form.
+    assert recover(digest, mauled) == keypair.public.point
+
+
 def test_low_s_normalisation(keypair, digest):
     signature = keypair.sign(digest)
     assert signature.s <= N // 2
@@ -81,6 +93,23 @@ def test_signature_from_bytes_accepts_ethereum_v_offset(keypair, digest):
 def test_signature_rejects_bad_length():
     with pytest.raises(SignatureError):
         Signature.from_bytes(b"\x01" * 64)
+
+
+@pytest.mark.parametrize("raw_v", [2, 3, 14, 26, 29, 255])
+def test_signature_from_bytes_rejects_invalid_v(keypair, digest, raw_v):
+    """Raw v bytes outside {0, 1, 27, 28} fail with a clear message instead
+    of falling through to the constructor's generic range error."""
+    raw = bytearray(keypair.sign(digest).to_bytes())
+    raw[64] = raw_v
+    with pytest.raises(SignatureError, match="recovery id byte"):
+        Signature.from_bytes(bytes(raw))
+
+
+@pytest.mark.parametrize("raw_v", [0, 1, 27, 28])
+def test_signature_from_bytes_accepts_all_valid_v_encodings(raw_v):
+    raw = (1).to_bytes(32, "big") + (1).to_bytes(32, "big") + bytes([raw_v])
+    signature = Signature.from_bytes(raw)
+    assert signature.v == (raw_v - 27 if raw_v >= 27 else raw_v)
 
 
 def test_signature_rejects_out_of_range_components():

@@ -1,0 +1,304 @@
+"""Differential tests: the curve-math fast path vs the naive reference.
+
+The wNAF/Shamir/GLV/batch machinery in ``repro.crypto.secp256k1`` and
+``repro.crypto.ecdsa`` must agree with the naive double-and-add reference
+implementation on every input.  Deterministic edge cases (identity, scalars
+congruent to 0 mod N, both y parities, r near N) run in the fast lane;
+hypothesis sweeps over random scalars run in the slow lane.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import secp256k1
+from repro.crypto.ecdsa import (
+    Signature,
+    SignatureError,
+    recover,
+    recover_batch,
+    recover_reference,
+    sign,
+)
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import KeyPair, recover_address, recover_address_batch
+from repro.crypto.secp256k1 import (
+    GENERATOR,
+    INFINITY,
+    LAMBDA,
+    N,
+    P,
+    Point,
+    _glv_split,
+    _jacobian_multiply,
+    _jacobian_multiply_wnaf,
+    _to_jacobian,
+    _wnaf,
+    batch_inverse,
+    generator_multiply,
+    jacobian_to_affine_batch,
+    lift_x,
+    point_add,
+    point_multiply,
+    point_multiply_reference,
+    shamir_multiply,
+)
+
+_KEYPAIR = KeyPair.from_seed("fastpath-differential-key")
+_OTHER = KeyPair.from_seed("fastpath-differential-other")
+
+scalars = st.integers(min_value=0, max_value=2 * N)
+small_scalars = st.integers(min_value=0, max_value=1 << 20)
+
+
+def _naive_multiply(point: Point, scalar: int) -> Point:
+    return secp256k1._from_jacobian_checked(
+        _jacobian_multiply(_to_jacobian(point), scalar)
+    )
+
+
+# --- deterministic edge cases (fast lane) ----------------------------------
+
+
+@pytest.mark.parametrize("scalar", [0, 1, 2, 3, N - 1, N, N + 1, 2 * N, N >> 1])
+def test_generator_multiply_edge_scalars(scalar):
+    assert generator_multiply(scalar) == _naive_multiply(GENERATOR, scalar)
+
+
+@pytest.mark.parametrize("scalar", [0, 1, 2, N - 1, N, N + 1, 2 * N])
+def test_wnaf_multiply_edge_scalars(scalar):
+    point = _naive_multiply(GENERATOR, 0xC0FFEE)
+    assert point_multiply(point, scalar) == _naive_multiply(point, scalar)
+
+
+def test_point_multiply_identity_point():
+    assert point_multiply(INFINITY, 12345).is_infinity()
+    assert point_multiply_reference(INFINITY, 12345).is_infinity()
+
+
+def test_scalar_zero_mod_n_gives_identity():
+    point = _naive_multiply(GENERATOR, 7)
+    assert point_multiply(point, N).is_infinity()
+    assert shamir_multiply(N, N, point).is_infinity()
+    assert shamir_multiply(0, 0, point).is_infinity()
+
+
+@pytest.mark.parametrize("u1,u2", [(0, 5), (5, 0), (N, 5), (5, N), (1, 1)])
+def test_shamir_degenerate_scalars(u1, u2):
+    point = _naive_multiply(GENERATOR, 0xDEADBEEF)
+    expected = point_add(
+        _naive_multiply(GENERATOR, u1), _naive_multiply(point, u2)
+    )
+    assert shamir_multiply(u1, u2, point) == expected
+
+
+def test_shamir_with_identity_second_point():
+    assert shamir_multiply(42, 99, INFINITY) == _naive_multiply(GENERATOR, 42)
+
+
+def test_lift_x_parity_both_ways_roundtrip():
+    for seed in (5, 6, 7):
+        point = _naive_multiply(GENERATOR, seed)
+        for parity in (True, False):
+            lifted = lift_x(point.x, parity)
+            assert lifted.x == point.x
+            assert (lifted.y & 1 == 1) == parity
+            assert secp256k1.is_on_curve(lifted.x, lifted.y)
+
+
+def test_recover_r_near_n_is_consistent_across_paths():
+    """r values just below N: fast, batch and reference must all agree
+    (recover the same point or all fail)."""
+    digest = keccak256(b"r-near-n")
+    for r in (N - 1, N - 2, N - 3, N - 4):
+        for v in (0, 1):
+            signature = Signature(r, 12345, v)
+            try:
+                expected = recover_reference(digest, signature)
+            except SignatureError:
+                expected = None
+            try:
+                fast = recover(digest, signature)
+            except SignatureError:
+                fast = None
+            assert fast == expected
+            assert recover_batch([(digest, signature)]) == [expected]
+
+
+def test_batch_mixed_good_bad_and_duplicate_entries():
+    digest = keccak256(b"batch-mixed")
+    good = _KEYPAIR.sign(digest)
+    other = _OTHER.sign(digest)
+    bad = Signature(12345, 67890, 1)
+    results = recover_batch(
+        [(digest, good), (digest, bad), (digest, other), (digest, good)]
+    )
+    assert results[0] == _KEYPAIR.public.point
+    assert results[1] is None or results[1] != _KEYPAIR.public.point
+    assert results[2] == _OTHER.public.point
+    assert results[3] == _KEYPAIR.public.point
+
+
+def test_batch_empty_and_malformed_digest():
+    assert recover_batch([]) == []
+    # A wrong-length digest raises on the single path but yields None in a
+    # batch (one bad entry must not poison the block).
+    signature = _KEYPAIR.sign(keccak256(b"ok"))
+    with pytest.raises(SignatureError):
+        recover(b"short", signature)
+    assert recover_batch([(b"short", signature)]) == [None]
+
+
+def test_recover_address_batch_matches_singles():
+    digests = [keccak256(b"addr-%d" % i) for i in range(5)]
+    pairs = [(d, _KEYPAIR.sign(d)) for d in digests]
+    assert recover_address_batch(pairs) == [
+        recover_address(d, s) for d, s in pairs
+    ]
+
+
+def test_batch_inverse_matches_pow():
+    values = [1, 2, 3, P - 1, 0xDEADBEEF, N % P]
+    assert batch_inverse(values, P) == [pow(v, -1, P) for v in values]
+    assert batch_inverse([], P) == []
+
+
+def test_jacobian_to_affine_batch_handles_infinity():
+    jacs = [
+        _to_jacobian(_naive_multiply(GENERATOR, 9)),
+        secp256k1._J_INFINITY,
+        secp256k1._jacobian_double(_to_jacobian(GENERATOR)),
+    ]
+    points = jacobian_to_affine_batch(jacs)
+    assert points[0] == _naive_multiply(GENERATOR, 9)
+    assert points[1].is_infinity()
+    assert points[2] == _naive_multiply(GENERATOR, 2)
+
+
+def test_glv_split_known_edge_scalars():
+    for k in (0, 1, 2, N - 1, N >> 1, LAMBDA, N - LAMBDA):
+        k1, k2 = _glv_split(k % N)
+        assert (k1 + k2 * LAMBDA) % N == k % N
+        assert abs(k1).bit_length() <= 129
+        assert abs(k2).bit_length() <= 129
+
+
+def test_endomorphism_matches_lambda_multiplication():
+    point = _naive_multiply(GENERATOR, 0xBADC0DE)
+    mapped = secp256k1.apply_endomorphism([(point.x, point.y)])[0]
+    expected = _naive_multiply(point, LAMBDA)
+    assert mapped == (expected.x, expected.y)
+
+
+# --- hypothesis sweeps (slow lane) -----------------------------------------
+
+
+@pytest.mark.slow
+@given(scalar=scalars, width=st.integers(min_value=2, max_value=8))
+@settings(max_examples=150, deadline=None)
+def test_wnaf_digits_reconstruct_scalar(scalar, width):
+    digits = _wnaf(scalar, width)
+    assert sum(d << i for i, d in enumerate(digits)) == scalar
+    half = 1 << (width - 1)
+    for d in digits:
+        assert d == 0 or (d % 2 == 1 and -half < d < half)
+    if digits:
+        assert digits[-1] != 0  # no redundant leading zeros
+
+
+@pytest.mark.slow
+@given(scalar=st.one_of(scalars, small_scalars))
+@settings(max_examples=30, deadline=None)
+def test_generator_multiply_matches_naive(scalar):
+    assert generator_multiply(scalar) == _naive_multiply(GENERATOR, scalar)
+
+
+@pytest.mark.slow
+@given(base=small_scalars.filter(lambda s: s > 0), scalar=scalars)
+@settings(max_examples=25, deadline=None)
+def test_wnaf_multiply_matches_naive(base, scalar):
+    point = _naive_multiply(GENERATOR, base)
+    fast = secp256k1._from_jacobian(
+        _jacobian_multiply_wnaf(_to_jacobian(point), scalar)
+    )
+    assert fast == _naive_multiply(point, scalar)
+
+
+@pytest.mark.slow
+@given(u1=scalars, u2=scalars, base=small_scalars.filter(lambda s: s > 0))
+@settings(max_examples=25, deadline=None)
+def test_shamir_matches_naive_composition(u1, u2, base):
+    point = _naive_multiply(GENERATOR, base)
+    expected = point_add(
+        _naive_multiply(GENERATOR, u1), _naive_multiply(point, u2)
+    )
+    assert shamir_multiply(u1, u2, point) == expected
+
+
+@pytest.mark.slow
+@given(scalar=st.integers(min_value=0, max_value=N - 1))
+@settings(max_examples=150, deadline=None)
+def test_glv_split_reconstructs_scalar(scalar):
+    k1, k2 = _glv_split(scalar)
+    assert (k1 + k2 * LAMBDA) % N == scalar
+    assert abs(k1).bit_length() <= 129
+    assert abs(k2).bit_length() <= 129
+
+
+@pytest.mark.slow
+@given(u1=scalars, u2=scalars, base=small_scalars.filter(lambda s: s > 0))
+@settings(max_examples=20, deadline=None)
+def test_glv_kernel_matches_naive_composition(u1, u2, base):
+    point = _naive_multiply(GENERATOR, base)
+    tables = secp256k1.affine_odd_multiples_batch([point])
+    fast = secp256k1._from_jacobian(
+        secp256k1._jacobian_shamir_glv(u1, u2, tables[0])
+    )
+    expected = point_add(
+        _naive_multiply(GENERATOR, u1), _naive_multiply(point, u2)
+    )
+    assert fast == expected
+
+
+@pytest.mark.slow
+@given(seed=st.binary(min_size=1, max_size=16))
+@settings(max_examples=15, deadline=None)
+def test_recover_paths_agree_on_valid_signatures(seed):
+    digest = keccak256(seed)
+    keypair = KeyPair.from_seed(seed)
+    signature = sign(digest, keypair.private.secret)
+    fast = recover(digest, signature)
+    assert fast == recover_reference(digest, signature)
+    assert fast == keypair.public.point
+    assert recover_batch([(digest, signature)]) == [fast]
+
+
+@pytest.mark.slow
+@given(
+    r=st.integers(min_value=1, max_value=N - 1),
+    s=st.integers(min_value=1, max_value=N - 1),
+    v=st.integers(min_value=0, max_value=1),
+    seed=st.binary(min_size=0, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_recover_paths_agree_on_arbitrary_signatures(r, s, v, seed):
+    """Forged/garbage signatures: all three paths agree (same point or all
+    unrecoverable)."""
+    digest = keccak256(seed)
+    signature = Signature(r, s, v)
+    try:
+        expected = recover_reference(digest, signature)
+    except SignatureError:
+        expected = None
+    try:
+        fast = recover(digest, signature)
+    except SignatureError:
+        fast = None
+    assert fast == expected
+    assert recover_batch([(digest, signature)]) == [expected]
+
+
+@pytest.mark.slow
+@given(values=st.lists(st.integers(min_value=1, max_value=P - 1), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_batch_inverse_matches_pow_random(values):
+    assert batch_inverse(values, P) == [pow(v, -1, P) for v in values]

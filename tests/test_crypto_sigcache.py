@@ -114,3 +114,53 @@ def test_verifier_path_uses_the_engine_cache(chain, alice, alice_wallet, recorde
     second = alice.transact(recorder, "submit", 4, token=token.to_bytes())
     assert second.success, second.error
     assert engine_cache.hits > hits_before  # same signature: recovery memoised
+
+
+# --- batched recovery ---------------------------------------------------------
+
+
+def test_recover_batch_matches_singles_and_caches():
+    cache = SignatureCache()
+    digests = [keccak256(b"batch-%d" % i) for i in range(6)]
+    pairs = [(d, KEYPAIR.sign(d)) for d in digests]
+    results = cache.recover_batch(pairs)
+    assert results == [KEYPAIR.address] * len(pairs)
+    # Everything landed in the cache: a second batch is pure hits.
+    hits_before = cache.hits
+    assert cache.recover_batch(pairs) == results
+    assert cache.hits == hits_before + len(pairs)
+    # And the single-call path sees the same entries.
+    assert cache.recover(*pairs[0]) == KEYPAIR.address
+
+
+def test_recover_batch_mixes_hits_misses_and_failures():
+    cache = SignatureCache()
+    good = KEYPAIR.sign(DIGEST)
+    cache.recover(DIGEST, good)  # pre-warm one entry
+    other_digest = keccak256(b"other")
+    bad = Signature(12345, 67890, 1)
+    results = cache.recover_batch(
+        [(DIGEST, good), (other_digest, KEYPAIR.sign(other_digest)), (DIGEST, bad)]
+    )
+    assert results[0] == KEYPAIR.address
+    assert results[1] == KEYPAIR.address
+    assert results[2] != KEYPAIR.address  # forged: None or a different signer
+    # Failures are cached too: repeating the bad entry is a hit, not curve work.
+    hits_before = cache.hits
+    again = cache.recover_batch([(DIGEST, bad)])
+    assert again == [results[2]]
+    assert cache.hits == hits_before + 1
+
+
+def test_recover_batch_deduplicates_replayed_pairs():
+    cache = SignatureCache()
+    signature = KEYPAIR.sign(DIGEST)
+    results = cache.recover_batch([(DIGEST, signature)] * 5)
+    assert results == [KEYPAIR.address] * 5
+    # Same counters as five single recover() calls: one miss, then hits.
+    assert (cache.misses, cache.hits) == (1, 4)
+    assert cache.recover(DIGEST, signature) == KEYPAIR.address
+
+
+def test_recover_batch_empty():
+    assert SignatureCache().recover_batch([]) == []

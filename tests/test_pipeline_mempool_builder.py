@@ -371,3 +371,41 @@ def test_admission_accepts_token_object_argument(mempool, client, protected, ser
     ).sign_with(client.keypair)
     assert mempool.admit(tx).admitted
     assert TokenType.METHOD is token.token_type
+
+
+# --- executor pre-warm accounting --------------------------------------------------
+
+
+def test_prewarm_counts_intra_block_replays_as_hits(batch_chain, client, protected):
+    """Two transactions carrying the same uncached (non-one-time) token: the
+    batch computes the curve math once, so pre_warm must report one miss and
+    one hit -- `misses` means "curve math ran here"."""
+    from repro.pipeline.executor import BlockExecutor
+
+    # A TS that does NOT share the node cache, so nothing is primed.
+    foreign = TokenService(
+        keypair=KeyPair.from_seed("pool-ts"),  # same trusted key, separate box
+        rules=RuleSet(),
+        clock=batch_chain.clock,
+    )
+    request = TokenRequest.method_token(
+        protected.this, client.address, "submit", one_time=False
+    )
+    token = foreign.issue_token(request)
+    txs = [
+        Transaction(
+            sender=client.address,
+            to=protected.this,
+            nonce=client.nonce + i,
+            method="submit",
+            args=(i,),
+            kwargs={"token": token.to_bytes()},
+            gas_limit=300_000,
+        ).sign_with(client.keypair)
+        for i in range(2)
+    ]
+    executor = BlockExecutor(batch_chain)
+    hits, misses = executor.pre_warm(txs)
+    assert (hits, misses) == (1, 1)
+    # Once warmed, the same tokens are pure hits.
+    assert executor.pre_warm(txs) == (2, 0)
