@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import env_int, report
+from repro.api import ServiceGateway
 from repro.chain import Blockchain
 from repro.contracts.protected_target import ProtectedRecorder
 from repro.core import OwnerWallet
@@ -58,11 +59,18 @@ PAPER_LIFETIME = 3_600
 KITTIES_PEAK = 48.0
 
 
+TS_ROUTE = "https://ts.smacs.example"
+
+
 def _setup(shared_cache: "SignatureCache | None"):
     """A chain with a funded client pool, a replicated TS and a recorder.
 
-    Both measurement chains are built from identical seeds, so contract and
-    account addresses match and one transaction set executes on either.
+    The replicated service sits behind a :class:`ServiceGateway`; every token
+    request the load generators make crosses the versioned wire envelopes of
+    ``repro.api`` through the returned gateway client (``endpoint``), exactly
+    as a remote deployment would.  Both measurement chains are built from
+    identical seeds, so contract and account addresses match and one
+    transaction set executes on either.
     """
     chain = Blockchain(auto_mine=True)
     if shared_cache is not None:
@@ -80,22 +88,37 @@ def _setup(shared_cache: "SignatureCache | None"):
         seed=37,
         signature_cache=shared_cache,
     )
+    gateway = ServiceGateway()
+    gateway.register(TS_ROUTE, service)
+    endpoint = gateway.client_for(TS_ROUTE)
     bitmap_bits = required_bitmap_bits(PAPER_LIFETIME, KITTIES_PEAK)
-    recorder = OwnerWallet(owner, service.replicas[0]).deploy_protected(
-        ProtectedRecorder, one_time_bitmap_bits=bitmap_bits
+    recorder = OwnerWallet(owner, endpoint).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=bitmap_bits, ts_url=TS_ROUTE
     ).return_value
-    return chain, clients, service, recorder
+    return chain, clients, service, endpoint, recorder
 
 
-def _issue_trace_load(service, recorder, clients, arrivals):
+def _issue_trace_load(service, endpoint, recorder, clients, arrivals):
     """Issue tokens + build signed transactions, crashing the Raft counter
-    leader mid-run (and healing it) to prove issuance survives."""
-    generator = SmacsLoadGenerator(service, recorder, clients)
+    leader mid-run (and healing it) to prove issuance survives.
+
+    Requests travel through the gateway ``endpoint`` (the TokenIssuer
+    protocol over wire envelopes); ``service`` is the registered replicated
+    stack, kept only for the fault injection."""
+    generator = SmacsLoadGenerator(endpoint, recorder, clients)
     half = len(arrivals) // 2
     txs = generator.from_arrivals(arrivals[:half])
     crashed = service.counter_cluster.crash_leader()
     txs += generator.from_arrivals(arrivals[half:])
     service.counter_cluster.restart(crashed)
+    # Error-carrying results never raise mid-batch, so a lossy crash window
+    # would otherwise just shrink the transaction set and every downstream
+    # count assertion would vacuously pass -- fail loudly instead.
+    assert generator.requests_failed == 0, (
+        f"{generator.requests_failed} issuance requests failed during the "
+        "leader-crash window (fail-over did not absorb the outage)"
+    )
+    assert len(txs) == sum(arrivals)
     return txs, crashed
 
 
@@ -109,9 +132,11 @@ def test_end_to_end_trace_throughput(benchmark):
 
     def run():
         # --- serial baseline: cold cache, one block per transaction -----------
-        serial_chain, serial_clients, serial_service, serial_recorder = _setup(None)
+        serial_chain, serial_clients, serial_service, serial_endpoint, serial_recorder = (
+            _setup(None)
+        )
         serial_txs, _ = _issue_trace_load(
-            serial_service, serial_recorder, serial_clients, window
+            serial_service, serial_endpoint, serial_recorder, serial_clients, window
         )
         t0 = time.perf_counter()
         serial_ok = sum(serial_chain.send_transaction(tx).success for tx in serial_txs)
@@ -119,9 +144,9 @@ def test_end_to_end_trace_throughput(benchmark):
 
         # --- pipelined: shared issuance-primed cache --------------------------
         cache = SignatureCache(maxsize=1 << 17)
-        pipe_chain, pipe_clients, pipe_service, pipe_recorder = _setup(cache)
+        pipe_chain, pipe_clients, pipe_service, pipe_endpoint, pipe_recorder = _setup(cache)
         pipe_txs, crashed = _issue_trace_load(
-            pipe_service, pipe_recorder, pipe_clients, window
+            pipe_service, pipe_endpoint, pipe_recorder, pipe_clients, window
         )
         pipe_chain.auto_mine = False
         pipeline = ExecutionPipeline(pipe_chain, signature_cache=cache)
@@ -133,8 +158,10 @@ def test_end_to_end_trace_throughput(benchmark):
 
         # --- block production steady state: full mempool, fresh chain --------
         cache2 = SignatureCache(maxsize=1 << 17)
-        bp_chain, bp_clients, bp_service, bp_recorder = _setup(cache2)
-        bp_txs, _ = _issue_trace_load(bp_service, bp_recorder, bp_clients, window)
+        bp_chain, bp_clients, bp_service, bp_endpoint, bp_recorder = _setup(cache2)
+        bp_txs, _ = _issue_trace_load(
+            bp_service, bp_endpoint, bp_recorder, bp_clients, window
+        )
         bp_chain.auto_mine = False
         bp_pipeline = ExecutionPipeline(bp_chain, signature_cache=cache2)
         bp_pipeline.ingest(bp_txs)
@@ -222,13 +249,13 @@ def test_end_to_end_trace_throughput(benchmark):
 
 def test_end_to_end_scenario_mixes(benchmark):
     cache = SignatureCache(maxsize=1 << 17)
-    chain, clients, service, recorder = _setup(cache)
+    chain, clients, service, endpoint, recorder = _setup(cache)
 
     # Two extra protected contracts for the fan-out mix, with a disjoint
     # account pool per contract so one ingest carries all three streams.
     owner2 = chain.create_account("owner2", seed="e2e-owner-2")
     extra = [
-        OwnerWallet(owner2, service.replicas[0]).deploy_protected(
+        OwnerWallet(owner2, endpoint).deploy_protected(
             ProtectedRecorder, one_time_bitmap_bits=4096
         ).return_value
         for _ in range(2)
@@ -246,7 +273,7 @@ def test_end_to_end_scenario_mixes(benchmark):
             recorder.this, [c.address for c in pools[0]],
             bursts=4, burst_size=SCENARIO_BURST, method="submit", seed=21,
         )
-        generator = SmacsLoadGenerator(service, recorder, pools[0])
+        generator = SmacsLoadGenerator(endpoint, recorder, pools[0])
         txs = generator.from_scenario(flash)
         t0 = time.perf_counter()
         pipeline.ingest(txs)
@@ -260,7 +287,7 @@ def test_end_to_end_scenario_mixes(benchmark):
             unique_requests=max(SCENARIO_BURST // 4, 4), replays_per_request=8,
             method="submit", batch_size=SCENARIO_BURST, seed=22,
         )
-        generator = SmacsLoadGenerator(service, recorder, pools[0])
+        generator = SmacsLoadGenerator(endpoint, recorder, pools[0])
         txs = generator.from_scenario(storm)
         t0 = time.perf_counter()
         pipeline.ingest(txs)
@@ -277,7 +304,7 @@ def test_end_to_end_scenario_mixes(benchmark):
         )
         txs = []
         for contract, pool in zip(contracts, pools):
-            txs += SmacsLoadGenerator(service, contract, pool).from_scenario(fanout)
+            txs += SmacsLoadGenerator(endpoint, contract, pool).from_scenario(fanout)
         t0 = time.perf_counter()
         pipeline.ingest(txs)
         results = pipeline.drain()

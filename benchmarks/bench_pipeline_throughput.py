@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import env_int, report
-from repro.core import BatchTokenService, TokenService
+from repro.api import TokenIssuer, build_service
 from repro.core.acr import RuleSet
 from repro.core.bitmap import ListOfBitsBitmap, OneTimeBitmap
 from repro.crypto.keys import KeyPair
@@ -34,6 +34,7 @@ from repro.workloads import (
     flash_sale_bursts,
     multi_contract_fanout,
     replay_storm,
+    submit_mix,
 )
 
 BURST = env_int("SMACS_PIPELINE_BURST", 48)
@@ -66,8 +67,8 @@ def _scenarios() -> list[ScenarioMix]:
     return [flash, storm, fanout, combined]
 
 
-def _fresh_service() -> TokenService:
-    return TokenService(keypair=TS_KEYPAIR, rules=RuleSet())
+def _fresh_service() -> TokenIssuer:
+    return build_service("serial", keypair=TS_KEYPAIR, rules=RuleSet())
 
 
 def _run_serial(mix: ScenarioMix) -> float:
@@ -83,28 +84,27 @@ def _run_serial(mix: ScenarioMix) -> float:
 def _run_batched(mix: ScenarioMix) -> float:
     service = _fresh_service()
     start = time.perf_counter()
-    issued = 0
-    for batch in mix.batches:
-        results = service.submit(list(batch))
-        assert all(result.issued for result in results)
-        issued += len(results)
-    return issued / (time.perf_counter() - start)
+    results = submit_mix(service, mix)
+    elapsed = time.perf_counter() - start
+    assert all(result.issued for result in results)
+    return len(results) / elapsed
 
 
 def _run_sharded(mix: ScenarioMix) -> tuple[float, dict]:
-    service = BatchTokenService(
+    # Same call site as the serial/batched runs -- the deployment shape is
+    # the build_service profile, not a different method surface.
+    service = build_service(
+        "sharded",
         keypair=TS_KEYPAIR,
         rules=RuleSet(),
         shards=SHARDS,
         signature_cache=SignatureCache(),
     )
     start = time.perf_counter()
-    issued = 0
-    for batch in mix.batches:
-        results = service.submit_batch(list(batch))
-        assert all(result.issued for result in results)
-        issued += len(results)
-    return issued / (time.perf_counter() - start), service.stats()
+    results = submit_mix(service, mix)
+    elapsed = time.perf_counter() - start
+    assert all(result.issued for result in results)
+    return len(results) / elapsed, service.stats()
 
 
 def test_pipeline_throughput_serial_vs_batched_vs_sharded(benchmark):
@@ -163,14 +163,17 @@ def test_sharded_issuance_matches_serial_decisions(benchmark):
     """Same workload, same accept/deny decisions -- speed must not change policy."""
     mix = _scenarios()[1]  # replay storm
     serial_service = _fresh_service()
-    sharded_service = BatchTokenService(
-        keypair=TS_KEYPAIR, rules=RuleSet(), shards=SHARDS,
+    sharded_service = build_service(
+        "sharded", keypair=TS_KEYPAIR, rules=RuleSet(), shards=SHARDS,
         signature_cache=SignatureCache(),
     )
 
     def run():
-        serial = [serial_service.try_issue(r) for r in mix.flattened()]
-        sharded = sharded_service.submit_stream(mix.flattened(), batch_size=BURST)
+        requests = mix.flattened()
+        serial = serial_service.submit(requests)
+        sharded = []
+        for offset in range(0, len(requests), BURST):
+            sharded += sharded_service.submit(requests[offset:offset + BURST])
         return serial, sharded
 
     serial, sharded = benchmark.pedantic(run, rounds=1, iterations=1)

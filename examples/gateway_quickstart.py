@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The unified issuance API: one protocol, composable stacks, a wire gateway.
+
+The script tours ``repro.api``, the PR-4 layer that turns the three divergent
+issuer classes into one surface:
+
+1. ``build_service(profile=...)`` assembles serial / sharded / replicated
+   issuance stacks from one factory -- all satisfying the ``TokenIssuer``
+   protocol, so the calling code never changes;
+2. cross-cutting concerns (metrics, audit, rate limiting, fail-over retries)
+   are middleware layers, not forked classes;
+3. a ``ServiceGateway`` exposes any stack behind versioned wire envelopes;
+   the ``GatewayClient`` speaks the same protocol back, so wallets work
+   unchanged across the wire;
+4. failures carry stable error codes (``DENIED``, ``RATE_LIMITED``,
+   ``COUNTER_TIMEOUT``, ...) inside the results -- batch submissions never
+   abort mid-batch;
+5. rule updates flow through the protocol, and over the wire they are
+   epoch-guarded read-modify-write.
+
+Run with:  python examples/gateway_quickstart.py
+"""
+
+from repro.api import ErrorCode, ServiceGateway, build_service, unwrap
+from repro.chain import Blockchain
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import ClientWallet, OwnerWallet, TokenType
+from repro.core.acr import WhitelistRule
+from repro.core.token_request import TokenRequest
+from repro.crypto.keys import KeyPair
+
+TS_URL = "https://ts.gateway.example"
+
+
+def main() -> None:
+    chain = Blockchain()
+    owner = chain.create_account("owner", seed="gw-owner")
+    alice = chain.create_account("alice", seed="gw-alice")
+    eve = chain.create_account("eve", seed="gw-eve")
+
+    # --- 1. one factory, three deployment shapes ------------------------------
+    keypair = KeyPair.from_seed("gw-ts")
+    for profile in ("serial", "sharded", "replicated"):
+        stack = build_service(profile, keypair=keypair, clock=chain.clock)
+        print(f"build_service({profile!r:12}) -> {type(stack).__name__:16} "
+              f"base={type(unwrap(stack)).__name__}")
+
+    # --- 2. a replicated stack with metrics + rate limiting layered on --------
+    service = build_service(
+        "replicated",
+        keypair=keypair,
+        clock=chain.clock,
+        replica_count=3,
+        rate_limit=(50, 64),   # 50 tokens/s, bursts of 64
+        metrics=True,
+    )
+    service.update_rules(lambda rules: rules.add_rule(
+        WhitelistRule([alice.address], name="partners")
+    ))
+
+    # --- 3. publish it behind the gateway, talk to it over the wire ----------
+    gateway = ServiceGateway()
+    gateway.register(TS_URL, service)
+    client = gateway.client_for(TS_URL)
+    print(f"\ngateway routes: {client.describe()['routes']}")
+    print(f"pkTS over the wire: {client.address_hex}")
+
+    recorder = OwnerWallet(owner, client).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=1024, ts_url=TS_URL
+    ).return_value
+
+    # The wallet only sees the TokenIssuer protocol -- the wire is invisible.
+    wallet = ClientWallet(alice, {recorder.this: client})
+    receipt = wallet.call_with_token(recorder, "submit", amount=42,
+                                     token_type=TokenType.METHOD, one_time=True)
+    print(f"alice.submit(42) through the gateway: success={receipt.success}, "
+          f"gas={receipt.gas_used:,}")
+
+    # --- 4. batch submissions carry errors, they never raise mid-batch --------
+    batch = [
+        TokenRequest.method_token(recorder.this, alice.address, "submit"),
+        TokenRequest.method_token(recorder.this, eve.address, "submit"),
+        TokenRequest.method_token(recorder.this, alice.address, "submit",
+                                  one_time=True),
+    ]
+    results = client.submit(batch)
+    for request, result in zip(batch, results):
+        outcome = "issued" if result.issued else result.code.value
+        print(f"  {request.describe():<60} -> {outcome}")
+
+    # --- 5. stats fold every layer; the transport counts the wire -------------
+    stats = client.stats()
+    print(f"\nissued={stats['issued']} denied={stats['denied']} "
+          f"failovers={stats['retry_failover']['failovers']} "
+          f"rate-limited={stats['rate_limiter']['limited']}")
+    print(f"wire traffic: {stats['transport']['requests']} envelopes, "
+          f"{stats['transport']['bytes_sent']}B out / "
+          f"{stats['transport']['bytes_received']}B back")
+    assert results[1].code is ErrorCode.DENIED
+
+
+if __name__ == "__main__":
+    main()

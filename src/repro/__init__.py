@@ -3,6 +3,9 @@
 This package reproduces Liu, Sun and Szalachowski's DSN 2020 paper in pure
 Python, including every substrate the prototype depends on:
 
+* :mod:`repro.api` -- the unified issuance surface: the ``TokenIssuer``
+  protocol, the ``SmacsError`` taxonomy, composable middleware, the
+  ``build_service`` factory and the wire-level service gateway;
 * :mod:`repro.crypto` -- keccak-256 and secp256k1 ECDSA (``ecrecover``);
 * :mod:`repro.chain` -- an Ethereum-like blockchain simulator with gas
   metering, message calls and Solidity-style contracts;
@@ -25,6 +28,7 @@ comparison of every table and figure.
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "chain",
     "consensus",
     "contracts",

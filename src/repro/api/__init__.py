@@ -1,0 +1,74 @@
+"""``repro.api`` -- the unified issuance surface.
+
+One protocol, one error taxonomy, composable middleware, one factory and a
+wire-level gateway:
+
+* :mod:`repro.api.protocol` -- the batch-first
+  :class:`~repro.api.protocol.TokenIssuer` protocol every issuance stack
+  satisfies (serial, sharded, replicated, middleware-wrapped, gateway
+  clients), plus the single-request helpers built on the batch path;
+* :mod:`repro.api.errors` -- the :class:`~repro.core.errors.SmacsError`
+  taxonomy with stable :class:`~repro.core.errors.ErrorCode` values, carried
+  inside results so batch submissions never raise mid-batch;
+* :mod:`repro.api.middleware` -- ``RateLimiter`` / ``Metrics`` / ``Audit`` /
+  ``RetryFailover`` / ``SignatureCachePrimer`` wrappers, stackable in any
+  order;
+* :mod:`repro.api.factory` -- ``build_service(profile=...)`` assembling the
+  serial/sharded/replicated stacks from one place;
+* :mod:`repro.api.gateway` -- ``ServiceGateway`` with versioned JSON wire
+  envelopes (:mod:`repro.api.codec`) and a protocol-speaking
+  ``GatewayClient`` over an in-process transport.
+
+The public names below are covered by an API-stability snapshot test; grow
+the surface deliberately.
+"""
+
+from repro.api.codec import WIRE_VERSION
+from repro.api.errors import (
+    CounterTimeout,
+    ErrorCode,
+    NoReplicaAvailable,
+    RETRYABLE_CODES,
+    SmacsError,
+    TokenDenied,
+    classify,
+)
+from repro.api.factory import PROFILES, build_service
+from repro.api.gateway import GatewayClient, InProcessTransport, ServiceGateway
+from repro.api.middleware import (
+    Audit,
+    IssuerMiddleware,
+    Metrics,
+    RateLimiter,
+    RetryFailover,
+    SignatureCachePrimer,
+    unwrap,
+)
+from repro.api.protocol import TokenIssuer, conforms, issue_one, try_issue_one
+
+__all__ = [
+    "Audit",
+    "CounterTimeout",
+    "ErrorCode",
+    "GatewayClient",
+    "InProcessTransport",
+    "IssuerMiddleware",
+    "Metrics",
+    "NoReplicaAvailable",
+    "PROFILES",
+    "RETRYABLE_CODES",
+    "RateLimiter",
+    "RetryFailover",
+    "ServiceGateway",
+    "SignatureCachePrimer",
+    "SmacsError",
+    "TokenDenied",
+    "TokenIssuer",
+    "WIRE_VERSION",
+    "build_service",
+    "classify",
+    "conforms",
+    "issue_one",
+    "try_issue_one",
+    "unwrap",
+]

@@ -1,0 +1,220 @@
+"""Versioned wire codec for the service gateway.
+
+Serialises :class:`~repro.core.token_request.TokenRequest` and
+:class:`~repro.core.token_service.IssuanceResult` into JSON envelopes, so the
+issuance protocol can cross a process boundary (the in-process transport here
+models it; an HTTP transport would carry the same bytes).  Every envelope
+leads with ``{"smacs": 1, ...}``; an endpoint that does not speak the version
+answers ``UNSUPPORTED`` instead of guessing.
+
+Addresses travel as ``0x``-hex, tokens as the 86-byte Fig. 3 wire form in
+hex, and argument values as JSON scalars with a ``{"$bytes": ...}`` tag for
+byte strings -- the values an :class:`~repro.core.acr.ArgumentRule` can bind.
+Anything undecodable raises :class:`~repro.core.errors.SmacsError` with
+``MALFORMED_REQUEST``; codec errors never escape as bare ``KeyError`` /
+``ValueError``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, cast
+
+from repro.chain.address import address_hex, to_address
+from repro.core.acr import AccessDecision
+from repro.core.errors import ErrorCode, SmacsError
+from repro.core.token import Token, TokenType
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import IssuanceResult, TokenDenied
+
+#: the wire protocol version this codec speaks
+WIRE_VERSION = 1
+
+
+def _malformed(detail: str) -> SmacsError:
+    return SmacsError(detail, ErrorCode.MALFORMED_REQUEST)
+
+
+# -- argument values ----------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-encode one argument value (scalars, bytes, shallow lists)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    raise _malformed(f"argument value of type {type(value).__name__} is not wire-safe")
+
+
+def decode_value(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        if set(payload) == {"$bytes"} and isinstance(payload["$bytes"], str):
+            try:
+                return bytes.fromhex(payload["$bytes"])
+            except ValueError as exc:
+                raise _malformed(f"bad $bytes payload: {exc}") from exc
+        raise _malformed(f"unknown tagged value {sorted(payload)!r}")
+    if isinstance(payload, list):
+        return [decode_value(item) for item in payload]
+    return payload
+
+
+# -- TokenRequest -------------------------------------------------------------
+
+
+def encode_token_request(request: TokenRequest) -> dict[str, Any]:
+    return {
+        "type": request.token_type.name,
+        "contract": address_hex(request.contract),
+        "client": address_hex(request.client),
+        "method": request.method,
+        "arguments": {
+            name: encode_value(value) for name, value in sorted(request.arguments.items())
+        },
+        "one_time": request.one_time,
+    }
+
+
+def decode_token_request(payload: Mapping[str, Any]) -> TokenRequest:
+    try:
+        token_type = TokenType[str(payload["type"])]
+        contract = to_address(str(payload["contract"]))
+        client = to_address(str(payload["client"]))
+        method = payload.get("method")
+        raw_arguments = payload.get("arguments") or {}
+        one_time = bool(payload.get("one_time", False))
+        if method is not None and not isinstance(method, str):
+            raise _malformed("method must be a string or null")
+        if not isinstance(raw_arguments, Mapping):
+            raise _malformed("arguments must be an object")
+        arguments = {
+            str(name): decode_value(value) for name, value in raw_arguments.items()
+        }
+        return TokenRequest(
+            token_type=token_type,
+            contract=contract,
+            client=client,
+            method=method,
+            arguments=arguments,
+            one_time=one_time,
+        )
+    except SmacsError:
+        raise
+    except Exception as exc:  # KeyError, ValueError, InvalidTokenRequest, ...
+        raise _malformed(f"undecodable token request: {exc}") from exc
+
+
+# -- IssuanceResult -----------------------------------------------------------
+
+
+def encode_issuance_result(result: IssuanceResult) -> dict[str, Any]:
+    return {
+        "request": encode_token_request(result.request),
+        "token": result.token.to_bytes().hex() if result.token is not None else None,
+        "decision": {
+            "allowed": result.decision.allowed,
+            "reason": result.decision.reason,
+        },
+        "error": result.error.to_dict() if result.error is not None else None,
+    }
+
+
+def decode_issuance_result(payload: Mapping[str, Any]) -> IssuanceResult:
+    try:
+        request = decode_token_request(payload["request"])
+        raw_token = payload.get("token")
+        token = Token.from_bytes(bytes.fromhex(raw_token)) if raw_token else None
+        decision_payload = payload.get("decision") or {}
+        decision = AccessDecision(
+            allowed=bool(decision_payload.get("allowed", token is not None)),
+            reason=str(decision_payload.get("reason", "")),
+        )
+        raw_error = payload.get("error")
+        error = SmacsError.from_dict(raw_error) if raw_error else None
+        if error is not None and error.code is ErrorCode.DENIED:
+            # Rehydrate the taxonomy subclass so catching semantics survive
+            # the wire: a denial is a TokenDenied on both sides.
+            error = TokenDenied(decision)
+        return IssuanceResult(request, token, decision, error=error)
+    except SmacsError:
+        raise
+    except Exception as exc:
+        raise _malformed(f"undecodable issuance result: {exc}") from exc
+
+
+# -- envelopes ----------------------------------------------------------------
+
+
+def encode_request_envelope(op: str, route: str, body: Mapping[str, Any]) -> bytes:
+    envelope = {"smacs": WIRE_VERSION, "op": op, "route": route, "body": dict(body)}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
+    envelope = _load_json(raw)
+    version = envelope.get("smacs")
+    if version != WIRE_VERSION:
+        raise SmacsError(
+            f"unsupported wire version {version!r} (this endpoint speaks {WIRE_VERSION})",
+            ErrorCode.UNSUPPORTED,
+        )
+    op = envelope.get("op")
+    route = envelope.get("route")
+    body = envelope.get("body", {})
+    if not isinstance(op, str) or not isinstance(route, str) or not isinstance(body, dict):
+        raise _malformed("request envelope requires string op/route and object body")
+    return op, route, cast("dict[str, Any]", body)
+
+
+def encode_response_envelope(body: Mapping[str, Any]) -> bytes:
+    envelope = {"smacs": WIRE_VERSION, "ok": True, "body": dict(body)}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def encode_error_envelope(error: SmacsError) -> bytes:
+    envelope = {"smacs": WIRE_VERSION, "ok": False, "error": error.to_dict()}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_response_envelope(raw: bytes) -> dict[str, Any]:
+    """Unwrap a response; a carried gateway-level error is raised as-is."""
+    envelope = _load_json(raw)
+    if envelope.get("smacs") != WIRE_VERSION:
+        raise SmacsError(
+            f"unsupported wire version {envelope.get('smacs')!r}", ErrorCode.UNSUPPORTED
+        )
+    if not envelope.get("ok"):
+        raise SmacsError.from_dict(envelope.get("error") or {})
+    body = envelope.get("body", {})
+    if not isinstance(body, dict):
+        raise _malformed("response body must be an object")
+    return cast("dict[str, Any]", body)
+
+
+def _load_json(raw: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _malformed(f"envelope is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _malformed("envelope must be a JSON object")
+    return cast("dict[str, Any]", payload)
+
+
+__all__ = [
+    "WIRE_VERSION",
+    "decode_issuance_result",
+    "decode_request_envelope",
+    "decode_response_envelope",
+    "decode_token_request",
+    "decode_value",
+    "encode_error_envelope",
+    "encode_issuance_result",
+    "encode_request_envelope",
+    "encode_response_envelope",
+    "encode_token_request",
+    "encode_value",
+]

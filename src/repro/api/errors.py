@@ -1,0 +1,30 @@
+"""Public home of the SMACS error taxonomy.
+
+The implementation lives in :mod:`repro.core.errors` (the layering rule is
+that ``repro.core`` never imports ``repro.api``); this module re-exports it
+together with the legacy exception names, so API consumers import everything
+error-shaped from one place::
+
+    from repro.api.errors import ErrorCode, SmacsError, TokenDenied
+
+Stable codes: ``DENIED``, ``COUNTER_TIMEOUT``, ``NO_REPLICA``,
+``EXPIRED_RULESET``, ``MALFORMED_REQUEST``, ``UNKNOWN_ROUTE``,
+``RATE_LIMITED``, ``UNSUPPORTED``, ``INTERNAL``.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.counter import CounterTimeout
+from repro.core.errors import RETRYABLE_CODES, ErrorCode, SmacsError, classify
+from repro.core.replication import NoReplicaAvailable
+from repro.core.token_service import TokenDenied
+
+__all__ = [
+    "CounterTimeout",
+    "ErrorCode",
+    "NoReplicaAvailable",
+    "RETRYABLE_CODES",
+    "SmacsError",
+    "TokenDenied",
+    "classify",
+]

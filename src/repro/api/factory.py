@@ -1,0 +1,140 @@
+"""One factory for every issuance stack.
+
+``build_service(profile=...)`` assembles the serial, sharded and replicated
+Token Service deployments from the same parts: a concrete base service plus
+the composable middleware of :mod:`repro.api.middleware`.  What used to
+require choosing (and hard-coupling to) a concrete class is now a profile
+string; everything the factory returns satisfies
+:class:`~repro.api.protocol.TokenIssuer`, so consumers swap profiles without
+touching call sites.
+
+Layer order (innermost first): base service -> RetryFailover (replicated
+profile: the base makes one attempt per submission and the wrapper rotates
+replicas) -> SignatureCachePrimer (``cache_priming="middleware"``) ->
+RateLimiter -> Audit -> Metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.clock import SimulatedClock
+from repro.core.acr import RuleSet
+from repro.core.batch_service import BatchTokenService
+from repro.core.replication import ReplicatedTokenService
+from repro.core.token_service import DEFAULT_TOKEN_LIFETIME, TokenService
+from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
+
+from repro.api.middleware import (
+    Audit,
+    Metrics,
+    RateLimiter,
+    RetryFailover,
+    SignatureCachePrimer,
+)
+from repro.api.protocol import TokenIssuer
+
+#: the deployment shapes the factory knows how to assemble
+PROFILES = ("serial", "sharded", "replicated")
+
+
+def build_service(
+    profile: str = "serial",
+    *,
+    keypair: "KeyPair | None" = None,
+    rules: "RuleSet | None" = None,
+    clock: "SimulatedClock | None" = None,
+    token_lifetime: int = DEFAULT_TOKEN_LIFETIME,
+    label: "str | None" = None,
+    # sharded profile
+    shards: int = 4,
+    index_block_size: int = 64,
+    # replicated profile
+    replica_count: int = 3,
+    replicate_counter: bool = True,
+    seed: int = 7,
+    failover_attempts: "int | None" = None,
+    # cross-cutting layers
+    signature_cache: "SignatureCache | None" = None,
+    cache_priming: str = "internal",
+    rate_limit: "tuple[float, int] | None" = None,
+    audit: bool = False,
+    metrics: bool = False,
+) -> TokenIssuer:
+    """Assemble an issuance stack for the requested deployment profile.
+
+    ``cache_priming`` controls how ``signature_cache`` is used: ``"internal"``
+    hands it to the base service (the issuance path primes it inline, the
+    pre-PR-4 behaviour), ``"middleware"`` keeps the base service cache-free
+    and stacks a :class:`~repro.api.middleware.SignatureCachePrimer` instead.
+    ``rate_limit`` is ``(rate_per_second, burst)``; ``audit`` and ``metrics``
+    stack the corresponding layers (metrics outermost, so it observes
+    rate-limited results too).
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown service profile {profile!r}; pick one of {PROFILES}")
+    if cache_priming not in ("internal", "middleware"):
+        raise ValueError("cache_priming must be 'internal' or 'middleware'")
+    clock = clock if clock is not None else SimulatedClock()
+    keypair = keypair if keypair is not None else KeyPair.generate()
+    rules = rules if rules is not None else RuleSet()
+    internal_cache = signature_cache if cache_priming == "internal" else None
+
+    issuer: TokenIssuer
+    if profile == "serial":
+        issuer = TokenService(
+            keypair=keypair,
+            rules=rules,
+            clock=clock,
+            token_lifetime=token_lifetime,
+            signature_cache=internal_cache,
+            label=label if label is not None else "token-service",
+        )
+    elif profile == "sharded":
+        kwargs: dict[str, Any] = {}
+        if internal_cache is not None:
+            # BatchTokenService defaults to the process-wide cache; only
+            # override when the caller supplied one.
+            kwargs["signature_cache"] = internal_cache
+        issuer = BatchTokenService(
+            keypair=keypair,
+            rules=rules,
+            clock=clock,
+            token_lifetime=token_lifetime,
+            shards=shards,
+            index_block_size=index_block_size,
+            label=label if label is not None else "batch-token-service",
+            **kwargs,
+        )
+    else:
+        # The base makes exactly one attempt per submission; the composable
+        # RetryFailover layer below owns the §VII-B fail-over, rotating
+        # replicas because the base round-robins on every call.
+        issuer = ReplicatedTokenService(
+            replica_count=replica_count,
+            keypair=keypair,
+            rules=rules,
+            clock=clock,
+            token_lifetime=token_lifetime,
+            replicate_counter=replicate_counter,
+            seed=seed,
+            signature_cache=internal_cache,
+            failover=False,
+        )
+        attempts = failover_attempts if failover_attempts is not None else replica_count
+        issuer = RetryFailover(issuer, attempts=attempts)
+
+    if cache_priming == "middleware" and signature_cache is not None:
+        issuer = SignatureCachePrimer(issuer, signature_cache)
+    if rate_limit is not None:
+        rate_per_second, burst = rate_limit
+        issuer = RateLimiter(issuer, rate_per_second, burst, clock=clock)
+    if audit:
+        issuer = Audit(issuer)
+    if metrics:
+        issuer = Metrics(issuer)
+    return issuer
+
+
+__all__ = ["PROFILES", "build_service"]

@@ -1,0 +1,238 @@
+"""The service gateway: issuers behind versioned wire envelopes.
+
+The paper's deployment story (§IV-B) has clients talk to the Token Service
+over HTTPS.  :class:`ServiceGateway` is that boundary with the transport
+abstracted away: issuers register under string routes (the TS URLs that
+service discovery publishes), every operation crosses the boundary as the
+JSON envelopes of :mod:`repro.api.codec`, and :class:`GatewayClient` speaks
+the :class:`~repro.api.protocol.TokenIssuer` protocol back to consumers --
+the wallet, the pipeline load generators and the benchmarks cannot tell a
+gateway client from an in-process service, which is the point.
+
+The bundled :class:`InProcessTransport` moves the bytes with a function
+call; an HTTP transport would move the same bytes.  Gateway-side failures
+never surface as raw exceptions on the wire -- they come back as error
+envelopes carrying stable :class:`~repro.core.errors.ErrorCode` values
+(``UNKNOWN_ROUTE``, ``MALFORMED_REQUEST``, ``UNSUPPORTED``,
+``EXPIRED_RULESET``, ...).
+
+Rule management over the wire is read-modify-write: clients fetch the
+Fig. 6-style rule config with its *epoch*, mutate locally, and replace,
+quoting the epoch they started from; a concurrent update invalidates the
+epoch and the replace fails with ``EXPIRED_RULESET`` (the client re-reads
+and retries).  Only config-expressible rules (whitelists, blacklists,
+argument rules) survive the wire -- owner-side predicate or
+runtime-verification rules stay an in-process feature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.chain.address import Address, address_hex, to_address
+from repro.core.acr import RuleSet
+from repro.core.errors import ErrorCode, SmacsError, classify
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import IssuanceResult
+
+from repro.api import codec
+from repro.api.protocol import TokenIssuer
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection of a stats tree (wire hygiene)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return "0x" + value.hex()
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+class ServiceGateway:
+    """Routes wire envelopes to registered issuer stacks."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, TokenIssuer] = {}
+        self._rule_epochs: dict[str, int] = {}
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, route: str, issuer: TokenIssuer) -> None:
+        """Expose an issuer stack under a route (conventionally its TS URL)."""
+        if not route:
+            raise ValueError("route must be a non-empty string")
+        self._routes[route] = issuer
+        self._rule_epochs.setdefault(route, 0)
+
+    def routes(self) -> list[str]:
+        return sorted(self._routes)
+
+    def issuer_for(self, route: str) -> TokenIssuer:
+        try:
+            return self._routes[route]
+        except KeyError:
+            raise SmacsError(
+                f"no issuer registered under route {route!r}", ErrorCode.UNKNOWN_ROUTE
+            ) from None
+
+    def client_for(self, route: str) -> "GatewayClient":
+        """A protocol-speaking client bound to one route (in-process wire)."""
+        return GatewayClient(InProcessTransport(self), route)
+
+    # -- the wire entry point -------------------------------------------------
+
+    def handle(self, raw: bytes) -> bytes:
+        """Process one request envelope; always answers with an envelope."""
+        try:
+            op, route, body = codec.decode_request_envelope(raw)
+            return codec.encode_response_envelope(self._dispatch(op, route, body))
+        except SmacsError as error:
+            return codec.encode_error_envelope(error)
+        except Exception as exc:  # never leak a raw traceback across the wire
+            return codec.encode_error_envelope(classify(exc))
+
+    def _dispatch(self, op: str, route: str, body: dict[str, Any]) -> dict[str, Any]:
+        if op == "describe":
+            return {"version": codec.WIRE_VERSION, "routes": self.routes()}
+        issuer = self.issuer_for(route)
+        if op == "submit":
+            raw_requests = body.get("requests")
+            if not isinstance(raw_requests, list):
+                raise SmacsError(
+                    "submit body requires a 'requests' array", ErrorCode.MALFORMED_REQUEST
+                )
+            requests = [codec.decode_token_request(item) for item in raw_requests]
+            results = issuer.submit(requests)
+            return {"results": [codec.encode_issuance_result(result) for result in results]}
+        if op == "address":
+            return {"address": address_hex(issuer.address)}
+        if op == "stats":
+            return {"stats": _jsonable(issuer.stats())}
+        if op == "get_rules":
+            captured: list[dict[str, Any]] = []
+            issuer.update_rules(lambda rules: captured.append(rules.to_config()))
+            return {"config": captured[0], "epoch": self._rule_epochs[route]}
+        if op == "replace_rules":
+            expected = self._rule_epochs[route]
+            if body.get("epoch") != expected:
+                raise SmacsError(
+                    f"ruleset epoch {body.get('epoch')!r} is stale (current {expected}); "
+                    "re-read the rules and retry",
+                    ErrorCode.EXPIRED_RULESET,
+                )
+            config = body.get("config")
+            if not isinstance(config, dict):
+                raise SmacsError(
+                    "replace_rules body requires a 'config' object",
+                    ErrorCode.MALFORMED_REQUEST,
+                )
+            issuer.update_rules(lambda rules: rules.load_config(config))
+            self._rule_epochs[route] = expected + 1
+            return {"epoch": self._rule_epochs[route]}
+        raise SmacsError(f"unknown operation {op!r}", ErrorCode.UNSUPPORTED)
+
+
+class InProcessTransport:
+    """Moves envelopes to a gateway with a function call, counting traffic.
+
+    The stand-in for an HTTP client: same bytes, no sockets.  The byte
+    counters let benchmarks report wire overhead honestly.
+    """
+
+    def __init__(self, gateway: ServiceGateway) -> None:
+        self.gateway = gateway
+        self.requests = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, raw: bytes) -> bytes:
+        self.requests += 1
+        self.bytes_sent += len(raw)
+        response = self.gateway.handle(raw)
+        self.bytes_received += len(response)
+        return response
+
+
+class GatewayClient:
+    """A :class:`~repro.api.protocol.TokenIssuer` that lives across the wire.
+
+    Every protocol operation round-trips through the transport as envelopes.
+    ``update_rules`` is read-modify-write with epoch-based conflict
+    detection: on ``EXPIRED_RULESET`` the client re-reads and re-applies the
+    mutation (bounded retries), so lost updates are impossible.
+    """
+
+    def __init__(self, transport: InProcessTransport, route: str) -> None:
+        self.transport = transport
+        self.route = route
+        self._address: "Address | None" = None
+
+    def _call(self, op: str, body: dict[str, Any]) -> dict[str, Any]:
+        raw = codec.encode_request_envelope(op, self.route, body)
+        return codec.decode_response_envelope(self.transport.send(raw))
+
+    # -- TokenIssuer ----------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        if self._address is None:
+            self._address = to_address(str(self._call("address", {})["address"]))
+        return self._address
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        if isinstance(requests, TokenRequest):
+            requests = [requests]
+        body = {"requests": [codec.encode_token_request(request) for request in requests]}
+        payload = self._call("submit", body)
+        raw_results = payload.get("results")
+        if not isinstance(raw_results, list):
+            raise SmacsError(
+                "submit response requires a 'results' array", ErrorCode.MALFORMED_REQUEST
+            )
+        return [codec.decode_issuance_result(item) for item in raw_results]
+
+    def stats(self) -> dict[str, Any]:
+        stats = self._call("stats", {})["stats"]
+        if not isinstance(stats, dict):
+            raise SmacsError("stats response must be an object", ErrorCode.MALFORMED_REQUEST)
+        stats["transport"] = {
+            "requests": self.transport.requests,
+            "bytes_sent": self.transport.bytes_sent,
+            "bytes_received": self.transport.bytes_received,
+        }
+        return stats
+
+    def update_rules(
+        self, mutate: Callable[[RuleSet], None], max_retries: int = 3
+    ) -> None:
+        for attempt in range(max_retries):
+            current = self._call("get_rules", {})
+            rules = RuleSet.from_config(current.get("config") or {})
+            mutate(rules)
+            try:
+                self._call(
+                    "replace_rules",
+                    {"config": rules.to_config(), "epoch": current.get("epoch")},
+                )
+                return
+            except SmacsError as error:
+                if error.code is not ErrorCode.EXPIRED_RULESET or attempt == max_retries - 1:
+                    raise
+
+    # -- conveniences ---------------------------------------------------------
+
+    @property
+    def address_hex(self) -> str:
+        return address_hex(self.address)
+
+    def describe(self) -> dict[str, Any]:
+        return self._call("describe", {})
+
+
+__all__ = ["GatewayClient", "InProcessTransport", "ServiceGateway"]

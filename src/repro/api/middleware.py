@@ -1,0 +1,350 @@
+"""Composable issuance middleware.
+
+Cross-cutting concerns that used to be welded into one concrete service --
+fail-over retries inside ``ReplicatedTokenService``, issuance-primed
+signature caching inside ``TokenService`` -- become stackable wrappers that
+satisfy the same :class:`~repro.api.protocol.TokenIssuer` protocol they wrap
+(the layered approach py-evm takes with its VM/chain variants).  A stack is
+built innermost-first::
+
+    issuer = Metrics(RetryFailover(ReplicatedTokenService(failover=False)))
+
+or, more conveniently, through :func:`repro.api.factory.build_service`.
+
+Every wrapper folds its own counters into :meth:`stats` under a layer key,
+so one ``stats()`` call describes the whole stack.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from repro.chain.address import Address
+from repro.chain.clock import SimulatedClock
+from repro.core.acr import RuleSet
+from repro.core.errors import ErrorCode, SmacsError, classify
+from repro.core.token import TokenType, signing_datagram
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import IssuanceResult
+from repro.crypto.sigcache import SignatureCache
+
+from repro.api.protocol import TokenIssuer
+
+
+class IssuerMiddleware:
+    """Base wrapper: delegates the whole protocol to ``inner``.
+
+    Subclasses override :meth:`submit` (and usually :meth:`layer_stats`);
+    identity and rule management pass through untouched, so any stack depth
+    still presents one issuer.
+    """
+
+    #: the key this layer's counters appear under in :meth:`stats`
+    layer: str = "middleware"
+
+    def __init__(self, inner: TokenIssuer) -> None:
+        self.inner = inner
+
+    @property
+    def address(self) -> Address:
+        return self.inner.address
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        return self.inner.submit(requests)
+
+    def update_rules(self, mutate: Callable[[RuleSet], None]) -> None:
+        self.inner.update_rules(mutate)
+
+    def stats(self) -> dict[str, Any]:
+        stats = dict(self.inner.stats())
+        layer_stats = self.layer_stats()
+        if layer_stats:
+            stats[self.layer] = layer_stats
+        return stats
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {}
+
+
+def unwrap(issuer: TokenIssuer) -> TokenIssuer:
+    """The concrete service at the bottom of a middleware stack."""
+    current = issuer
+    while isinstance(current, IssuerMiddleware):
+        current = current.inner
+    return current
+
+
+def _as_list(
+    requests: "TokenRequest | Sequence[TokenRequest]",
+) -> list[TokenRequest]:
+    if isinstance(requests, TokenRequest):
+        return [requests]
+    return list(requests)
+
+
+class RateLimiter(IssuerMiddleware):
+    """Token-bucket admission control in front of an issuer.
+
+    ``rate_per_second`` tokens refill continuously up to ``burst``; each
+    request consumes one.  Requests beyond the bucket are *not* dropped
+    silently and do not abort the batch: they come back as results carrying
+    ``ErrorCode.RATE_LIMITED`` (retryable -- clients back off and resubmit).
+    Pass the simulated clock the services run on for deterministic tests and
+    benchmarks; without one the limiter refills on wall-clock time (a fresh
+    private ``SimulatedClock`` would never advance and the bucket would
+    never refill).
+    """
+
+    layer = "rate_limiter"
+
+    def __init__(
+        self,
+        inner: TokenIssuer,
+        rate_per_second: float,
+        burst: int,
+        clock: "SimulatedClock | None" = None,
+    ) -> None:
+        super().__init__(inner)
+        if rate_per_second <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = int(burst)
+        self._now: Callable[[], float] = clock.now if clock is not None else time.monotonic
+        self._tokens = float(burst)
+        self._last_refill = self._now()
+        self.admitted = 0
+        self.limited = 0
+
+    def _refill(self) -> None:
+        now = self._now()
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_second)
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        request_list = _as_list(requests)
+        self._refill()
+        allowed = min(len(request_list), int(self._tokens))
+        self._tokens -= allowed
+        self.admitted += allowed
+        self.limited += len(request_list) - allowed
+        results = self.inner.submit(request_list[:allowed]) if allowed else []
+        error = SmacsError(
+            f"rate limit exceeded ({self.rate_per_second}/s, burst {self.burst})",
+            ErrorCode.RATE_LIMITED,
+        )
+        results.extend(
+            IssuanceResult.failure(request, error)
+            for request in request_list[allowed:]
+        )
+        return results
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {"admitted": self.admitted, "limited": self.limited}
+
+
+class Metrics(IssuerMiddleware):
+    """Uniform issuance metrics for any stack (what Fig. 9 harnesses read)."""
+
+    layer = "metrics"
+
+    def __init__(self, inner: TokenIssuer) -> None:
+        super().__init__(inner)
+        self.submissions = 0
+        self.requests = 0
+        self.issued = 0
+        self.failed = 0
+        self.errors_by_code: dict[str, int] = {}
+        self.largest_batch = 0
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        request_list = _as_list(requests)
+        results = self.inner.submit(request_list)
+        self.submissions += 1
+        self.requests += len(request_list)
+        self.largest_batch = max(self.largest_batch, len(request_list))
+        for result in results:
+            if result.issued:
+                self.issued += 1
+            else:
+                self.failed += 1
+                code = result.code
+                name = code.value if code is not None else ErrorCode.DENIED.value
+                self.errors_by_code[name] = self.errors_by_code.get(name, 0) + 1
+        return results
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {
+            "submissions": self.submissions,
+            "requests": self.requests,
+            "issued": self.issued,
+            "failed": self.failed,
+            "errors_by_code": dict(self.errors_by_code),
+            "largest_batch": self.largest_batch,
+        }
+
+
+class Audit(IssuerMiddleware):
+    """Append-only issuance audit trail, stack-level.
+
+    Mirrors the per-service ``TokenService.audit_log`` but sits at the top of
+    a composed stack, so sharded/replicated deployments get one merged trail.
+    Entries are ``(request description, outcome)`` where outcome is
+    ``"issued"`` or the stable error-code value.
+    """
+
+    layer = "audit"
+
+    def __init__(
+        self,
+        inner: TokenIssuer,
+        sink: "Callable[[str, str], None] | None" = None,
+        max_entries: int = 10_000,
+    ) -> None:
+        super().__init__(inner)
+        self.sink = sink
+        self.max_entries = max_entries
+        self.entries: list[tuple[str, str]] = []
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        results = self.inner.submit(_as_list(requests))
+        for result in results:
+            code = result.code
+            outcome = "issued" if code is None else code.value
+            self.entries.append((result.request.describe(), outcome))
+            if self.sink is not None:
+                self.sink(result.request.describe(), outcome)
+        if len(self.entries) > self.max_entries:
+            del self.entries[: len(self.entries) - self.max_entries]
+        return results
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {"entries": len(self.entries)}
+
+
+class RetryFailover(IssuerMiddleware):
+    """Re-submit requests whose results carry a retryable error.
+
+    This is the replication fail-over of §VII-B as a composable layer: the
+    wrapped issuer makes one attempt per submission (e.g. a
+    ``ReplicatedTokenService(failover=False)``, whose round-robin picks a
+    *different* replica on every call), and this wrapper re-submits the
+    failed subset up to ``attempts`` extra times.  A submission that dies
+    whole with a transient exception is converted to error results first, so
+    the never-raise-mid-batch contract holds through the stack.
+    """
+
+    layer = "retry_failover"
+
+    def __init__(self, inner: TokenIssuer, attempts: int = 3) -> None:
+        super().__init__(inner)
+        if attempts < 1:
+            raise ValueError("need at least one retry attempt")
+        self.attempts = attempts
+        self.failovers = 0
+        self.recovered = 0
+
+    def _attempt(self, request_list: list[TokenRequest]) -> list[IssuanceResult]:
+        try:
+            return self.inner.submit(request_list)
+        except Exception as exc:  # a whole-submission transient failure
+            error = classify(exc)
+            if not error.retryable:
+                raise
+            return [IssuanceResult.failure(request, error) for request in request_list]
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        request_list = _as_list(requests)
+        results = self._attempt(request_list)
+        for _ in range(self.attempts):
+            pending = [
+                position
+                for position, result in enumerate(results)
+                if result.error is not None and result.error.retryable
+            ]
+            if not pending:
+                break
+            self.failovers += 1
+            retried = self._attempt([request_list[position] for position in pending])
+            for position, result in zip(pending, retried):
+                if result.issued:
+                    self.recovered += 1
+                results[position] = result
+        return results
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {"failovers": self.failovers, "recovered": self.recovered}
+
+
+class SignatureCachePrimer(IssuerMiddleware):
+    """Prime the shared signature cache from issuance, as a layer.
+
+    A freshly issued token recovers to the TS address by construction, so its
+    datagram digest and ``ecrecover`` result can be inserted into the shared
+    :class:`~repro.crypto.sigcache.SignatureCache` without any curve math --
+    the mempool pre-checks, the block executor's pre-warm pass and the in-EVM
+    verifier then hit the cache.  ``TokenService`` can do this internally
+    when constructed with a cache; this wrapper provides the same warm-up for
+    *any* issuer stack (including gateway clients on the service side).
+    """
+
+    layer = "signature_cache_primer"
+
+    def __init__(self, inner: TokenIssuer, cache: SignatureCache) -> None:
+        super().__init__(inner)
+        self.cache = cache
+        self.primed = 0
+
+    def submit(
+        self, requests: "TokenRequest | Sequence[TokenRequest]"
+    ) -> list[IssuanceResult]:
+        results = self.inner.submit(_as_list(requests))
+        signer = self.inner.address
+        for result in results:
+            token = result.token
+            if token is None:
+                continue
+            request = result.request
+            datagram = signing_datagram(
+                token.token_type,
+                token.expire,
+                token.index,
+                request.client,
+                request.contract,
+                method=request.method,
+                arguments=(
+                    request.arguments
+                    if token.token_type is TokenType.ARGUMENT
+                    else None
+                ),
+            )
+            digest = self.cache.digest_for(datagram)
+            if self.cache.peek_recovery(digest, token.signature) is None:
+                self.cache.prime_recovery(digest, token.signature, signer)
+                self.primed += 1
+        return results
+
+    def layer_stats(self) -> dict[str, Any]:
+        return {"primed": self.primed, "cache": self.cache.stats()}
+
+
+__all__ = [
+    "Audit",
+    "IssuerMiddleware",
+    "Metrics",
+    "RateLimiter",
+    "RetryFailover",
+    "SignatureCachePrimer",
+    "unwrap",
+]

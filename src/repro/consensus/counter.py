@@ -14,17 +14,23 @@ from typing import Any
 
 from repro.consensus.network import SimulatedNetwork
 from repro.consensus.raft import RaftNode, Role
+from repro.core.errors import ErrorCode, SmacsError
 
 
-class CounterTimeout(RuntimeError):
+class CounterTimeout(SmacsError, RuntimeError):
     """A counter increment could not commit within its deadline.
 
     Raised instead of a bare ``RuntimeError`` so front ends can tell a
     *transient* condition (leader election in progress, partition healing)
     from a programming error and retry the request -- typically through a
     different Token Service replica (see
-    :class:`repro.core.replication.ReplicatedTokenService`).
+    :class:`repro.core.replication.ReplicatedTokenService`).  Part of the
+    :class:`~repro.core.errors.SmacsError` taxonomy (``COUNTER_TIMEOUT``,
+    retryable), so the batch issuance path can carry it inside an
+    ``IssuanceResult``; it stays a ``RuntimeError`` for legacy handlers.
     """
+
+    code = ErrorCode.COUNTER_TIMEOUT
 
 
 class CounterStateMachine:

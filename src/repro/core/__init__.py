@@ -26,7 +26,8 @@ from repro.core.acr import (
     RuntimeVerificationRule,
     WhitelistRule,
 )
-from repro.core.token_service import TokenService, TokenDenied
+from repro.core.errors import ErrorCode, SmacsError
+from repro.core.token_service import IssuanceResult, TokenService, TokenDenied
 from repro.core.batch_service import (
     BatchTokenService,
     IndexBlockAllocator,
@@ -45,6 +46,9 @@ __all__ = [
     "TokenBundle",
     "TokenService",
     "TokenDenied",
+    "SmacsError",
+    "ErrorCode",
+    "IssuanceResult",
     "BatchTokenService",
     "IndexBlockAllocator",
     "ShardCounter",

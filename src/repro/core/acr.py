@@ -285,6 +285,34 @@ class RuleSet:
             )
         return ruleset
 
+    #: rule classes the Fig. 6 config can express (and so the wire can carry)
+    CONFIG_RULE_TYPES: "tuple[type, ...]" = (WhitelistRule, BlacklistRule, ArgumentRule)
+
+    def load_config(self, config: Mapping[str, Any]) -> None:
+        """Replace the config-expressible rules in place from a Fig. 6 config.
+
+        In place, not by swapping the object: sharded and replicated front
+        ends share one ``RuleSet`` by reference, so the wire-level rule
+        replacement of the service gateway must mutate the shared instance
+        for every shard/replica to observe the update.
+
+        Only the whitelist/blacklist/argument rules the config can express
+        are replaced; programmatic rules (:class:`PredicateRule`,
+        :class:`RuntimeVerificationRule`, custom subclasses) survive the
+        reload untouched -- a wire-level update must never silently turn a
+        fail-closed in-process policy fail-open.
+        """
+        fresh = RuleSet.from_config(config)
+
+        def kept(bucket: list[Rule]) -> list[Rule]:
+            return [r for r in bucket if not isinstance(r, RuleSet.CONFIG_RULE_TYPES)]
+
+        self._global_rules[:] = fresh._global_rules + kept(self._global_rules)
+        for token_type in TokenType:
+            self._rules[token_type][:] = (
+                fresh._rules[token_type] + kept(self._rules[token_type])
+            )
+
     def to_config(self) -> dict[str, Any]:
         """Best-effort inverse of :meth:`from_config` (used for persistence)."""
         config: dict[str, Any] = {"sender": {}, "method": {}, "argument": {}}

@@ -35,11 +35,12 @@ orthogonal availability problem); wall-clock wins come from doing strictly
 less cryptographic work per request, not from pretend concurrency.
 """
 
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from repro.chain.address import Address, address_hex
 from repro.chain.clock import SimulatedClock
 from repro.core.acr import RuleSet
+from repro.core.token import Token
 from repro.core.token_request import TokenRequest
 from repro.core.token_service import (
     DEFAULT_TOKEN_LIFETIME,
@@ -198,12 +199,26 @@ class BatchTokenService:
             results.append(self.shards[shard_index].try_issue(request))
         return results
 
-    def issue_token(self, request: TokenRequest):
-        """Single-request issuance (wallet drop-in; client-affinity routed)."""
+    def submit(self, requests: "TokenRequest | Sequence[TokenRequest]") -> list[IssuanceResult]:
+        """The :class:`~repro.api.protocol.TokenIssuer` batch path.
+
+        Alias for :meth:`submit_batch` with the default round-robin affinity;
+        single requests are just one-element batches.
+        """
+        return self.submit_batch(requests)
+
+    def issue_token(self, request: TokenRequest) -> Token:
+        """Single-request issuance (wallet drop-in; client-affinity routed).
+
+        Deprecated: express single requests through :meth:`submit`.
+        """
         return self.shards[self.shard_for(request)].issue_token(request)
 
     def try_issue(self, request: TokenRequest) -> IssuanceResult:
-        """Like :meth:`issue_token` but reports denial instead of raising."""
+        """Like :meth:`issue_token` but reports denial instead of raising.
+
+        Deprecated: express single requests through :meth:`submit`.
+        """
         return self.shards[self.shard_for(request)].try_issue(request)
 
     def submit_stream(
@@ -219,7 +234,7 @@ class BatchTokenService:
 
     # -- owner management ------------------------------------------------------
 
-    def update_rules(self, mutate) -> None:
+    def update_rules(self, mutate: Callable[[RuleSet], None]) -> None:
         """Rules are shared by reference; one update applies to every shard."""
         mutate(self.rules)
 
@@ -233,9 +248,11 @@ class BatchTokenService:
     def denied_count(self) -> int:
         return sum(shard.denied_count for shard in self.shards)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Pipeline counters for benchmarks and monitoring."""
         return {
+            "service": self.label,
+            "profile": "sharded",
             "shards": len(self.shards),
             "batches_processed": self.batches_processed,
             "issued": self.issued_count,

@@ -3,36 +3,46 @@
 The paper proposes publishing the TS address as contract instance metadata.
 SMACS-enabled contracts store their TS URL in a well-known storage slot
 (written by :meth:`repro.core.smacs_contract.SMACSContract.init_smacs`); the
-discovery registry resolves a contract address to a live
-:class:`~repro.core.token_service.TokenService` by reading that slot and
-looking the URL up in its directory of known services.
+discovery registry resolves a contract address to a live issuer by reading
+that slot and looking the URL up in its directory of known services.
+
+The directory holds :class:`~repro.api.protocol.TokenIssuer` stacks, not a
+concrete service class: a serial ``TokenService``, a sharded or replicated
+stack from :func:`repro.api.factory.build_service`, or a wire-level
+:class:`~repro.api.gateway.GatewayClient` all publish and resolve the same
+way (the URL a gateway client was built for is naturally the route it
+answers under).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.chain.address import Address
 from repro.chain.chain import Blockchain
 from repro.core.smacs_contract import TS_URL_SLOT
-from repro.core.token_service import TokenService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.protocol import TokenIssuer
 
 
 class ServiceDiscovery:
-    """Resolves contract addresses to Token Service instances."""
+    """Resolves contract addresses to token-issuer stacks."""
 
     def __init__(self, chain: Blockchain):
         self.chain = chain
-        self._directory: dict[str, TokenService] = {}
+        self._directory: "dict[str, TokenIssuer]" = {}
 
-    def publish(self, url: str, service: TokenService) -> None:
-        """Register a running Token Service under its URL."""
+    def publish(self, url: str, service: "TokenIssuer") -> None:
+        """Register a running issuer stack under its URL."""
         self._directory[url] = service
 
     def url_for(self, contract: Address) -> str | None:
         """Read the TS URL published in the contract's metadata slot."""
         return self.chain.state.storage_get(contract, TS_URL_SLOT, None)
 
-    def resolve(self, contract: Address) -> TokenService | None:
-        """Find the Token Service serving ``contract`` (None when unknown)."""
+    def resolve(self, contract: Address) -> "TokenIssuer | None":
+        """Find the issuer serving ``contract`` (None when unknown)."""
         url = self.url_for(contract)
         if url is None:
             return None

@@ -11,20 +11,26 @@ load-balancer/fail-over front end in front of them.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Callable, Sequence, TypeVar
 
+from repro.chain.address import Address, address_hex
 from repro.chain.clock import SimulatedClock
 from repro.consensus.counter import CounterCluster, CounterTimeout, ReplicatedCounter
 from repro.core.acr import RuleSet
+from repro.core.errors import ErrorCode, SmacsError, classify
 from repro.core.token import Token
 from repro.core.token_request import TokenRequest
 from repro.core.token_service import IssuanceResult, TokenService
 from repro.crypto.keys import KeyPair
 from repro.crypto.sigcache import SignatureCache
 
+_T = TypeVar("_T")
 
-class NoReplicaAvailable(Exception):
+
+class NoReplicaAvailable(SmacsError):
     """Every TS replica is marked down."""
+
+    code = ErrorCode.NO_REPLICA
 
 
 class ReplicatedTokenService:
@@ -50,6 +56,7 @@ class ReplicatedTokenService:
         replicate_counter: bool = True,
         seed: int = 7,
         signature_cache: SignatureCache | None = None,
+        failover: bool = True,
     ):
         if replica_count < 1:
             raise ValueError("need at least one replica")
@@ -79,12 +86,22 @@ class ReplicatedTokenService:
         self._down: set[int] = set()
         self._next = 0
         self.transient_failovers = 0
+        #: When False the front end makes exactly one attempt per operation
+        #: (errors come back in the results) -- the mode the composable
+        #: :class:`repro.api.middleware.RetryFailover` wrapper builds on.
+        self.failover = failover
 
     # -- identity --------------------------------------------------------------
 
     @property
-    def address(self) -> bytes:
+    def address(self) -> Address:
+        """The shared ``pkTS`` address (same :class:`Address` type as every
+        other issuer -- contracts are preloaded with exactly this value)."""
         return self.keypair.address
+
+    @property
+    def address_hex(self) -> str:
+        return address_hex(self.address)
 
     # -- failure control ---------------------------------------------------------
 
@@ -111,7 +128,7 @@ class ReplicatedTokenService:
         self._next += 1
         return choice, self.replicas[choice]
 
-    def _with_failover(self, operation):
+    def _with_failover(self, operation: "Callable[[TokenService], _T]") -> _T:
         """Run ``operation(replica)``, retrying through the other replicas.
 
         A :class:`CounterTimeout` is transient (a leader election or partition
@@ -119,6 +136,8 @@ class ReplicatedTokenService:
         replica -- in round-robin order, skipping the one that just failed --
         and only surfaces the error when every live replica timed out.
         Anything else (rule denials, programming errors) propagates untouched.
+        With ``failover=False`` exactly one attempt is made (the composable
+        retry then lives in :class:`repro.api.middleware.RetryFailover`).
         """
         tried: set[int] = set()
         last_timeout: CounterTimeout | None = None
@@ -135,20 +154,106 @@ class ReplicatedTokenService:
             try:
                 return operation(replica)
             except CounterTimeout as exc:
+                if not self.failover:
+                    raise
                 last_timeout = exc
                 self.transient_failovers += 1
 
     def issue_token(self, request: TokenRequest) -> Token:
+        """Single-request issuance with fail-over.
+
+        Deprecated: express single requests through :meth:`submit` (the
+        :class:`~repro.api.protocol.TokenIssuer` batch path).
+        """
         return self._with_failover(lambda replica: replica.issue_token(request))
 
     def submit(self, requests: "TokenRequest | Sequence[TokenRequest]") -> list[IssuanceResult]:
-        return self._with_failover(lambda replica: replica.submit(requests))
+        """The :class:`~repro.api.protocol.TokenIssuer` batch path.
+
+        Never raises mid-batch: requests that keep failing after every live
+        replica was tried come back with their classified error
+        (``COUNTER_TIMEOUT`` / ``NO_REPLICA``) inside the result.  Two retry
+        layers cooperate: a replica whose *whole submission* dies with a
+        transient error is skipped, and individual error-carrying results
+        with a retryable code are re-submitted through the next replica.
+        """
+        if isinstance(requests, TokenRequest):
+            requests = [requests]
+        request_list = list(requests)
+        if not request_list:
+            return []
+        results: "list[IssuanceResult | None]" = [None] * len(request_list)
+        pending = list(range(len(request_list)))
+        tried: set[int] = set()
+        while pending:
+            available = self.available_replicas()
+            if not available:
+                error = NoReplicaAvailable("all Token Service replicas are down")
+                for position in pending:
+                    results[position] = IssuanceResult.failure(request_list[position], error)
+                break
+            if tried and tried.issuperset(available):
+                break  # every live replica tried; the carried errors stand
+            index, replica = self._pick_replica()
+            if index in tried:
+                continue
+            tried.add(index)
+            try:
+                batch = replica.submit([request_list[position] for position in pending])
+            except CounterTimeout as exc:
+                # A real TokenService.submit carries timeouts in its results,
+                # so this branch guards against replicas whose whole
+                # submission dies (custom issuers, fault injection at the
+                # submit boundary) -- the per-result path below is the one a
+                # healthy stack exercises.
+                self.transient_failovers += 1
+                for position in pending:
+                    results[position] = IssuanceResult.failure(
+                        request_list[position], classify(exc)
+                    )
+                if not self.failover:
+                    break
+                continue
+            still_pending: list[int] = []
+            for position, result in zip(pending, batch):
+                results[position] = result
+                if result.error is not None and result.error.retryable:
+                    still_pending.append(position)
+            if still_pending and self.failover:
+                self.transient_failovers += 1
+                pending = still_pending
+            else:
+                pending = []
+        return [result for result in results if result is not None]
 
     # -- owner management --------------------------------------------------------------
 
-    def update_rules(self, mutate) -> None:
+    def update_rules(self, mutate: Callable[[RuleSet], None]) -> None:
         """Rules are shared by reference; one update applies to every replica."""
         mutate(self.rules)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def issued_count(self) -> int:
+        return sum(replica.issued_count for replica in self.replicas)
+
+    @property
+    def denied_count(self) -> int:
+        return sum(replica.denied_count for replica in self.replicas)
+
+    def stats(self) -> dict[str, Any]:
+        """Availability counters (the protocol's uniform introspection surface)."""
+        return {
+            "service": "replicated-token-service",
+            "profile": "replicated",
+            "replicas": len(self.replicas),
+            "available": len(self.available_replicas()),
+            "issued": self.issued_count,
+            "denied": self.denied_count,
+            "transient_failovers": self.transient_failovers,
+            "replicated_counter": self.counter_cluster is not None,
+        }
 
     def issued_indexes_are_unique(self) -> bool:
         """Sanity check used by tests: the replicated counter never repeats.

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.chain.address import Address, address_hex
 from repro.chain.clock import SimulatedClock
 from repro.core.acr import AccessDecision, RuleSet
+from repro.core.errors import ErrorCode, SmacsError, classify
 from repro.core.token import Token, TokenType, ONE_TIME_UNSET, signing_datagram
 from repro.core.token_request import TokenRequest
 from repro.crypto.keccak import keccak256
@@ -37,8 +38,10 @@ from repro.crypto.sigcache import SignatureCache
 DEFAULT_TOKEN_LIFETIME = 3600  # one hour, the lifetime used in §VI-A
 
 
-class TokenDenied(Exception):
+class TokenDenied(SmacsError):
     """Raised (or reported) when a token request violates the ACRs."""
+
+    code = ErrorCode.DENIED
 
     def __init__(self, decision: AccessDecision):
         super().__init__(decision.reason)
@@ -47,15 +50,49 @@ class TokenDenied(Exception):
 
 @dataclass
 class IssuanceResult:
-    """Outcome of one token request processed through the front end."""
+    """Outcome of one token request processed through the front end.
+
+    The batch path of the :class:`~repro.api.protocol.TokenIssuer` protocol
+    never raises mid-batch: a failed request yields a result whose ``token``
+    is ``None`` and whose ``error`` carries the classified
+    :class:`~repro.core.errors.SmacsError` (``error.code`` is the stable
+    taxonomy code; single-request conveniences re-raise exactly that object).
+    """
 
     request: TokenRequest
     token: Token | None
     decision: AccessDecision
+    error: SmacsError | None = None
 
     @property
     def issued(self) -> bool:
         return self.token is not None
+
+    @property
+    def code(self) -> "ErrorCode | None":
+        """The stable error code of a failed result (None when issued)."""
+        if self.token is not None:
+            return None
+        if self.error is not None:
+            return self.error.code
+        return ErrorCode.DENIED
+
+    def raise_if_failed(self) -> Token:
+        """Return the token, or raise the carried error (single-request path)."""
+        if self.token is not None:
+            return self.token
+        if self.error is not None:
+            raise self.error
+        raise TokenDenied(self.decision)
+
+    @classmethod
+    def failure(cls, request: TokenRequest, error: SmacsError) -> "IssuanceResult":
+        decision = (
+            error.decision
+            if isinstance(error, TokenDenied)
+            else AccessDecision.deny(f"{error.code.value}: {error.message}")
+        )
+        return cls(request, None, decision, error=error)
 
 
 class _LocalCounter:
@@ -189,23 +226,42 @@ class TokenService:
         try:
             token = self.issue_token(request)
         except TokenDenied as denied:
-            return IssuanceResult(request, None, denied.decision)
+            return IssuanceResult.failure(request, denied)
         return IssuanceResult(request, token, AccessDecision.allow("issued"))
+
+    def _guarded_try_issue(self, request: TokenRequest) -> IssuanceResult:
+        """The batch-path unit of work: no exception escapes per-request.
+
+        Rule denials and transient infrastructure failures (a counter timeout
+        during a one-time issuance, a malformed request) come back as
+        error-carrying results; only genuine programming errors
+        (``ErrorCode.INTERNAL``) still propagate.
+        """
+        try:
+            return self.try_issue(request)
+        except Exception as exc:
+            error = classify(exc)
+            if error.code is ErrorCode.INTERNAL:
+                raise
+            return IssuanceResult.failure(request, error)
 
     # -- front end (web interface substitute) ---------------------------------------------
 
     def submit(self, requests: "TokenRequest | Sequence[TokenRequest]") -> list[IssuanceResult]:
-        """Process one submission through the front end.
+        """Process one submission through the front end (the protocol batch path).
 
         A submission carries one or more requests; the per-connection overhead
         (modelled as an authentication-grade hash + signature verification of
         the session payload) is paid once per submission, which is what makes
-        batched submissions faster per request (Fig. 9).
+        batched submissions faster per request (Fig. 9).  Per-request failures
+        -- denials, counter timeouts, malformed requests -- are carried inside
+        the matching :class:`IssuanceResult` rather than raised, so one bad
+        request never aborts the rest of the batch.
         """
         if isinstance(requests, TokenRequest):
             requests = [requests]
         self.front_end_session_overhead(requests)
-        return [self.try_issue(request) for request in requests]
+        return [self._guarded_try_issue(request) for request in requests]
 
     def front_end_session_overhead(self, requests: Sequence[TokenRequest]) -> None:
         """Fixed per-connection work: session authentication and request framing.
@@ -238,6 +294,19 @@ class TokenService:
         if seconds <= 0:
             raise ValueError("token lifetime must be positive")
         self.token_lifetime = seconds
+
+    def stats(self) -> dict[str, Any]:
+        """Issuance counters (the protocol's uniform introspection surface)."""
+        return {
+            "service": self.label,
+            "profile": "serial",
+            "issued": self.issued_count,
+            "denied": self.denied_count,
+            "counter": getattr(self.counter, "value", None),
+            "signature_cache": (
+                self.signature_cache.stats() if self.signature_cache is not None else None
+            ),
+        }
 
     def audit_log(self) -> list[tuple[int, str, str]]:
         """(timestamp, request description, outcome) entries, newest last."""

@@ -12,11 +12,19 @@ mainstream wallets, such that it is executed seamlessly for users"):
 
 The :class:`OwnerWallet` adds the owner-side operations: deploying a
 SMACS-enabled contract preloaded with the TS address, and managing rules.
+
+Both wallets are written against the :class:`~repro.api.protocol.TokenIssuer`
+protocol, not a concrete service class: a serial ``TokenService``, a sharded
+``BatchTokenService``, a ``ReplicatedTokenService``, any middleware stack
+from :func:`repro.api.factory.build_service` or a wire-level
+:class:`~repro.api.gateway.GatewayClient` all plug in unchanged.  Token
+acquisition goes through the protocol's batch path (``submit``), with the
+single request expressed as a one-element batch.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, TYPE_CHECKING
 
 from repro.chain.account import ExternallyOwnedAccount
 from repro.chain.address import Address
@@ -24,13 +32,18 @@ from repro.chain.chain import Blockchain
 from repro.chain.contract import Contract
 from repro.chain.evm import Receipt
 from repro.core.call_chain import TokenBundle
+from repro.core.errors import ErrorCode, SmacsError
 from repro.core.token import Token, TokenType
 from repro.core.token_request import TokenRequest
-from repro.core.token_service import TokenService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.protocol import TokenIssuer
 
 
-class NoTokenServiceKnown(Exception):
+class NoTokenServiceKnown(SmacsError):
     """The wallet cannot find a Token Service for the targeted contract."""
+
+    code = ErrorCode.UNKNOWN_ROUTE
 
 
 class ClientWallet:
@@ -39,11 +52,11 @@ class ClientWallet:
     def __init__(
         self,
         account: ExternallyOwnedAccount,
-        token_services: Mapping[Address, TokenService] | None = None,
+        token_services: "Mapping[Address, TokenIssuer] | None" = None,
         discovery: "Any | None" = None,
     ):
         self.account = account
-        self._services: dict[Address, TokenService] = dict(token_services or {})
+        self._services: "dict[Address, TokenIssuer]" = dict(token_services or {})
         self.discovery = discovery
 
     # -- plumbing ------------------------------------------------------------------
@@ -56,10 +69,10 @@ class ClientWallet:
     def address(self) -> Address:
         return self.account.address
 
-    def register_service(self, contract: "Address | Contract", service: TokenService) -> None:
+    def register_service(self, contract: "Address | Contract", service: "TokenIssuer") -> None:
         self._services[getattr(contract, "this", contract)] = service
 
-    def service_for(self, contract: "Address | Contract") -> TokenService:
+    def service_for(self, contract: "Address | Contract") -> "TokenIssuer":
         address = getattr(contract, "this", contract)
         if address in self._services:
             return self._services[address]
@@ -101,7 +114,10 @@ class ClientWallet:
             one_time=one_time,
         )
         service = self.service_for(address)
-        return service.issue_token(request)
+        # The protocol batch path, single request as a one-element batch;
+        # the carried SmacsError (TokenDenied, COUNTER_TIMEOUT, ...) is
+        # re-raised here, where the client is a single caller again.
+        return service.submit([request])[0].raise_if_failed()
 
     def acquire_bundle(self, plan: list[dict[str, Any]]) -> TokenBundle:
         """Obtain tokens for every contract in a call chain (§IV-D).
@@ -174,7 +190,7 @@ class ClientWallet:
 class OwnerWallet:
     """Owner-side software: deploy SMACS-enabled contracts and manage the TS."""
 
-    def __init__(self, account: ExternallyOwnedAccount, service: TokenService):
+    def __init__(self, account: ExternallyOwnedAccount, service: "TokenIssuer"):
         self.account = account
         self.service = service
 

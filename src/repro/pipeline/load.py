@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.api.protocol import TokenIssuer
 from repro.chain.account import ExternallyOwnedAccount
 from repro.chain.transaction import Transaction
 from repro.core.token import TokenType
@@ -36,7 +37,7 @@ class SmacsLoadGenerator:
 
     def __init__(
         self,
-        service: Any,
+        service: TokenIssuer,
         contract: Any,
         accounts: Sequence[ExternallyOwnedAccount],
         method: str = "submit",
@@ -52,6 +53,10 @@ class SmacsLoadGenerator:
         self._nonces = {account.address: account.nonce for account in self.accounts}
         self._cursor = 0
         self.tokens_issued = 0
+        #: requests whose result came back error-carrying instead of issued
+        #: (the batch path never raises mid-batch, so callers that require
+        #: every arrival to become a transaction must check this counter).
+        self.requests_failed = 0
 
     # -- internals ----------------------------------------------------------------
 
@@ -125,6 +130,7 @@ class SmacsLoadGenerator:
             results = self.service.submit(requests)
             for account, request, result in zip(batch_accounts, requests, results):
                 if not result.issued:  # pragma: no cover - permissive rules
+                    self.requests_failed += 1
                     continue
                 self.tokens_issued += 1
                 amount = request.arguments.get("amount", self.tokens_issued)
@@ -155,6 +161,7 @@ class SmacsLoadGenerator:
             results = self.service.submit(relevant)
             for request, result in zip(relevant, results):
                 if not result.issued:
+                    self.requests_failed += 1
                     continue
                 self.tokens_issued += 1
                 account = self._account_for(request.client)

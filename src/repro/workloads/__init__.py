@@ -15,6 +15,7 @@ from repro.workloads.generator import (
     flash_sale_bursts,
     multi_contract_fanout,
     replay_storm,
+    submit_mix,
 )
 from repro.workloads.traces import (
     PopularContractTrace,
@@ -30,6 +31,7 @@ __all__ = [
     "TokenRequestWorkload",
     "WorkloadConfig",
     "flash_sale_bursts",
+    "submit_mix",
     "multi_contract_fanout",
     "replay_storm",
     "PopularContractTrace",

@@ -19,11 +19,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Sequence, TYPE_CHECKING
 
 from repro.chain.address import Address
 from repro.core.token import TokenType
 from repro.core.token_request import TokenRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.protocol import TokenIssuer
+    from repro.core.token_service import IssuanceResult
 
 
 @dataclass
@@ -99,6 +103,21 @@ class ScenarioMix:
     def flattened(self) -> list[TokenRequest]:
         """The whole mix as one request list (for serial/batched baselines)."""
         return [request for batch in self.batches for request in batch]
+
+
+def submit_mix(issuer: "TokenIssuer", mix: ScenarioMix) -> "list[IssuanceResult]":
+    """Drive a scenario mix through any issuer stack, batch by batch.
+
+    Each pre-materialised batch becomes one protocol submission (one
+    front-end session overhead per batch), against whatever
+    :class:`~repro.api.protocol.TokenIssuer` is supplied -- a serial service,
+    a sharded/replicated stack from ``build_service`` or a gateway client.
+    Results come back flattened, in request order, failures carried inside.
+    """
+    results: "list[IssuanceResult]" = []
+    for batch in mix.batches:
+        results.extend(issuer.submit(list(batch)))
+    return results
 
 
 def _skewed_choice(rng: random.Random, population: Sequence[Any]) -> Any:

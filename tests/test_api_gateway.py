@@ -1,0 +1,255 @@
+"""The service gateway: wire codec, envelopes, error paths, rule epochs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ErrorCode,
+    ServiceGateway,
+    SmacsError,
+    TokenDenied,
+    WIRE_VERSION,
+    build_service,
+)
+from repro.api import codec
+from repro.core import ClientWallet, OwnerWallet, TokenType
+from repro.core.acr import AccessDecision, RuleSet, WhitelistRule
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import IssuanceResult, TokenService
+from repro.crypto.keys import KeyPair
+
+ROUTE = "https://ts.gateway.example"
+
+
+@pytest.fixture
+def gateway(chain, ts_keypair):
+    gateway = ServiceGateway()
+    service = TokenService(keypair=ts_keypair, rules=RuleSet(), clock=chain.clock)
+    gateway.register(ROUTE, service)
+    return gateway
+
+
+@pytest.fixture
+def client(gateway):
+    return gateway.client_for(ROUTE)
+
+
+# --- codec round trips --------------------------------------------------------------
+
+
+def test_token_request_round_trips_all_types(recorder, alice):
+    requests = [
+        TokenRequest.super_token(recorder.this, alice.address),
+        TokenRequest.method_token(recorder.this, alice.address, "submit", one_time=True),
+        TokenRequest.argument_token(
+            recorder.this, alice.address, "transfer",
+            {"amount": 7, "to": b"\x01" * 20, "memo": "hi", "flag": True},
+        ),
+    ]
+    for request in requests:
+        decoded = codec.decode_token_request(codec.encode_token_request(request))
+        assert decoded == request
+        # The Fig. 2 wire layout agrees too (same structured content).
+        assert decoded.encode() == request.encode()
+
+
+def test_issuance_result_round_trips(token_service, recorder, alice, eve):
+    issued = token_service.submit(
+        TokenRequest.method_token(recorder.this, alice.address, "submit", one_time=True)
+    )[0]
+    token_service.update_rules(
+        lambda rules: rules.add_rule(WhitelistRule([alice.address]))
+    )
+    denied = token_service.submit(
+        TokenRequest.method_token(recorder.this, eve.address, "submit")
+    )[0]
+
+    decoded_ok = codec.decode_issuance_result(codec.encode_issuance_result(issued))
+    assert decoded_ok.issued
+    assert decoded_ok.token.to_bytes() == issued.token.to_bytes()
+    assert decoded_ok.request == issued.request
+
+    decoded_denied = codec.decode_issuance_result(codec.encode_issuance_result(denied))
+    assert not decoded_denied.issued
+    assert decoded_denied.code is ErrorCode.DENIED
+    assert isinstance(decoded_denied.error, TokenDenied)
+    assert decoded_denied.decision.reason == denied.decision.reason
+
+
+def test_unsafe_argument_values_are_rejected_at_encode_time(recorder, alice):
+    class Opaque:
+        pass
+
+    request = TokenRequest.argument_token(
+        recorder.this, alice.address, "m", {"x": Opaque()}
+    )
+    with pytest.raises(SmacsError) as excinfo:
+        codec.encode_token_request(request)
+    assert excinfo.value.code is ErrorCode.MALFORMED_REQUEST
+
+
+def test_result_failure_decision_defaults_reference_the_code(recorder, alice):
+    request = TokenRequest.method_token(recorder.this, alice.address, "submit")
+    failure = IssuanceResult.failure(
+        request, SmacsError("no quorum", ErrorCode.COUNTER_TIMEOUT)
+    )
+    assert failure.code is ErrorCode.COUNTER_TIMEOUT
+    assert "COUNTER_TIMEOUT" in failure.decision.reason
+    decoded = codec.decode_issuance_result(codec.encode_issuance_result(failure))
+    assert decoded.code is ErrorCode.COUNTER_TIMEOUT
+    assert decoded.error.retryable
+
+
+# --- envelope / transport error paths -----------------------------------------------
+
+
+def _error_of(raw: bytes) -> dict:
+    envelope = json.loads(raw.decode())
+    assert envelope["ok"] is False
+    return envelope["error"]
+
+
+def test_unknown_route_is_a_stable_error(gateway):
+    raw = codec.encode_request_envelope("address", "https://nowhere.example", {})
+    assert _error_of(gateway.handle(raw))["code"] == "UNKNOWN_ROUTE"
+
+
+def test_unknown_op_is_unsupported(gateway):
+    raw = codec.encode_request_envelope("frobnicate", ROUTE, {})
+    assert _error_of(gateway.handle(raw))["code"] == "UNSUPPORTED"
+
+
+def test_wrong_wire_version_is_unsupported(gateway):
+    envelope = {"smacs": 99, "op": "address", "route": ROUTE, "body": {}}
+    raw = json.dumps(envelope).encode()
+    assert _error_of(gateway.handle(raw))["code"] == "UNSUPPORTED"
+
+
+def test_garbage_bytes_are_malformed_not_a_crash(gateway):
+    assert _error_of(gateway.handle(b"\xff\x00 not json"))["code"] == "MALFORMED_REQUEST"
+
+
+def test_malformed_submit_body(gateway):
+    raw = codec.encode_request_envelope("submit", ROUTE, {"requests": "nope"})
+    assert _error_of(gateway.handle(raw))["code"] == "MALFORMED_REQUEST"
+
+
+def test_describe_lists_routes(client):
+    described = client.describe()
+    assert described["version"] == WIRE_VERSION
+    assert ROUTE in described["routes"]
+
+
+def test_transport_counts_wire_traffic(client, recorder, alice):
+    client.submit(TokenRequest.method_token(recorder.this, alice.address, "submit"))
+    stats = client.stats()
+    transport = stats["transport"]
+    assert transport["requests"] >= 1
+    assert transport["bytes_sent"] > 0 and transport["bytes_received"] > 0
+
+
+# --- rule epochs (EXPIRED_RULESET) --------------------------------------------------
+
+
+def test_stale_epoch_is_rejected(gateway, client, alice):
+    current = json.loads(
+        gateway.handle(codec.encode_request_envelope("get_rules", ROUTE, {})).decode()
+    )["body"]
+    # A concurrent owner update lands first...
+    client.update_rules(lambda rules: rules.add_rule(WhitelistRule([alice.address])))
+    # ...so replaying the previously read epoch must fail.
+    raw = codec.encode_request_envelope(
+        "replace_rules", ROUTE, {"config": current["config"], "epoch": current["epoch"]}
+    )
+    assert _error_of(gateway.handle(raw))["code"] == "EXPIRED_RULESET"
+
+
+def test_wire_rule_update_preserves_programmatic_rules(gateway, client, alice, eve):
+    """A wire-level rule replacement must never drop in-process-only rules:
+    a fail-closed PredicateRule survives any gateway update_rules."""
+    from repro.core.acr import PredicateRule
+
+    service = gateway.issuer_for(ROUTE)
+    service.update_rules(lambda rules: rules.add_rule(
+        PredicateRule(lambda request: request.client != eve.address, name="ban-eve")
+    ))
+    client.update_rules(lambda rules: rules.add_rule(
+        WhitelistRule([alice.address, eve.address])
+    ))
+    results = client.submit([
+        TokenRequest.method_token(b"\x22" * 20, alice.address, "m"),
+        TokenRequest.method_token(b"\x22" * 20, eve.address, "m"),
+    ])
+    assert results[0].issued
+    # eve is whitelisted by the wire update but still banned by the
+    # in-process predicate the config cannot express.
+    assert results[1].code is ErrorCode.DENIED
+    assert "ban-eve" in service.rules.rule_names()
+
+
+def test_client_update_rules_retries_past_a_conflict(gateway, client, alice, bob):
+    inner_transport = client.transport
+    original_send = inner_transport.send
+    state = {"injected": False}
+
+    def racing_send(raw: bytes) -> bytes:
+        # Inject one concurrent update between the client's read and replace.
+        if b'"op": "replace_rules"' in raw and not state["injected"]:
+            state["injected"] = True
+            gateway._rule_epochs[ROUTE] += 1
+        return original_send(raw)
+
+    inner_transport.send = racing_send
+    client.update_rules(lambda rules: rules.add_rule(WhitelistRule([alice.address])))
+    assert state["injected"]
+    results = client.submit(
+        [
+            TokenRequest.method_token(b"\x11" * 20, alice.address, "m"),
+            TokenRequest.method_token(b"\x11" * 20, bob.address, "m"),
+        ]
+    )
+    assert results[0].issued
+    assert results[1].code is ErrorCode.DENIED
+
+
+# --- the full loop through the wire -------------------------------------------------
+
+
+def test_wallet_through_gateway_client_verifies_on_chain(chain, owner, alice):
+    service = build_service(
+        "sharded",
+        keypair=KeyPair.from_seed("gateway-e2e-ts"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        shards=2,
+        index_block_size=8,
+    )
+    gateway = ServiceGateway()
+    gateway.register(ROUTE, service)
+    client = gateway.client_for(ROUTE)
+
+    from repro.contracts.protected_target import ProtectedRecorder
+
+    protected = OwnerWallet(owner, client).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=1024
+    ).return_value
+    wallet = ClientWallet(alice, {protected.this: client})
+    receipt = wallet.call_with_token(
+        protected, "submit", amount=3, token_type=TokenType.ARGUMENT, one_time=True
+    )
+    assert receipt.success, receipt.error
+    assert chain.read(protected, "entries") == 1
+
+
+def test_gateway_stats_are_wire_safe_json(client, recorder, alice):
+    client.submit(TokenRequest.method_token(recorder.this, alice.address, "submit"))
+    stats = client.stats()
+    json.dumps(stats)  # must not raise: every leaf is JSON-serialisable
+
+
+def test_decision_encoding_is_faithful():
+    decision = AccessDecision.deny("client not on sender-whitelist")
+    assert not decision.allowed and decision.reason

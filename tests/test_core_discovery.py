@@ -1,0 +1,186 @@
+"""Service discovery across every issuer stack + the repro.api surface snapshot.
+
+The §VII-B registry was only exercised with a bare ``TokenService``; these
+tests register and resolve every :class:`~repro.api.protocol.TokenIssuer`
+shape -- factory-built stacks, middleware-wrapped services and wire-level
+gateway clients -- and the API-stability snapshot pins the public symbols of
+:mod:`repro.api` so the surface only grows deliberately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api
+from repro.api import ServiceGateway, build_service, conforms
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import ClientWallet, OwnerWallet, TokenType
+from repro.core.acr import RuleSet
+from repro.core.discovery import ServiceDiscovery
+from repro.core.wallet import NoTokenServiceKnown
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def discovery(chain):
+    return ServiceDiscovery(chain)
+
+
+def _deploy_for(owner, issuer, url):
+    receipt = OwnerWallet(owner, issuer).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=1024, ts_url=url
+    )
+    assert receipt.success, receipt.error
+    return receipt.return_value
+
+
+@pytest.mark.parametrize("profile", ["serial", "sharded", "replicated"])
+def test_discovery_resolves_every_issuer_profile(chain, owner, alice, discovery, profile):
+    url = f"https://{profile}.ts.example.org"
+    issuer = build_service(
+        profile,
+        keypair=KeyPair.from_seed(f"disc-{profile}"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        index_block_size=8,
+    )
+    assert conforms(issuer)
+    discovery.publish(url, issuer)
+    contract = _deploy_for(owner, issuer, url)
+
+    assert discovery.url_for(contract.this) == url
+    assert discovery.resolve(contract.this) is issuer
+
+    wallet = ClientWallet(alice, discovery=discovery)
+    receipt = wallet.call_with_token(
+        contract, "submit", amount=1, token_type=TokenType.METHOD, one_time=True
+    )
+    assert receipt.success, receipt.error
+    assert chain.read(contract, "entries") == 1
+
+
+def test_discovery_resolves_gateway_clients(chain, owner, alice, discovery):
+    """A contract's published URL doubles as the gateway route: discovery
+    hands back a wire-level client and the wallet cannot tell the difference."""
+    url = "https://gw.ts.example.org"
+    issuer = build_service(
+        "sharded",
+        keypair=KeyPair.from_seed("disc-gateway"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        index_block_size=8,
+    )
+    gateway = ServiceGateway()
+    gateway.register(url, issuer)
+    client = gateway.client_for(url)
+    discovery.publish(url, client)
+
+    contract = _deploy_for(owner, issuer, url)
+    resolved = discovery.resolve(contract.this)
+    assert resolved is client
+    assert conforms(resolved)
+    assert resolved.address == issuer.address
+
+    wallet = ClientWallet(alice, discovery=discovery)
+    receipt = wallet.call_with_token(contract, "submit", amount=2,
+                                     token_type=TokenType.METHOD)
+    assert receipt.success, receipt.error
+
+
+def test_discovery_misses_stay_explicit(chain, owner, alice, discovery, token_service):
+    contract = _deploy_for(owner, token_service, "https://unpublished.example")
+    assert discovery.url_for(contract.this) == "https://unpublished.example"
+    assert discovery.resolve(contract.this) is None  # URL published, no issuer
+    unlabelled = OwnerWallet(owner, token_service).deploy_protected(
+        ProtectedRecorder
+    ).return_value
+    assert discovery.url_for(unlabelled.this) is None
+
+    wallet = ClientWallet(alice, discovery=discovery)
+    with pytest.raises(NoTokenServiceKnown) as excinfo:
+        wallet.request_token(contract, TokenType.SUPER)
+    assert excinfo.value.code is repro.api.ErrorCode.UNKNOWN_ROUTE
+
+
+def test_known_urls_sorted(chain, discovery, token_service):
+    for url in ("https://b.example", "https://a.example"):
+        discovery.publish(url, token_service)
+    assert discovery.known_urls() == ["https://a.example", "https://b.example"]
+
+
+# --- API-stability snapshot ---------------------------------------------------------
+
+#: The public surface of repro.api.  Growing it is fine -- update the
+#: snapshot deliberately; renaming or removing a symbol is a breaking change.
+API_SURFACE_SNAPSHOT = [
+    "Audit",
+    "CounterTimeout",
+    "ErrorCode",
+    "GatewayClient",
+    "InProcessTransport",
+    "IssuerMiddleware",
+    "Metrics",
+    "NoReplicaAvailable",
+    "PROFILES",
+    "RETRYABLE_CODES",
+    "RateLimiter",
+    "RetryFailover",
+    "ServiceGateway",
+    "SignatureCachePrimer",
+    "SmacsError",
+    "TokenDenied",
+    "TokenIssuer",
+    "WIRE_VERSION",
+    "build_service",
+    "classify",
+    "conforms",
+    "issue_one",
+    "try_issue_one",
+    "unwrap",
+]
+
+
+def test_api_public_surface_matches_snapshot():
+    assert sorted(repro.api.__all__) == API_SURFACE_SNAPSHOT
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None, name
+
+
+def test_api_error_codes_are_stable():
+    """The wire-visible error codes are part of the public contract."""
+    assert {code.value for code in repro.api.ErrorCode} == {
+        "DENIED",
+        "COUNTER_TIMEOUT",
+        "NO_REPLICA",
+        "EXPIRED_RULESET",
+        "MALFORMED_REQUEST",
+        "UNKNOWN_ROUTE",
+        "RATE_LIMITED",
+        "UNSUPPORTED",
+        "INTERNAL",
+    }
+    # str-valued enum: codes serialise as their own names.
+    for code in repro.api.ErrorCode:
+        assert code.value == code.name
+
+
+def test_legacy_exceptions_are_taxonomy_subtypes():
+    """`except CounterTimeout` / `except TokenDenied` keep working AND the
+    same objects carry stable codes through results and the wire."""
+    from repro.api import (
+        CounterTimeout,
+        ErrorCode,
+        NoReplicaAvailable,
+        SmacsError,
+        TokenDenied,
+    )
+    from repro.core.acr import AccessDecision
+
+    assert issubclass(CounterTimeout, SmacsError)
+    assert issubclass(CounterTimeout, RuntimeError)  # legacy handlers
+    assert CounterTimeout("no quorum").code is ErrorCode.COUNTER_TIMEOUT
+    assert CounterTimeout("no quorum").retryable
+    assert issubclass(NoReplicaAvailable, SmacsError)
+    assert NoReplicaAvailable("down").code is ErrorCode.NO_REPLICA
+    denied = TokenDenied(AccessDecision.deny("nope"))
+    assert denied.code is ErrorCode.DENIED and not denied.retryable

@@ -123,3 +123,40 @@ def test_unreplicated_counter_ablation_produces_duplicate_indexes(chain, alice, 
 def test_replica_count_validation(chain):
     with pytest.raises(ValueError):
         ReplicatedTokenService(replica_count=0, clock=chain.clock)
+
+
+def test_address_is_normalized_across_issuers(chain, replicated_ts):
+    """Regression: the replicated front end used to annotate ``address`` as
+    raw ``bytes`` while every other issuer returns :class:`Address` -- the
+    protocol requires one identity type everywhere."""
+    import typing
+
+    from repro.chain.address import Address, is_address
+    from repro.core.batch_service import BatchTokenService
+    from repro.core.token_service import TokenService
+
+    assert is_address(replicated_ts.address)
+    assert replicated_ts.address_hex == "0x" + replicated_ts.address.hex()
+    for cls in (TokenService, BatchTokenService, ReplicatedTokenService):
+        hints = typing.get_type_hints(cls.address.fget)
+        assert hints["return"] is Address, cls
+    # The value itself is what contracts get preloaded with.
+    assert replicated_ts.address == replicated_ts.replicas[0].address
+
+
+def test_submit_carries_errors_instead_of_raising_when_all_down(chain, replicated_ts,
+                                                                alice, protected):
+    """The protocol batch path never raises mid-batch: with every replica
+    down, results carry ``NO_REPLICA`` (the single-request convenience path
+    still raises, as test_all_replicas_down_raises pins)."""
+    from repro.core.errors import ErrorCode
+
+    for index in range(3):
+        replicated_ts.take_down(index)
+    request = TokenRequest.method_token(protected.this, alice.address, "submit")
+    results = replicated_ts.submit([request, request])
+    assert len(results) == 2
+    for result in results:
+        assert not result.issued
+        assert result.code is ErrorCode.NO_REPLICA
+        assert isinstance(result.error, NoReplicaAvailable)

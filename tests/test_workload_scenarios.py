@@ -7,6 +7,7 @@ from repro.workloads import (
     flash_sale_bursts,
     multi_contract_fanout,
     replay_storm,
+    submit_mix,
 )
 
 CONTRACTS = [KeyPair.from_seed(f"scenario-contract-{i}").address for i in range(3)]
@@ -74,3 +75,19 @@ def test_scenario_mix_accounting():
     mix = ScenarioMix(name="x", batches=[[], [], []])
     assert mix.total_requests == 0
     assert mix.flattened() == []
+
+
+def test_submit_mix_drives_any_issuer_stack():
+    """Scenario mixes flow through the TokenIssuer protocol batch-by-batch."""
+    from repro.api import build_service
+
+    mix = replay_storm(
+        CONTRACTS[0], CLIENTS, unique_requests=4, replays_per_request=4,
+        batch_size=8, seed=9,
+    )
+    for profile in ("serial", "sharded"):
+        issuer = build_service(profile, keypair=KeyPair.from_seed("scenario-ts"))
+        results = submit_mix(issuer, mix)
+        assert len(results) == mix.total_requests
+        assert all(result.issued for result in results)
+        assert [r.request for r in results] == mix.flattened()
