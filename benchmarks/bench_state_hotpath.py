@@ -1,0 +1,120 @@
+"""State-layer hot path: journaled snapshots vs copy-on-snapshot.
+
+Drives the :mod:`repro.workloads.state_stress` scenario -- Fig. 8-depth call
+chains over a Tab. IV-sized bitmap window with thousands of funded accounts
+-- through two otherwise identical execution engines:
+
+* ``journal``   -- the production :class:`~repro.chain.state.WorldState`:
+  O(1) ``snapshot()`` plus an undo record per first-touched value;
+* ``reference`` -- :class:`~repro.chain.state.ReferenceWorldState`, the
+  original copy-on-snapshot implementation that clones every account and
+  storage dict on every call frame.
+
+Both engines execute the *identical* deterministic burst and must end in the
+identical world state (asserted via fingerprint), so the measured gap is
+purely the snapshot policy.  The committed baseline gates ``journal_speedup``
+(machine-independent: a slow runner moves both sides together) and the
+absolute journaled throughput.
+
+Set ``SMACS_STRESS_ACCOUNTS`` / ``SMACS_STRESS_TXS`` / ``SMACS_STRESS_DEPTH``
+/ ``SMACS_STRESS_BITMAP_BITS`` to scale locally.  CI deliberately runs the
+full default size (~3 s): the regression gate compares against the committed
+baseline, which measures this exact workload -- do not add quick-mode knobs
+to the bench-smoke lane without refreshing the baseline to match.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import env_int, report
+from repro.chain.state import ReferenceWorldState, WorldState
+from repro.workloads.state_stress import (
+    StateStressConfig,
+    TAB4_BITMAP_BITS,
+    build_stress_engine,
+    run_state_stress,
+    state_fingerprint,
+)
+
+ACCOUNTS = env_int("SMACS_STRESS_ACCOUNTS", 2_000)
+TRANSACTIONS = env_int("SMACS_STRESS_TXS", 48)
+CALL_DEPTH = env_int("SMACS_STRESS_DEPTH", 8)
+BITMAP_BITS = env_int("SMACS_STRESS_BITMAP_BITS", TAB4_BITMAP_BITS)
+
+#: The acceptance floor: the journal must beat copy-on-snapshot by at least
+#: this factor on the deep-chain / wide-window scenario.
+MIN_SPEEDUP = 5.0
+
+
+def _config() -> StateStressConfig:
+    return StateStressConfig(
+        accounts=ACCOUNTS,
+        transactions=TRANSACTIONS,
+        call_depth=CALL_DEPTH,
+        bitmap_bits=BITMAP_BITS,
+    )
+
+
+def test_state_hotpath_journal_vs_reference(benchmark):
+    config = _config()
+    measured = {}
+
+    def run():
+        rows = {}
+        fingerprints = {}
+        for label, factory in (("journal", WorldState), ("reference", ReferenceWorldState)):
+            engine, entry, clients = build_stress_engine(config, factory)
+            t0 = time.perf_counter()
+            stats = run_state_stress(engine, entry, clients, config)
+            elapsed = time.perf_counter() - t0
+            rows[label] = (stats, elapsed)
+            fingerprints[label] = state_fingerprint(engine.state)
+        measured["rows"] = rows
+        measured["fingerprints_equal"] = (
+            fingerprints["journal"] == fingerprints["reference"]
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    journal_stats, journal_elapsed = measured["rows"]["journal"]
+    reference_stats, reference_elapsed = measured["rows"]["reference"]
+    journal_rate = config.transactions / journal_elapsed
+    reference_rate = config.transactions / reference_elapsed
+    speedup = journal_rate / reference_rate
+
+    lines = [
+        "State hot path: journaled WorldState vs copy-on-snapshot "
+        f"({config.accounts} accounts, depth-{config.call_depth} chain, "
+        f"{config.bitmap_bits}-bit window, {config.transactions} txs, "
+        f"{journal_stats['reverted']} full-depth reverts)",
+        f"{'state layer':<24}{'tx/s':>12}{'vs reference':>14}",
+        f"{'copy-on-snapshot':<24}{reference_rate:>12.1f}{1.0:>14.2f}",
+        f"{'undo journal':<24}{journal_rate:>12.1f}{speedup:>14.2f}",
+    ]
+    data = {
+        "accounts": config.accounts,
+        "call_depth": config.call_depth,
+        "bitmap_bits": config.bitmap_bits,
+        "transactions": config.transactions,
+        "journal_tx_per_s": round(journal_rate, 1),
+        "reference_tx_per_s": round(reference_rate, 1),
+        "journal_speedup": round(speedup, 2),
+        "reverted": journal_stats["reverted"],
+        "gas_used": journal_stats["gas_used"],
+    }
+    report("state_hotpath", lines, data=data)
+    benchmark.extra_info.update(
+        {k: data[k] for k in ("journal_tx_per_s", "reference_tx_per_s", "journal_speedup")}
+    )
+
+    # --- acceptance -----------------------------------------------------------
+    # Same burst, same decisions, same final world state on both engines.
+    assert journal_stats == reference_stats
+    assert measured["fingerprints_equal"]
+    assert journal_stats["executed"] == config.transactions
+    assert journal_stats["reverted"] > 0  # the rollback path was exercised
+    # The journal must beat copy-on-snapshot by the acceptance floor.
+    assert speedup >= MIN_SPEEDUP, (
+        f"journal only {speedup:.1f}x over copy-on-snapshot (< {MIN_SPEEDUP}x)"
+    )

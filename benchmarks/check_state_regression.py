@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Fail CI when the state hot path regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_state_regression.py \
+        benchmarks/baselines/BENCH_state_hotpath.json \
+        benchmarks/results/BENCH_state_hotpath.json \
+        [--tolerance 0.30]
+
+Compares the freshly measured ``journal_speedup`` (machine-independent: a
+slower runner moves the journal and the copy-on-snapshot reference together)
+and the absolute ``journal_tx_per_s`` against the committed baseline; a drop
+larger than the tolerance on either exits non-zero.  When reference hardware
+legitimately changes, refresh the baseline by copying the new
+``BENCH_state_hotpath.json`` over the committed one.
+"""
+
+from __future__ import annotations
+
+try:  # invoked as `python benchmarks/check_state_regression.py`
+    from regression_gate import run_gate
+except ImportError:  # imported as part of the benchmarks package
+    from benchmarks.regression_gate import run_gate
+
+GATED_METRICS = ("journal_speedup", "journal_tx_per_s")
+CONTEXT_METRICS = ("reference_tx_per_s",)
+
+
+def main() -> int:
+    return run_gate(
+        description=__doc__,
+        gated_metrics=GATED_METRICS,
+        context_metrics=CONTEXT_METRICS,
+        workload_keys=("accounts", "call_depth", "bitmap_bits", "transactions"),
+        failure_title="state hot-path regression",
+        baseline_path_hint="benchmarks/baselines/BENCH_state_hotpath.json",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

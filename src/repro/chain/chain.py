@@ -33,7 +33,14 @@ BLOCK_INTERVAL_SECONDS = 13   # average Ethereum block time circa 2020
 
 @dataclass
 class _Checkpoint:
-    """Per-block snapshot used for forks and reorg simulation."""
+    """Per-block snapshot used for forks and reorg simulation.
+
+    Block checkpoints (and :meth:`Blockchain.fork`) are the only remaining
+    full-copy path over the world state: per-frame rollback inside a block
+    rides the :class:`~repro.chain.state.WorldState` undo journal, while a
+    reorg genuinely needs an isolated copy and pays ``deep_copy`` for it
+    once per block.
+    """
 
     state: WorldState
     contracts: dict[Address, Contract]

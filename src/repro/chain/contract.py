@@ -92,22 +92,18 @@ class StorageView:
     def _address(self) -> Address:
         return self._contract.this
 
-    def _record_read(self, slot: Any) -> None:
-        tracer = self._env.evm.tracer
-        if tracer is not None:
-            tracer.record_storage_read(self._address, slot)
-
-    def _record_write(self, slot: Any, value: Any) -> None:
-        tracer = self._env.evm.tracer
-        if tracer is not None:
-            tracer.record_storage_write(self._address, slot, value)
-
     # Dictionary-style interface ---------------------------------------------
 
     def get(self, slot: Any, default: Any = 0) -> Any:
-        self._env.meter.charge(gas.SLOAD)
-        self._record_read(slot)
-        return self._env.evm.state.storage_get(self._address, slot, default)
+        # Hot path: resolve the env chain once; tracer bookkeeping costs one
+        # attribute read when no tracer is attached.
+        env = self._contract.env
+        env.meter.charge(gas.SLOAD)
+        address = self._contract.this
+        tracer = env.evm.tracer
+        if tracer is not None:
+            tracer.record_storage_read(address, slot)
+        return env.evm.state.storage_get(address, slot, default)
 
     def __getitem__(self, slot: Any) -> Any:
         return self.get(slot)
@@ -128,32 +124,44 @@ class StorageView:
         return state.storage_get(contract.this, slot, default)
 
     def set(self, slot: Any, value: Any) -> None:
-        state = self._env.evm.state
-        existed = state.storage_contains(self._address, slot)
+        env = self._contract.env
+        address = self._contract.this
+        state = env.evm.state
+        existed = state.storage_contains(address, slot)
         # Pre-Istanbul (Solidity v0.4.24 era) storage pricing: any write to an
         # occupied slot costs SSTORE_UPDATE, even when the value is unchanged.
         if existed:
-            self._env.meter.charge(gas.SSTORE_UPDATE)
+            env.meter.charge(gas.SSTORE_UPDATE)
         else:
-            self._env.meter.charge(gas.SSTORE_SET)
-        self._record_write(slot, value)
-        state.storage_set(self._address, slot, value)
+            env.meter.charge(gas.SSTORE_SET)
+        tracer = env.evm.tracer
+        if tracer is not None:
+            tracer.record_storage_write(address, slot, value)
+        state.storage_set(address, slot, value)
 
     def __setitem__(self, slot: Any, value: Any) -> None:
         self.set(slot, value)
 
     def __contains__(self, slot: Any) -> bool:
-        self._env.meter.charge(gas.SLOAD)
-        self._record_read(slot)
-        return self._env.evm.state.storage_contains(self._address, slot)
+        env = self._contract.env
+        env.meter.charge(gas.SLOAD)
+        address = self._contract.this
+        tracer = env.evm.tracer
+        if tracer is not None:
+            tracer.record_storage_read(address, slot)
+        return env.evm.state.storage_contains(address, slot)
 
     def delete(self, slot: Any) -> None:
-        state = self._env.evm.state
-        if state.storage_contains(self._address, slot):
-            self._env.meter.charge(gas.SSTORE_UPDATE)
-            self._env.meter.add_refund(gas.SSTORE_CLEAR_REFUND)
-            self._record_write(slot, None)
-            state.storage_delete(self._address, slot)
+        env = self._contract.env
+        address = self._contract.this
+        state = env.evm.state
+        if state.storage_contains(address, slot):
+            env.meter.charge(gas.SSTORE_UPDATE)
+            env.meter.add_refund(gas.SSTORE_CLEAR_REFUND)
+            tracer = env.evm.tracer
+            if tracer is not None:
+                tracer.record_storage_write(address, slot, None)
+            state.storage_delete(address, slot)
 
     def increment(self, slot: Any, delta: int = 1) -> int:
         """Read-modify-write helper; returns the new value."""

@@ -10,6 +10,7 @@ runtime-verification tools (Hydra heads, ECFChecker) consume.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -37,7 +38,7 @@ from repro.chain.transaction import Transaction
 from repro.crypto.sigcache import DEFAULT_SIGNATURE_CACHE, SignatureCache
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageContext:
     """Solidity ``msg`` for one call frame."""
 
@@ -103,7 +104,7 @@ class Receipt:
 # --- Call tracing -----------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class CallRecord:
     """One message call observed during execution."""
 
@@ -118,7 +119,7 @@ class CallRecord:
     reverted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class StorageAccess:
     """A storage read or write observed during execution."""
 
@@ -223,6 +224,32 @@ class CallTracer:
         return {self.calls[inner].target for _, inner in self.reentrant_frames()}
 
 
+# --- Per-class method dispatch tables -----------------------------------------
+
+#: ``contract class -> {method name: (visibility, payable)}`` for every
+#: tagged contract method.  The scan (``dir()`` + ``getattr`` over the whole
+#: class) runs once per class instead of once per deployment/call; keyed by
+#: the *exact* class (weakly, so throwaway test classes can be collected), so
+#: a subclass never inherits a stale table from its base.
+_DISPATCH_TABLES: "weakref.WeakKeyDictionary[type, dict[str, tuple[str, bool]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _dispatch_table(cls: type) -> dict[str, tuple[str, bool]]:
+    table = _DISPATCH_TABLES.get(cls)
+    if table is None:
+        # Underscore-prefixed names are scanned too: a tagged ``@internal``
+        # helper must still dispatch to VisibilityError, not UnknownMethod.
+        table = {}
+        for name in dir(cls):
+            attr = getattr(cls, name, None)
+            if callable(attr) and getattr(attr, "_is_contract_method", False):
+                table[name] = (method_visibility(attr), is_payable(attr))
+        _DISPATCH_TABLES[cls] = table
+    return table
+
+
 # --- The execution engine -----------------------------------------------------
 
 
@@ -259,8 +286,7 @@ class ExecutionEngine:
     def register_contract(self, address: Address, contract: Contract) -> None:
         self.contracts[address] = contract
         contract._bound_evm = self
-        record = self.state.account(address)
-        record.is_contract = True
+        self.state.set_is_contract(address)
 
     def contract_at(self, address: Address) -> Contract:
         contract = self.contracts.get(address)
@@ -389,7 +415,7 @@ class ExecutionEngine:
             # Charge code-deposit proportional to the "code size" proxy: the
             # number of dispatchable methods on the contract class.
             code_size = 256 + 64 * len(self._dispatchable_methods(contract))
-            self.state.account(address).code_size = code_size
+            self.state.set_code_size(address, code_size)
             meter.charge(code_size * gas.CODE_DEPOSIT_PER_BYTE)
         finally:
             contract._pop_env()
@@ -512,15 +538,14 @@ class ExecutionEngine:
     # -- core dispatch ---------------------------------------------------------------
 
     def _dispatchable_methods(self, contract: Contract) -> list[str]:
-        names = []
-        for name in dir(type(contract)):
-            if name.startswith("_"):
-                continue
-            attr = getattr(type(contract), name, None)
-            if callable(attr) and getattr(attr, "_is_contract_method", False):
-                if method_visibility(attr) in DISPATCHABLE:
-                    names.append(name)
-        return names
+        # Underscore-prefixed names are excluded from the code-size proxy
+        # (matching the original scan), even when their visibility would
+        # otherwise make them reachable.
+        return [
+            name
+            for name, (visibility, _) in _dispatch_table(type(contract)).items()
+            if visibility in DISPATCHABLE and not name.startswith("_")
+        ]
 
     def _invoke(
         self,
@@ -546,19 +571,20 @@ class ExecutionEngine:
             handler = contract.fallback
             sig = b"\x00" * 4
         else:
-            handler = getattr(contract, method, None)
-            if handler is None or not getattr(handler, "_is_contract_method", False):
+            info = _dispatch_table(type(contract)).get(method)
+            if info is None:
                 raise UnknownMethod(
                     f"{type(contract).__name__} has no callable method '{method}'"
                 )
-            visibility = method_visibility(handler)
+            visibility, payable_flag = info
             if visibility not in DISPATCHABLE:
                 raise VisibilityError(
                     f"method '{method}' is {visibility} and cannot be called "
                     "via a transaction or message call"
                 )
-            if value and not is_payable(handler):
+            if value and not payable_flag:
                 raise Revert(f"method '{method}' is not payable")
+            handler = getattr(contract, method)
             sig = abi.method_selector(method)
 
         env = Env(

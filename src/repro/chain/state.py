@@ -8,18 +8,58 @@ The state supports snapshot/revert semantics needed for:
 Contract *code* is a live Python object registered with the execution engine;
 only the data that Solidity would keep in ``storage`` lives here, so that a
 state rollback restores exactly what an EVM rollback would restore.
+
+Two snapshot policies share one account container:
+
+* :class:`WorldState` (the production implementation) keeps a **write-ahead
+  undo journal**, the pattern of py-evm's ``JournalDB``: ``snapshot()``
+  pushes an empty checkpoint in O(1), every mutation records the *old* value
+  in the topmost checkpoint on first touch, ``revert_to()`` replays the undo
+  records back to the marker in O(writes-since-checkpoint) and ``commit()``
+  merges a frame's records into the parent checkpoint.  A message call that
+  touches three slots costs three undo records -- not a copy of every account
+  in the world -- which is what keeps deep call chains (Fig. 8) affordable
+  over Tab. IV-sized bitmap windows.
+* :class:`ReferenceWorldState` is the original copy-on-snapshot
+  implementation, kept verbatim as the differential-testing oracle: its
+  ``snapshot()`` copies every account and storage dict, which is trivially
+  correct and O(total state) slow.
+
+Both expose the identical public API (snapshot ids are positions in the
+checkpoint stack, exactly as before), so either can sit behind the execution
+engine.  One caveat the journal shares with the real EVM: storage values are
+journaled *by reference*, so mutating a stored mutable object in place
+(instead of writing through :meth:`WorldState.storage_set`) is invisible to
+rollback.  :meth:`WorldState.storage_of` therefore hands out a read-only
+mapping view, and block-level checkpoints -- the only remaining full-copy
+path -- go through :meth:`deep_copy`.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
 
 from repro.chain.address import Address
 
+#: Storage value types that can be shared between copies without cloning.
+_IMMUTABLE_SCALARS = (int, float, bool, str, bytes, frozenset, type(None))
 
-@dataclass
+
+def _copy_value(value: Any) -> Any:
+    """Clone one storage value, sharing it when immutability makes that safe."""
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return value
+    if isinstance(value, tuple) and all(
+        isinstance(item, _IMMUTABLE_SCALARS) for item in value
+    ):
+        return value
+    return copy.deepcopy(value)
+
+
+@dataclass(slots=True)
 class AccountState:
     """Balance, nonce and persistent storage of one account."""
 
@@ -30,26 +70,50 @@ class AccountState:
     storage: dict[Any, Any] = field(default_factory=dict)
 
     def copy(self) -> "AccountState":
+        # Storage values are overwhelmingly immutable ints/bytes/tuples; only
+        # genuinely mutable values (lists, dicts, ...) pay for a deep copy.
         return AccountState(
             balance=self.balance,
             nonce=self.nonce,
             is_contract=self.is_contract,
             code_size=self.code_size,
-            storage=copy.deepcopy(self.storage),
+            storage={slot: _copy_value(value) for slot, value in self.storage.items()},
         )
 
 
-class WorldState:
-    """The mutable world state of the simulated chain."""
+# Undo-record tags (first element of a journal key).
+_CREATED = 0   # (tag, address) -> None            undo: delete the account
+_BALANCE = 1   # (tag, address) -> old balance
+_NONCE = 2     # (tag, address) -> old nonce
+_CONTRACT = 3  # (tag, address) -> old is_contract
+_CODE = 4      # (tag, address) -> old code_size
+_SLOT = 5      # (tag, address, slot) -> old value (or _ABSENT)
+
+#: Sentinel recorded when a storage slot did not exist before the write.
+_ABSENT = object()
+
+
+class _AccountStore:
+    """Account container plus the read/write API both state flavours share.
+
+    The write methods here are the *plain* (un-journaled) versions; the
+    journaled :class:`WorldState` overrides every one of them.  Direct
+    mutation of the :class:`AccountState` records returned by
+    :meth:`account` bypasses whatever snapshot policy is active -- all
+    writes must go through these methods.
+    """
 
     def __init__(self) -> None:
         self._accounts: dict[Address, AccountState] = {}
-        self._snapshots: list[dict[Address, AccountState]] = []
 
     # -- account management --------------------------------------------------
 
     def account(self, address: Address) -> AccountState:
-        """Return (creating on demand) the state record of ``address``."""
+        """Return (creating on demand) the state record of ``address``.
+
+        The record is live; mutate it only through the ``WorldState`` write
+        methods or the changes will be invisible to snapshot/revert.
+        """
         record = self._accounts.get(address)
         if record is None:
             record = AccountState()
@@ -87,6 +151,16 @@ class WorldState:
     def increment_nonce(self, address: Address) -> None:
         self.account(address).nonce += 1
 
+    # -- contract metadata ------------------------------------------------------
+
+    def set_is_contract(self, address: Address, flag: bool = True) -> None:
+        """Mark an account as holding contract code (journal-aware setter)."""
+        self.account(address).is_contract = flag
+
+    def set_code_size(self, address: Address, code_size: int) -> None:
+        """Record the code-size proxy of a contract account."""
+        self.account(address).code_size = code_size
+
     # -- contract storage -------------------------------------------------------
 
     def storage_get(self, address: Address, slot: Any, default: Any = 0) -> Any:
@@ -101,14 +175,234 @@ class WorldState:
     def storage_delete(self, address: Address, slot: Any) -> None:
         self.account(address).storage.pop(slot, None)
 
-    def storage_of(self, address: Address) -> dict[Any, Any]:
-        """Direct (read-only by convention) view of an account's storage."""
-        return self.account(address).storage
+    def storage_of(self, address: Address) -> Mapping[Any, Any]:
+        """Read-only live view of an account's storage.
+
+        Returned as a :class:`types.MappingProxyType` so callers cannot
+        mutate storage behind the journal's back; writes must go through
+        :meth:`storage_set` / :meth:`storage_delete`.
+        """
+        return MappingProxyType(self.account(address).storage)
 
     def storage_slot_count(self, address: Address) -> int:
         return len(self.account(address).storage)
 
+    # -- block-level copies -------------------------------------------------------
+
+    def deep_copy(self) -> "Any":
+        """A fully independent copy (block-level checkpoints and forks only).
+
+        This is the one remaining full-copy path: per-frame rollback rides
+        the undo journal, while :class:`~repro.chain.chain.Blockchain`
+        checkpoints and Token Service simulation forks genuinely need an
+        isolated state and pay O(total state) for it here.
+        """
+        clone = type(self)()
+        clone._accounts = {addr: rec.copy() for addr, rec in self._accounts.items()}
+        return clone
+
+
+class WorldState(_AccountStore):
+    """The mutable world state of the simulated chain (journaled snapshots).
+
+    ``snapshot()`` is O(1): it pushes an empty checkpoint dict.  Every write
+    records the previous value in the topmost checkpoint the first time a
+    (account, field) pair is touched within that checkpoint; ``revert_to``
+    replays those records newest-first and ``commit`` merges them into the
+    parent checkpoint (parent records, being older, win).  With no active
+    checkpoint the write methods skip journaling entirely, so block-less
+    bootstrap writes (faucets, genesis funding) stay at dictionary speed.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._checkpoints: list[dict[tuple, Any]] = []
+        self._top: dict[tuple, Any] | None = None
+
+    # -- account management --------------------------------------------------
+
+    def account(self, address: Address) -> AccountState:
+        """Return (creating on demand) the state record of ``address``."""
+        record = self._accounts.get(address)
+        if record is None:
+            record = AccountState()
+            self._accounts[address] = record
+            top = self._top
+            if top is not None:
+                # Creation is recorded before any field touch, so its undo
+                # (deleting the account) runs last within a checkpoint.
+                top[(_CREATED, address)] = None
+        return record
+
+    # -- journaled writes --------------------------------------------------------
+
+    def set_balance(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("balance cannot be negative")
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_BALANCE, address)
+            if key not in top:
+                top[key] = record.balance
+        record.balance = amount
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_BALANCE, address)
+            if key not in top:
+                top[key] = record.balance
+        record.balance += amount
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        record = self.account(address)
+        if record.balance < amount:
+            raise ValueError("insufficient balance")
+        top = self._top
+        if top is not None:
+            key = (_BALANCE, address)
+            if key not in top:
+                top[key] = record.balance
+        record.balance -= amount
+
+    def increment_nonce(self, address: Address) -> None:
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_NONCE, address)
+            if key not in top:
+                top[key] = record.nonce
+        record.nonce += 1
+
+    def set_is_contract(self, address: Address, flag: bool = True) -> None:
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_CONTRACT, address)
+            if key not in top:
+                top[key] = record.is_contract
+        record.is_contract = flag
+
+    def set_code_size(self, address: Address, code_size: int) -> None:
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_CODE, address)
+            if key not in top:
+                top[key] = record.code_size
+        record.code_size = code_size
+
+    def storage_set(self, address: Address, slot: Any, value: Any) -> None:
+        storage = self.account(address).storage
+        top = self._top
+        if top is not None:
+            key = (_SLOT, address, slot)
+            if key not in top:
+                top[key] = storage.get(slot, _ABSENT)
+        storage[slot] = value
+
+    def storage_delete(self, address: Address, slot: Any) -> None:
+        storage = self.account(address).storage
+        top = self._top
+        if top is not None:
+            key = (_SLOT, address, slot)
+            if key not in top:
+                top[key] = storage.get(slot, _ABSENT)
+        storage.pop(slot, None)
+
     # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Push a checkpoint marker and return its id (O(1))."""
+        checkpoint: dict[tuple, Any] = {}
+        self._checkpoints.append(checkpoint)
+        self._top = checkpoint
+        return len(self._checkpoints) - 1
+
+    def revert_to(self, snapshot_id: int) -> None:
+        """Replay undo records back to ``snapshot_id`` and drop newer ones.
+
+        O(writes since the checkpoint), not O(total state).
+        """
+        if not 0 <= snapshot_id < len(self._checkpoints):
+            raise ValueError(f"unknown snapshot {snapshot_id}")
+        accounts = self._accounts
+        for checkpoint in reversed(self._checkpoints[snapshot_id:]):
+            for key in reversed(checkpoint):
+                old = checkpoint[key]
+                tag = key[0]
+                if tag == _SLOT:
+                    record = accounts.get(key[1])
+                    if record is None:
+                        continue  # the account's creation undo already ran
+                    if old is _ABSENT:
+                        record.storage.pop(key[2], None)
+                    else:
+                        record.storage[key[2]] = old
+                elif tag == _CREATED:
+                    accounts.pop(key[1], None)
+                else:
+                    record = accounts.get(key[1])
+                    if record is None:
+                        continue
+                    if tag == _BALANCE:
+                        record.balance = old
+                    elif tag == _NONCE:
+                        record.nonce = old
+                    elif tag == _CONTRACT:
+                        record.is_contract = old
+                    else:  # _CODE
+                        record.code_size = old
+        del self._checkpoints[snapshot_id:]
+        self._top = self._checkpoints[-1] if self._checkpoints else None
+
+    def commit(self, snapshot_id: int) -> None:
+        """Discard the checkpoint (changes since it are kept).
+
+        The committed frames' undo records merge into the parent checkpoint
+        so that a later ``revert_to`` of an *enclosing* snapshot still undoes
+        them; records already present in the parent are older and win.
+        """
+        if not 0 <= snapshot_id < len(self._checkpoints):
+            raise ValueError(f"unknown snapshot {snapshot_id}")
+        committed = self._checkpoints[snapshot_id:]
+        del self._checkpoints[snapshot_id:]
+        if self._checkpoints:
+            parent = self._checkpoints[-1]
+            for checkpoint in committed:  # oldest first: older records win
+                for key, old in checkpoint.items():
+                    if key not in parent:
+                        parent[key] = old
+            self._top = parent
+        else:
+            self._top = None
+
+    # -- introspection (used by benchmarks/tests) -----------------------------------
+
+    @property
+    def active_checkpoints(self) -> int:
+        """Number of open (not committed / not reverted) snapshots."""
+        return len(self._checkpoints)
+
+    def journal_records(self) -> int:
+        """Total undo records across all open checkpoints."""
+        return sum(len(checkpoint) for checkpoint in self._checkpoints)
+
+
+class ReferenceWorldState(_AccountStore):
+    """The original copy-on-snapshot world state (differential oracle).
+
+    ``snapshot()`` copies every account and every storage dict -- O(total
+    accounts x total storage slots) per call frame.  Kept verbatim so the
+    property suites can prove the journal semantically equivalent, and so
+    the state-hotpath benchmark has its honest baseline.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._snapshots: list[dict[Address, AccountState]] = []
 
     def snapshot(self) -> int:
         """Take a snapshot and return its id (for nested call frames)."""
@@ -130,8 +424,6 @@ class WorldState:
             raise ValueError(f"unknown snapshot {snapshot_id}")
         del self._snapshots[snapshot_id:]
 
-    def deep_copy(self) -> "WorldState":
-        """A fully independent copy (used for block-level checkpoints and forks)."""
-        clone = WorldState()
-        clone._accounts = {addr: rec.copy() for addr, rec in self._accounts.items()}
-        return clone
+    @property
+    def active_checkpoints(self) -> int:
+        return len(self._snapshots)

@@ -147,11 +147,14 @@ class SMACSContract(Contract):
         self.storage[BITMAP_START_SLOT] = 0
         self.storage[BITMAP_START_PTR_SLOT] = 0
         # Pre-allocate the word slots: the calibrated one-time deployment cost
-        # of Tab. IV, charged to the "bitmap" category.
+        # of Tab. IV, charged to the "bitmap" category.  Each zeroed word is
+        # one undo record in the deployment frame's journal checkpoint, so a
+        # reverted deployment rolls the whole window back in O(words).
         self.storage.allocate(words, category="bitmap")
         state = self.env.evm.state
+        this = self.this
         for word_index in range(words):
-            state.storage_set(self.this, BITMAP_WORD_SLOT.format(word_index), 0)
+            state.storage_set(this, BITMAP_WORD_SLOT.format(word_index), 0)
 
     # -- owner / discovery metadata ------------------------------------------------
 

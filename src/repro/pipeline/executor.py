@@ -101,7 +101,7 @@ def tokens_carried(tx: Transaction) -> list[tuple["bytes | None", bytes]]:
     return []
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockResult:
     """Receipts and bookkeeping from executing one planned block."""
 

@@ -94,6 +94,12 @@ class LocalTestnet:
 
         The sender does not need to hold a key: the testnet impersonates it,
         the way an unlocked dev-node account or ``eth_call`` would.
+
+        The surrounding snapshot/revert pair rides the world state's undo
+        journal, so a simulation costs O(state it wrote) to roll back --
+        the per-candidate-call latency the paper's runtime verification
+        budget (§VI-B) cares about.  Only :meth:`refresh_fork` (a
+        block-level ``deep_copy``) still pays O(total state).
         """
         kwargs = dict(kwargs or {})
         evm = self.chain.evm

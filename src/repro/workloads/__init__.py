@@ -5,7 +5,10 @@
   adversarial request mixes);
 * :mod:`repro.workloads.traces` -- synthetic transaction-arrival traces
   modelled on the ten most popular Ethereum contracts of early 2019, used to
-  size the one-time bitmap (peak ≈ 35 tx/s, §VI-A and Tab. IV).
+  size the one-time bitmap (peak ≈ 35 tx/s, §VI-A and Tab. IV);
+* :mod:`repro.workloads.state_stress` -- deep Fig. 8-style call chains over a
+  Tab. IV-sized bitmap window and thousands of funded accounts, the scenario
+  that isolates the snapshot cost of the state layer.
 """
 
 from repro.workloads.generator import (
@@ -16,6 +19,14 @@ from repro.workloads.generator import (
     multi_contract_fanout,
     replay_storm,
     submit_mix,
+)
+from repro.workloads.state_stress import (
+    StateStressConfig,
+    StateStressRelay,
+    TAB4_BITMAP_BITS,
+    build_stress_engine,
+    run_state_stress,
+    state_fingerprint,
 )
 from repro.workloads.traces import (
     PopularContractTrace,
@@ -34,6 +45,12 @@ __all__ = [
     "submit_mix",
     "multi_contract_fanout",
     "replay_storm",
+    "StateStressConfig",
+    "StateStressRelay",
+    "TAB4_BITMAP_BITS",
+    "build_stress_engine",
+    "run_state_stress",
+    "state_fingerprint",
     "PopularContractTrace",
     "average_peak_rate",
     "observed_average_peak",

@@ -1,0 +1,290 @@
+"""Unit tests for the journaled WorldState and the EVM dispatch fast path.
+
+The journal must be observationally identical to the copy-on-snapshot
+:class:`ReferenceWorldState` it replaced (the hypothesis suite in
+``test_property_state_journal.py`` drives random interleavings; here the
+deterministic shapes the EVM actually produces are pinned down), plus the
+satellite guarantees: read-only ``storage_of`` views, cheap
+``AccountState.copy`` for immutable values, per-class dispatch tables that
+never leak across classes, and ``__slots__`` on the per-call records.
+"""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.chain.contract import Contract, external, internal
+from repro.chain.evm import (
+    CallRecord,
+    ExecutionEngine,
+    MessageContext,
+    StorageAccess,
+    _dispatch_table,
+)
+from repro.chain.state import AccountState, ReferenceWorldState, WorldState
+from repro.crypto.keys import KeyPair
+
+ADDR_A = KeyPair.from_seed("journal-a").address
+ADDR_B = KeyPair.from_seed("journal-b").address
+
+BOTH = pytest.mark.parametrize("state_cls", [WorldState, ReferenceWorldState])
+
+
+# --- snapshot semantics, identical on both implementations -----------------------
+
+
+@BOTH
+def test_revert_undoes_committed_inner_frame(state_cls):
+    """A commit merges into the parent; reverting the parent still undoes it."""
+    state = state_cls()
+    state.add_balance(ADDR_A, 100)
+    outer = state.snapshot()
+    state.storage_set(ADDR_A, "k", 1)
+    inner = state.snapshot()
+    state.storage_set(ADDR_A, "k", 2)
+    state.add_balance(ADDR_A, 50)
+    state.commit(inner)
+    assert state.storage_get(ADDR_A, "k") == 2
+    state.revert_to(outer)
+    assert state.storage_get(ADDR_A, "k", None) is None
+    assert state.balance_of(ADDR_A) == 100
+
+
+@BOTH
+def test_nested_revert_inside_committed_frame(state_cls):
+    """Inner revert, further writes, commit, then outer revert (EVM shape)."""
+    state = state_cls()
+    state.storage_set(ADDR_A, "slot", "genesis")
+    outer = state.snapshot()
+    frame = state.snapshot()
+    state.storage_set(ADDR_A, "slot", "frame")
+    inner = state.snapshot()
+    state.storage_set(ADDR_A, "slot", "inner")
+    state.storage_set(ADDR_B, "new", 1)
+    state.revert_to(inner)          # failed sub-call rolls back
+    assert state.storage_get(ADDR_A, "slot") == "frame"
+    assert not state.has_account(ADDR_B)
+    state.storage_set(ADDR_A, "after", True)
+    state.commit(frame)             # frame succeeds
+    state.revert_to(outer)          # ...but the transaction reverts
+    assert state.storage_get(ADDR_A, "slot") == "genesis"
+    assert not state.storage_contains(ADDR_A, "after")
+
+
+@BOTH
+def test_revert_removes_accounts_created_by_reads(state_cls):
+    """Even a pure balance read materialises an account; revert removes it."""
+    state = state_cls()
+    snap = state.snapshot()
+    assert state.balance_of(ADDR_A) == 0
+    assert state.has_account(ADDR_A)
+    state.revert_to(snap)
+    assert not state.has_account(ADDR_A)
+
+
+@BOTH
+def test_storage_delete_and_revert(state_cls):
+    state = state_cls()
+    state.storage_set(ADDR_A, "k", 7)
+    snap = state.snapshot()
+    state.storage_delete(ADDR_A, "k")
+    assert not state.storage_contains(ADDR_A, "k")
+    state.revert_to(snap)
+    assert state.storage_get(ADDR_A, "k") == 7
+
+
+@BOTH
+def test_contract_metadata_reverts(state_cls):
+    state = state_cls()
+    snap = state.snapshot()
+    state.set_is_contract(ADDR_A)
+    state.set_code_size(ADDR_A, 640)
+    assert state.account(ADDR_A).is_contract
+    state.revert_to(snap)
+    assert not state.has_account(ADDR_A)
+
+
+@BOTH
+def test_snapshot_ids_are_stack_positions(state_cls):
+    state = state_cls()
+    assert state.snapshot() == 0
+    assert state.snapshot() == 1
+    state.commit(0)
+    assert state.snapshot() == 0  # positions are reused exactly as before
+    state.revert_to(0)
+    with pytest.raises(ValueError):
+        state.revert_to(0)
+    with pytest.raises(ValueError):
+        state.commit(0)
+
+
+@BOTH
+def test_multi_level_commit_then_outer_revert(state_cls):
+    state = state_cls()
+    state.add_balance(ADDR_A, 1)
+    outer = state.snapshot()
+    state.increment_nonce(ADDR_A)
+    state.snapshot()
+    state.add_balance(ADDR_A, 10)
+    state.snapshot()
+    state.add_balance(ADDR_A, 100)
+    state.commit(1)  # commits *both* inner frames in one call
+    assert state.balance_of(ADDR_A) == 111
+    state.revert_to(outer)
+    assert state.balance_of(ADDR_A) == 1
+    assert state.nonce_of(ADDR_A) == 0
+
+
+# --- journal internals -----------------------------------------------------------
+
+
+def test_snapshot_is_o1_and_records_grow_with_writes():
+    state = WorldState()
+    for i in range(50):
+        state.add_balance(ADDR_A, 1)  # no checkpoint: nothing journaled
+    assert state.journal_records() == 0
+    state.snapshot()
+    assert state.journal_records() == 0  # O(1): an empty checkpoint
+    state.add_balance(ADDR_A, 1)
+    state.add_balance(ADDR_A, 1)      # second touch: no new record
+    state.storage_set(ADDR_A, "k", 1)
+    assert state.journal_records() == 2  # balance + slot (first touch only)
+
+
+def test_commit_merges_records_into_parent():
+    state = WorldState()
+    state.add_balance(ADDR_A, 5)
+    state.snapshot()
+    state.add_balance(ADDR_A, 1)
+    child = state.snapshot()
+    state.add_balance(ADDR_A, 1)          # key already known to the parent
+    state.storage_set(ADDR_B, "s", 1)     # key new to the parent
+    state.commit(child)
+    assert state.active_checkpoints == 1
+    # parent keeps its older balance record, adopts the child's new keys
+    state.revert_to(0)
+    assert state.balance_of(ADDR_A) == 5
+    assert not state.has_account(ADDR_B)
+
+
+# --- storage_of is read-only ------------------------------------------------------
+
+
+@BOTH
+def test_storage_of_view_is_read_only(state_cls):
+    state = state_cls()
+    state.storage_set(ADDR_A, "k", 1)
+    view = state.storage_of(ADDR_A)
+    assert view["k"] == 1
+    with pytest.raises(TypeError):
+        view["k"] = 2
+    with pytest.raises((TypeError, AttributeError)):
+        view.pop("k")
+    # ...but it is a live view of the underlying storage.
+    state.storage_set(ADDR_A, "k2", 2)
+    assert view["k2"] == 2
+
+
+# --- AccountState.copy / deep_copy -------------------------------------------------
+
+
+def test_account_copy_shares_immutable_values():
+    record = AccountState(storage={
+        "int": 42,
+        "bytes": b"\x01" * 32,
+        "tuple": (1, b"x", "y"),
+        "list": [1, 2],
+    })
+    clone = record.copy()
+    assert clone.storage["int"] is record.storage["int"]
+    assert clone.storage["bytes"] is record.storage["bytes"]
+    assert clone.storage["tuple"] is record.storage["tuple"]
+    # Mutable values still get genuinely copied.
+    assert clone.storage["list"] is not record.storage["list"]
+    clone.storage["list"].append(3)
+    assert record.storage["list"] == [1, 2]
+
+
+@BOTH
+def test_deep_copy_still_fully_independent(state_cls):
+    state = state_cls()
+    state.add_balance(ADDR_A, 7)
+    state.storage_set(ADDR_A, "x", [1, 2])
+    clone = state.deep_copy()
+    assert type(clone) is state_cls
+    clone.add_balance(ADDR_A, 1)
+    clone.storage_get(ADDR_A, "x").append(3)
+    assert state.balance_of(ADDR_A) == 7
+    assert state.storage_get(ADDR_A, "x") == [1, 2]
+
+
+# --- __slots__ on the per-call records ---------------------------------------------
+
+
+@pytest.mark.parametrize("instance", [
+    AccountState(),
+    MessageContext(sender=b"\x00" * 20, value=0, data=b"", sig=b"\x00" * 4),
+    StorageAccess(depth=0, frame=0, address=b"\x00" * 20, slot="s", is_write=False),
+    CallRecord(index=0, depth=0, sender=b"\x00" * 20, target=b"\x01" * 20,
+               method="m", args=(), value=0),
+])
+def test_per_call_records_have_slots(instance):
+    assert not hasattr(instance, "__dict__")
+    with pytest.raises(AttributeError):
+        instance.not_a_field = 1
+
+
+# --- per-class dispatch tables ------------------------------------------------------
+
+
+class _Pinger(Contract):
+    @external
+    def ping(self) -> str:
+        return "ping"
+
+    @internal
+    def _helper(self) -> None:  # pragma: no cover - never dispatched
+        pass
+
+
+class _Quieter(Contract):
+    @external
+    def hush(self) -> str:
+        return "hush"
+
+
+class _LoudPinger(_Pinger):
+    @external
+    def shout(self) -> str:
+        return "PING"
+
+
+def test_dispatch_cache_is_not_polluted_across_classes():
+    chain = Blockchain()
+    alice = chain.create_account("alice")
+    pinger = alice.deploy(_Pinger).return_value
+    assert alice.transact(pinger, "ping").return_value == "ping"
+
+    # A class registered *after* another's table was built sees only its own
+    # methods -- and vice versa.
+    quieter = alice.deploy(_Quieter).return_value
+    receipt = alice.transact(quieter, "ping")
+    assert not receipt.success
+    assert "UnknownMethod" in receipt.error
+    assert alice.transact(quieter, "hush").return_value == "hush"
+    assert alice.transact(pinger, "hush").success is False
+
+    assert "ping" not in _dispatch_table(_Quieter)
+    assert "hush" not in _dispatch_table(_Pinger)
+
+
+def test_dispatch_cache_subclass_gets_its_own_table():
+    assert set(_dispatch_table(_Pinger)) == {"ping", "_helper"}
+    # The subclass table includes inherited + own methods...
+    assert {"ping", "shout"} <= set(_dispatch_table(_LoudPinger))
+    # ...without the base class table growing the subclass's additions.
+    assert "shout" not in _dispatch_table(_Pinger)
+
+
+def test_dispatchable_method_count_excludes_internals():
+    engine = ExecutionEngine()
+    assert engine._dispatchable_methods(_Pinger()) == ["ping"]

@@ -91,3 +91,30 @@ def test_submit_mix_drives_any_issuer_stack():
         assert len(results) == mix.total_requests
         assert all(result.issued for result in results)
         assert [r.request for r in results] == mix.flattened()
+
+
+def test_state_stress_scenario_is_deterministic_and_exercises_reverts():
+    """The state-stress burst: Fig. 8 depth, Tab. IV window, revert mix."""
+    from repro.workloads import (
+        StateStressConfig,
+        build_stress_engine,
+        run_state_stress,
+        state_fingerprint,
+    )
+
+    config = StateStressConfig(
+        accounts=24, prefill_slots=2, bitmap_bits=1024, call_depth=4,
+        transactions=9, revert_every=3,
+    )
+    runs = []
+    for _ in range(2):
+        engine, entry, clients = build_stress_engine(config)
+        stats = run_state_stress(engine, entry, clients, config)
+        runs.append((stats, state_fingerprint(engine.state)))
+        # Tab. IV window words + bookkeeping live on the entry contract.
+        assert engine.state.storage_slot_count(entry) > config.bitmap_words
+        # Depth-4 chain means each success touched all four relays.
+        assert stats["executed"] == 9
+        assert stats["reverted"] == 3
+        assert stats["succeeded"] == 6
+    assert runs[0] == runs[1]
