@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fail CI when wire-latency SLOs regress against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_latency_regression.py \
+        benchmarks/baselines/BENCH_latency.json \
+        benchmarks/results/BENCH_latency.json \
+        [--tolerance 1.50]
+
+Latency gates are *lower-is-better*: the issuance (service) and end-to-end
+percentiles fail the gate when they **grow** beyond the tolerance, and the
+success rate (higher-is-better) when it drops.  The default tolerance is
+deliberately generous -- shared CI runners jitter tail latency far more than
+they jitter throughput ratios -- so a failure means the wire path got
+materially slower, not that the machine had a bad day.  When reference
+hardware legitimately changes, refresh the baseline by copying the new
+``BENCH_latency.json`` over the committed one.
+"""
+
+from __future__ import annotations
+
+try:  # invoked as `python benchmarks/check_latency_regression.py`
+    from regression_gate import run_gate
+except ImportError:  # imported as part of the benchmarks package
+    from benchmarks.regression_gate import run_gate
+
+GATED_LOWER_METRICS = (
+    "issuance_p50_ms",
+    "issuance_p99_ms",
+    "e2e_p50_ms",
+    "e2e_p99_ms",
+)
+GATED_METRICS = ("success_rate",)
+CONTEXT_METRICS = (
+    "issuance_p999_ms",
+    "e2e_p999_ms",
+    "achieved_rate_per_s",
+    "error_rate",
+    "json_request_bytes",
+    "binary_request_bytes",
+)
+
+
+def main() -> int:
+    return run_gate(
+        description=__doc__,
+        gated_metrics=GATED_METRICS,
+        gated_lower_metrics=GATED_LOWER_METRICS,
+        context_metrics=CONTEXT_METRICS,
+        workload_keys=("rate_per_s", "arrivals", "workers"),
+        default_tolerance=1.50,
+        failure_title="wire latency regression",
+        baseline_path_hint="benchmarks/baselines/BENCH_latency.json",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

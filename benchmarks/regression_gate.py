@@ -1,12 +1,15 @@
 """Shared baseline-vs-fresh comparison behind the CI benchmark gates.
 
-Both regression checkers (``check_end_to_end_regression.py`` and
-``check_crypto_regression.py``) load a committed ``BENCH_*.json`` baseline
+The regression checkers (``check_end_to_end_regression.py``,
+``check_crypto_regression.py``, ``check_state_regression.py``,
+``check_latency_regression.py``) load a committed ``BENCH_*.json`` baseline
 and a freshly produced one, print a metric table and exit non-zero when any
-gated metric dropped by more than the tolerance.  This module holds that
-logic once; the checkers only declare which metrics are gated, which are
-context, and which workload knobs must match for the comparison to be
-apples-to-apples.
+gated metric moved the wrong way by more than the tolerance -- dropped, for
+higher-is-better metrics (throughput, speedups), or grew, for
+lower-is-better ones (latency percentiles, error rates).  This module holds
+that logic once; the checkers only declare which metrics are gated in which
+direction, which are context, and which workload knobs must match for the
+comparison to be apples-to-apples.
 """
 
 from __future__ import annotations
@@ -24,21 +27,27 @@ def run_gate(
     workload_keys: tuple,
     failure_title: str,
     baseline_path_hint: str,
+    gated_lower_metrics: tuple = (),
+    default_tolerance: float = 0.30,
     argv: "list[str] | None" = None,
 ) -> int:
     """Compare fresh numbers against the committed baseline; 0 = OK.
 
-    ``gated_metrics`` fail the gate when they regress beyond the tolerance;
-    ``context_metrics`` are printed for orientation only.  A mismatch in any
-    of ``workload_keys`` (sweep-size knobs) is reported as a note, since it
-    means the two documents measured different workload sizes.
+    ``gated_metrics`` are higher-is-better (throughput, speedups) and fail
+    the gate when they *drop* beyond the tolerance; ``gated_lower_metrics``
+    are lower-is-better (latencies, error rates) and fail when they *grow*
+    beyond the tolerance; ``context_metrics`` are printed for orientation
+    only.  A mismatch in any of ``workload_keys`` (sweep-size knobs) is
+    reported as a note, since it means the two documents measured different
+    workload sizes.
     """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("baseline", help="committed baseline BENCH_*.json")
     parser.add_argument("fresh", help="freshly produced BENCH_*.json")
     parser.add_argument(
-        "--tolerance", type=float, default=0.30,
-        help="maximum allowed fractional regression (default 0.30 = 30%%)",
+        "--tolerance", type=float, default=default_tolerance,
+        help="maximum allowed fractional regression "
+        f"(default {default_tolerance:.2f} = {default_tolerance:.0%})",
     )
     args = parser.parse_args(argv)
 
@@ -56,7 +65,7 @@ def run_gate(
 
     failures = []
     print(f"{'metric':<36}{'baseline':>12}{'fresh':>12}{'change':>10}")
-    for metric in gated_metrics + context_metrics:
+    for metric in gated_metrics + gated_lower_metrics + context_metrics:
         base, now = baseline.get(metric), fresh.get(metric)
         if base is None or now is None:
             print(f"{metric:<36}{'?':>12}{'?':>12}{'n/a':>10}")
@@ -66,6 +75,11 @@ def run_gate(
         if metric in gated_metrics and change < -args.tolerance:
             failures.append(
                 f"{metric} regressed {-change:.1%} "
+                f"(> {args.tolerance:.0%} tolerance): {base} -> {now}"
+            )
+        if metric in gated_lower_metrics and change > args.tolerance:
+            failures.append(
+                f"{metric} grew {change:.1%} "
                 f"(> {args.tolerance:.0%} tolerance): {base} -> {now}"
             )
 

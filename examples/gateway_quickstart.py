@@ -16,12 +16,23 @@ issuer classes into one surface:
    ``COUNTER_TIMEOUT``, ...) inside the results -- batch submissions never
    abort mid-batch;
 5. rule updates flow through the protocol, and over the wire they are
-   epoch-guarded read-modify-write.
+   epoch-guarded read-modify-write;
+6. the same gateway goes onto *real* sockets with ``serve``/``connect``:
+   an asyncio TCP server with length-prefixed frames, and a pooled client
+   transport negotiating the compact binary codec lane per envelope.
 
 Run with:  python examples/gateway_quickstart.py
 """
 
-from repro.api import ErrorCode, ServiceGateway, build_service, unwrap
+from repro.api import (
+    CODEC_BINARY,
+    ErrorCode,
+    ServiceGateway,
+    build_service,
+    connect,
+    serve,
+    unwrap,
+)
 from repro.chain import Blockchain
 from repro.contracts.protected_target import ProtectedRecorder
 from repro.core import ClientWallet, OwnerWallet, TokenType
@@ -97,6 +108,23 @@ def main() -> None:
           f"{stats['transport']['bytes_sent']}B out / "
           f"{stats['transport']['bytes_received']}B back")
     assert results[1].code is ErrorCode.DENIED
+
+    # --- 6. the same gateway over real TCP sockets ----------------------------
+    with serve(gateway) as server:          # port 0 -> a free port, read back
+        print(f"\ngateway listening on {server.url}")
+        tcp_client = connect(server.url, wire_codec=CODEC_BINARY)
+        try:
+            result = tcp_client.submit(TokenRequest.method_token(
+                recorder.this, alice.address, "submit", one_time=True
+            ))[0]
+            wire = tcp_client.stats()["transport"]
+            print(f"issued over TCP (binary lane): {result.issued}; "
+                  f"{wire['kind']} transport dialled {wire['dials']}x, "
+                  f"{wire['bytes_sent']}B out / {wire['bytes_received']}B back")
+        finally:
+            tcp_client.close()
+    print(f"server saw {server.stats()['frames_served']} frames; "
+          "closed cleanly")
 
 
 if __name__ == "__main__":

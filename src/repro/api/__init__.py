@@ -15,15 +15,21 @@ wire-level gateway:
   order;
 * :mod:`repro.api.factory` -- ``build_service(profile=...)`` assembling the
   serial/sharded/replicated stacks from one place;
-* :mod:`repro.api.gateway` -- ``ServiceGateway`` with versioned JSON wire
-  envelopes (:mod:`repro.api.codec`) and a protocol-speaking
-  ``GatewayClient`` over an in-process transport.
+* :mod:`repro.api.gateway` -- ``ServiceGateway`` with versioned wire
+  envelopes (:mod:`repro.api.codec`: JSON plus a compact binary lane with
+  per-envelope negotiation) and a protocol-speaking ``GatewayClient`` that
+  depends only on the small ``Transport`` protocol;
+* :mod:`repro.api.transport` -- the real wire: an asyncio TCP
+  ``GatewayServer`` (length-prefixed frames, idle/write timeouts,
+  backpressure, edge rate limiting) and the pooled, load-balancing
+  ``TcpTransport``, behind ``serve(gateway, addr)`` / ``connect(url)``
+  factories and the ``dial`` hook for ``ServiceDiscovery``.
 
 The public names below are covered by an API-stability snapshot test; grow
 the surface deliberately.
 """
 
-from repro.api.codec import WIRE_VERSION
+from repro.api.codec import CODEC_BINARY, CODEC_JSON, CODECS, WIRE_VERSION
 from repro.api.errors import (
     CounterTimeout,
     ErrorCode,
@@ -42,15 +48,21 @@ from repro.api.middleware import (
     RateLimiter,
     RetryFailover,
     SignatureCachePrimer,
+    TokenBucket,
     unwrap,
 )
-from repro.api.protocol import TokenIssuer, conforms, issue_one, try_issue_one
+from repro.api.protocol import TokenIssuer, Transport, conforms, issue_one, try_issue_one
+from repro.api.transport import GatewayServer, TcpTransport, connect, dial, serve
 
 __all__ = [
     "Audit",
+    "CODECS",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "CounterTimeout",
     "ErrorCode",
     "GatewayClient",
+    "GatewayServer",
     "InProcessTransport",
     "IssuerMiddleware",
     "Metrics",
@@ -62,13 +74,19 @@ __all__ = [
     "ServiceGateway",
     "SignatureCachePrimer",
     "SmacsError",
+    "TcpTransport",
+    "TokenBucket",
     "TokenDenied",
     "TokenIssuer",
+    "Transport",
     "WIRE_VERSION",
     "build_service",
     "classify",
     "conforms",
+    "connect",
+    "dial",
     "issue_one",
+    "serve",
     "try_issue_one",
     "unwrap",
 ]

@@ -1,11 +1,25 @@
 """Versioned wire codec for the service gateway.
 
 Serialises :class:`~repro.core.token_request.TokenRequest` and
-:class:`~repro.core.token_service.IssuanceResult` into JSON envelopes, so the
-issuance protocol can cross a process boundary (the in-process transport here
-models it; an HTTP transport would carry the same bytes).  Every envelope
-leads with ``{"smacs": 1, ...}``; an endpoint that does not speak the version
-answers ``UNSUPPORTED`` instead of guessing.
+:class:`~repro.core.token_service.IssuanceResult` into wire envelopes, so the
+issuance protocol can cross a process boundary (the in-process transport
+models it; :mod:`repro.api.transport` carries the same bytes over TCP).
+
+Two codec lanes share one envelope structure:
+
+* **JSON** (the default): every envelope leads with ``{"smacs": 1, ...}``;
+  an endpoint that does not speak the version answers ``UNSUPPORTED``
+  instead of guessing.
+* **binary**: a compact tag-length-value encoding of the same envelope
+  fields behind the ``b"\\xc5SB"`` magic + one version byte -- at 6k+ tx/s
+  block production, envelope encode/decode is on the critical path, and the
+  TLV lane skips JSON string escaping and hex inflation.
+
+Negotiation is envelope-level and stateless: :func:`sniff_codec` identifies
+the lane from the first bytes of a request (``{`` -> JSON, the magic ->
+binary, anything else -> ``MALFORMED_REQUEST``), and the gateway answers in
+the codec the request arrived in, so old JSON-only clients keep working
+against a binary-capable endpoint unchanged.
 
 Addresses travel as ``0x``-hex, tokens as the 86-byte Fig. 3 wire form in
 hex, and argument values as JSON scalars with a ``{"$bytes": ...}`` tag for
@@ -18,6 +32,7 @@ Anything undecodable raises :class:`~repro.core.errors.SmacsError` with
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Mapping, cast
 
 from repro.chain.address import address_hex, to_address
@@ -30,9 +45,33 @@ from repro.core.token_service import IssuanceResult, TokenDenied
 #: the wire protocol version this codec speaks
 WIRE_VERSION = 1
 
+#: the two codec lanes an envelope can travel in
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+CODECS = (CODEC_JSON, CODEC_BINARY)
+
+#: leading bytes of a binary envelope (0xc5 can start neither JSON nor UTF-8
+#: text, so the lane is identifiable from the first byte)
+BINARY_MAGIC = b"\xc5SB"
+
 
 def _malformed(detail: str) -> SmacsError:
     return SmacsError(detail, ErrorCode.MALFORMED_REQUEST)
+
+
+def sniff_codec(raw: bytes) -> str:
+    """Identify the codec lane an envelope travels in.
+
+    JSON envelopes start with ``{`` (optionally after insignificant
+    whitespace), binary envelopes with :data:`BINARY_MAGIC`.  Anything else
+    is an unknown codec: ``MALFORMED_REQUEST``, never a guess.
+    """
+    if raw.startswith(BINARY_MAGIC):
+        return CODEC_BINARY
+    if raw.lstrip(b" \t\r\n").startswith(b"{"):
+        return CODEC_JSON
+    prefix = bytes(raw[:4])
+    raise _malformed(f"unknown envelope codec (leading bytes {prefix!r})")
 
 
 # -- argument values ----------------------------------------------------------
@@ -145,22 +184,191 @@ def decode_issuance_result(payload: Mapping[str, Any]) -> IssuanceResult:
         raise _malformed(f"undecodable issuance result: {exc}") from exc
 
 
-# -- envelopes ----------------------------------------------------------------
+# -- the binary TLV lane ------------------------------------------------------
+#
+# One tag byte per value, unsigned LEB128 varints for lengths/counts, zigzag
+# varints for ints (arbitrary precision, like the JSON lane), big-endian
+# IEEE-754 doubles for floats.  The value model is exactly the JSON data
+# model the envelopes already use -- the two lanes carry identical envelope
+# dicts, which is what the round-trip property suite pins.
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
 
 
-def encode_request_envelope(op: str, route: str, body: Mapping[str, Any]) -> bytes:
-    envelope = {"smacs": WIRE_VERSION, "op": op, "route": route, "body": dict(body)}
-    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+def _pack_varint(value: int, out: bytearray) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
 
 
-def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
-    envelope = _load_json(raw)
-    version = envelope.get("smacs")
+def _pack_value(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        _pack_varint(value * 2 if value >= 0 else -value * 2 - 1, out)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _pack_varint(len(encoded), out)
+        out.extend(encoded)
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        _pack_varint(len(value), out)
+        out.extend(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        _pack_varint(len(value), out)
+        for item in value:
+            _pack_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        _pack_varint(len(value), out)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise _malformed(f"binary envelope keys must be strings, got {key!r}")
+            encoded = key.encode("utf-8")
+            _pack_varint(len(encoded), out)
+            out.extend(encoded)
+            _pack_value(item, out)
+    else:
+        raise _malformed(f"value of type {type(value).__name__} is not wire-safe")
+
+
+class _Unpacker:
+    """Cursor-based TLV reader; every violation is ``MALFORMED_REQUEST``."""
+
+    def __init__(self, raw: bytes, offset: int) -> None:
+        self.raw = raw
+        self.offset = offset
+
+    def _take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.raw):
+            raise _malformed("binary envelope truncated")
+        chunk = self.raw[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def _varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self._take(1)[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 10_000 * 7:  # a continuation run this long is an attack
+                raise _malformed("binary envelope varint too long")
+
+    def value(self) -> Any:
+        tag = self._take(1)[0]
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_INT:
+            zigzag = self._varint()
+            return zigzag // 2 if zigzag % 2 == 0 else -(zigzag // 2) - 1
+        if tag == _TAG_FLOAT:
+            return cast(float, struct.unpack(">d", self._take(8))[0])
+        if tag == _TAG_STR:
+            return self._utf8(self._take(self._varint()))
+        if tag == _TAG_BYTES:
+            return bytes(self._take(self._varint()))
+        if tag == _TAG_LIST:
+            return [self.value() for _ in range(self._varint())]
+        if tag == _TAG_DICT:
+            result: dict[str, Any] = {}
+            for _ in range(self._varint()):
+                key = self._utf8(self._take(self._varint()))
+                result[key] = self.value()
+            return result
+        raise _malformed(f"unknown binary tag 0x{tag:02x}")
+
+    @staticmethod
+    def _utf8(raw: bytes) -> str:
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise _malformed(f"binary envelope string is not UTF-8: {exc}") from exc
+
+
+def _pack_envelope(envelope: Mapping[str, Any]) -> bytes:
+    out = bytearray(BINARY_MAGIC)
+    out.append(WIRE_VERSION)
+    _pack_value(dict(envelope), out)
+    return bytes(out)
+
+
+def _unpack_envelope(raw: bytes) -> dict[str, Any]:
+    version = raw[len(BINARY_MAGIC)] if len(raw) > len(BINARY_MAGIC) else None
     if version != WIRE_VERSION:
         raise SmacsError(
             f"unsupported wire version {version!r} (this endpoint speaks {WIRE_VERSION})",
             ErrorCode.UNSUPPORTED,
         )
+    unpacker = _Unpacker(raw, len(BINARY_MAGIC) + 1)
+    envelope = unpacker.value()
+    if not isinstance(envelope, dict):
+        raise _malformed("binary envelope must be an object")
+    if unpacker.offset != len(raw):
+        raise _malformed("binary envelope carries trailing bytes")
+    return cast("dict[str, Any]", envelope)
+
+
+# -- envelopes ----------------------------------------------------------------
+
+
+def _check_codec(codec: str) -> None:
+    if codec not in CODECS:
+        raise _malformed(f"unknown envelope codec {codec!r}; pick one of {CODECS}")
+
+
+def encode_request_envelope(
+    op: str, route: str, body: Mapping[str, Any], *, codec: str = CODEC_JSON
+) -> bytes:
+    _check_codec(codec)
+    if codec == CODEC_BINARY:
+        return _pack_envelope({"op": op, "route": route, "body": dict(body)})
+    envelope = {"smacs": WIRE_VERSION, "op": op, "route": route, "body": dict(body)}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
+    if sniff_codec(raw) == CODEC_BINARY:
+        envelope = _unpack_envelope(raw)
+    else:
+        envelope = _load_json(raw)
+        version = envelope.get("smacs")
+        if version != WIRE_VERSION:
+            raise SmacsError(
+                f"unsupported wire version {version!r} (this endpoint speaks {WIRE_VERSION})",
+                ErrorCode.UNSUPPORTED,
+            )
     op = envelope.get("op")
     route = envelope.get("route")
     body = envelope.get("body", {})
@@ -169,23 +377,32 @@ def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
     return op, route, cast("dict[str, Any]", body)
 
 
-def encode_response_envelope(body: Mapping[str, Any]) -> bytes:
+def encode_response_envelope(body: Mapping[str, Any], *, codec: str = CODEC_JSON) -> bytes:
+    _check_codec(codec)
+    if codec == CODEC_BINARY:
+        return _pack_envelope({"ok": True, "body": dict(body)})
     envelope = {"smacs": WIRE_VERSION, "ok": True, "body": dict(body)}
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
-def encode_error_envelope(error: SmacsError) -> bytes:
+def encode_error_envelope(error: SmacsError, *, codec: str = CODEC_JSON) -> bytes:
+    _check_codec(codec)
+    if codec == CODEC_BINARY:
+        return _pack_envelope({"ok": False, "error": error.to_dict()})
     envelope = {"smacs": WIRE_VERSION, "ok": False, "error": error.to_dict()}
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
 def decode_response_envelope(raw: bytes) -> dict[str, Any]:
     """Unwrap a response; a carried gateway-level error is raised as-is."""
-    envelope = _load_json(raw)
-    if envelope.get("smacs") != WIRE_VERSION:
-        raise SmacsError(
-            f"unsupported wire version {envelope.get('smacs')!r}", ErrorCode.UNSUPPORTED
-        )
+    if sniff_codec(raw) == CODEC_BINARY:
+        envelope = _unpack_envelope(raw)
+    else:
+        envelope = _load_json(raw)
+        if envelope.get("smacs") != WIRE_VERSION:
+            raise SmacsError(
+                f"unsupported wire version {envelope.get('smacs')!r}", ErrorCode.UNSUPPORTED
+            )
     if not envelope.get("ok"):
         raise SmacsError.from_dict(envelope.get("error") or {})
     body = envelope.get("body", {})
@@ -205,6 +422,10 @@ def _load_json(raw: bytes) -> dict[str, Any]:
 
 
 __all__ = [
+    "BINARY_MAGIC",
+    "CODECS",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "WIRE_VERSION",
     "decode_issuance_result",
     "decode_request_envelope",
@@ -217,4 +438,5 @@ __all__ = [
     "encode_response_envelope",
     "encode_token_request",
     "encode_value",
+    "sniff_codec",
 ]

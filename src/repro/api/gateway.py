@@ -36,7 +36,7 @@ from repro.core.token_request import TokenRequest
 from repro.core.token_service import IssuanceResult
 
 from repro.api import codec
-from repro.api.protocol import TokenIssuer
+from repro.api.protocol import TokenIssuer, Transport
 
 
 def _jsonable(value: Any) -> Any:
@@ -79,21 +79,32 @@ class ServiceGateway:
                 f"no issuer registered under route {route!r}", ErrorCode.UNKNOWN_ROUTE
             ) from None
 
-    def client_for(self, route: str) -> "GatewayClient":
+    def client_for(self, route: str, *, wire_codec: str = codec.CODEC_JSON) -> "GatewayClient":
         """A protocol-speaking client bound to one route (in-process wire)."""
-        return GatewayClient(InProcessTransport(self), route)
+        return GatewayClient(InProcessTransport(self), route, wire_codec=wire_codec)
 
     # -- the wire entry point -------------------------------------------------
 
     def handle(self, raw: bytes) -> bytes:
-        """Process one request envelope; always answers with an envelope."""
+        """Process one request envelope; always answers with an envelope.
+
+        Codec negotiation is per-envelope: the response travels in the lane
+        the request arrived in (JSON stays the default; an envelope in no
+        known lane gets a JSON ``MALFORMED_REQUEST``).
+        """
         try:
-            op, route, body = codec.decode_request_envelope(raw)
-            return codec.encode_response_envelope(self._dispatch(op, route, body))
+            wire_codec = codec.sniff_codec(raw)
         except SmacsError as error:
             return codec.encode_error_envelope(error)
+        try:
+            op, route, body = codec.decode_request_envelope(raw)
+            return codec.encode_response_envelope(
+                self._dispatch(op, route, body), codec=wire_codec
+            )
+        except SmacsError as error:
+            return codec.encode_error_envelope(error, codec=wire_codec)
         except Exception as exc:  # never leak a raw traceback across the wire
-            return codec.encode_error_envelope(classify(exc))
+            return codec.encode_error_envelope(classify(exc), codec=wire_codec)
 
     def _dispatch(self, op: str, route: str, body: dict[str, Any]) -> dict[str, Any]:
         if op == "describe":
@@ -139,7 +150,8 @@ class ServiceGateway:
 class InProcessTransport:
     """Moves envelopes to a gateway with a function call, counting traffic.
 
-    The stand-in for an HTTP client: same bytes, no sockets.  The byte
+    The zero-socket :class:`~repro.api.protocol.Transport`: same bytes as
+    :class:`~repro.api.transport.TcpTransport`, no network.  The byte
     counters let benchmarks report wire overhead honestly.
     """
 
@@ -156,9 +168,27 @@ class InProcessTransport:
         self.bytes_received += len(response)
         return response
 
+    def close(self) -> None:
+        """Nothing to release: the gateway lives in this process."""
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": "in-process",
+            "requests": self.requests,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
 
 class GatewayClient:
     """A :class:`~repro.api.protocol.TokenIssuer` that lives across the wire.
+
+    The client depends only on the small
+    :class:`~repro.api.protocol.Transport` protocol -- an
+    :class:`InProcessTransport`, a pooled multi-endpoint
+    :class:`~repro.api.transport.TcpTransport`, or anything else that moves
+    envelope bytes -- and on a codec lane (JSON by default, ``"binary"`` for
+    the compact TLV lane; the gateway answers in kind).
 
     Every protocol operation round-trips through the transport as envelopes.
     ``update_rules`` is read-modify-write with epoch-based conflict
@@ -166,13 +196,20 @@ class GatewayClient:
     mutation (bounded retries), so lost updates are impossible.
     """
 
-    def __init__(self, transport: InProcessTransport, route: str) -> None:
+    def __init__(
+        self, transport: Transport, route: str, *, wire_codec: str = codec.CODEC_JSON
+    ) -> None:
+        if wire_codec not in codec.CODECS:
+            raise ValueError(
+                f"unknown wire codec {wire_codec!r}; pick one of {codec.CODECS}"
+            )
         self.transport = transport
         self.route = route
+        self.wire_codec = wire_codec
         self._address: "Address | None" = None
 
     def _call(self, op: str, body: dict[str, Any]) -> dict[str, Any]:
-        raw = codec.encode_request_envelope(op, self.route, body)
+        raw = codec.encode_request_envelope(op, self.route, body, codec=self.wire_codec)
         return codec.decode_response_envelope(self.transport.send(raw))
 
     # -- TokenIssuer ----------------------------------------------------------
@@ -201,11 +238,7 @@ class GatewayClient:
         stats = self._call("stats", {})["stats"]
         if not isinstance(stats, dict):
             raise SmacsError("stats response must be an object", ErrorCode.MALFORMED_REQUEST)
-        stats["transport"] = {
-            "requests": self.transport.requests,
-            "bytes_sent": self.transport.bytes_sent,
-            "bytes_received": self.transport.bytes_received,
-        }
+        stats["transport"] = self.transport.describe()
         return stats
 
     def update_rules(
@@ -233,6 +266,10 @@ class GatewayClient:
 
     def describe(self) -> dict[str, Any]:
         return self._call("describe", {})
+
+    def close(self) -> None:
+        """Release the underlying transport (idempotent)."""
+        self.transport.close()
 
 
 __all__ = ["GatewayClient", "InProcessTransport", "ServiceGateway"]

@@ -85,6 +85,48 @@ def _as_list(
     return list(requests)
 
 
+class TokenBucket:
+    """The refillable bucket behind every rate-limited edge.
+
+    ``rate_per_second`` tokens refill continuously up to ``burst``;
+    :meth:`take` grants as many of the requested tokens as the bucket holds.
+    The time source is injectable -- a shared ``SimulatedClock``'s ``now`` or
+    any ``Callable[[], float]`` -- so admission-control tests are
+    deterministic instead of sleeping; the default is ``time.monotonic``
+    (real wall time, what a deployed edge runs on).  Both the
+    :class:`RateLimiter` issuer middleware and the
+    :class:`~repro.api.transport.GatewayServer` frame edge consume this one
+    implementation.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        now: "Callable[[], float] | None" = None,
+    ) -> None:
+        if rate_per_second <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = int(burst)
+        self._now: Callable[[], float] = now if now is not None else time.monotonic
+        self._tokens = float(burst)
+        self._last_refill = self._now()
+
+    def _refill(self) -> None:
+        now = self._now()
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_second)
+
+    def take(self, wanted: int) -> int:
+        """Consume up to ``wanted`` tokens; returns how many were granted."""
+        self._refill()
+        granted = min(wanted, int(self._tokens))
+        self._tokens -= granted
+        return granted
+
+
 class RateLimiter(IssuerMiddleware):
     """Token-bucket admission control in front of an issuer.
 
@@ -93,9 +135,10 @@ class RateLimiter(IssuerMiddleware):
     silently and do not abort the batch: they come back as results carrying
     ``ErrorCode.RATE_LIMITED`` (retryable -- clients back off and resubmit).
     Pass the simulated clock the services run on for deterministic tests and
-    benchmarks; without one the limiter refills on wall-clock time (a fresh
-    private ``SimulatedClock`` would never advance and the bucket would
-    never refill).
+    benchmarks; without one the limiter refills on the injectable ``now``
+    time source (``time.monotonic`` by default -- a fresh private
+    ``SimulatedClock`` would never advance and the bucket would never
+    refill).
     """
 
     layer = "rate_limiter"
@@ -106,31 +149,22 @@ class RateLimiter(IssuerMiddleware):
         rate_per_second: float,
         burst: int,
         clock: "SimulatedClock | None" = None,
+        now: "Callable[[], float] | None" = None,
     ) -> None:
         super().__init__(inner)
-        if rate_per_second <= 0 or burst <= 0:
-            raise ValueError("rate and burst must be positive")
-        self.rate_per_second = float(rate_per_second)
-        self.burst = int(burst)
-        self._now: Callable[[], float] = clock.now if clock is not None else time.monotonic
-        self._tokens = float(burst)
-        self._last_refill = self._now()
+        self._bucket = TokenBucket(
+            rate_per_second, burst, now=clock.now if clock is not None else now
+        )
+        self.rate_per_second = self._bucket.rate_per_second
+        self.burst = self._bucket.burst
         self.admitted = 0
         self.limited = 0
-
-    def _refill(self) -> None:
-        now = self._now()
-        elapsed = max(0.0, now - self._last_refill)
-        self._last_refill = now
-        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_second)
 
     def submit(
         self, requests: "TokenRequest | Sequence[TokenRequest]"
     ) -> list[IssuanceResult]:
         request_list = _as_list(requests)
-        self._refill()
-        allowed = min(len(request_list), int(self._tokens))
-        self._tokens -= allowed
+        allowed = self._bucket.take(len(request_list))
         self.admitted += allowed
         self.limited += len(request_list) - allowed
         results = self.inner.submit(request_list[:allowed]) if allowed else []
@@ -346,5 +380,6 @@ __all__ = [
     "RateLimiter",
     "RetryFailover",
     "SignatureCachePrimer",
+    "TokenBucket",
     "unwrap",
 ]

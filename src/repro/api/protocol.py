@@ -30,6 +30,41 @@ from repro.core.token_service import IssuanceResult
 
 
 @runtime_checkable
+class Transport(Protocol):
+    """How request envelopes reach a :class:`~repro.api.gateway.ServiceGateway`.
+
+    The whole wire contract in three methods: :meth:`send` carries one opaque
+    request envelope and returns the response envelope (blocking, exactly one
+    response per request), :meth:`close` releases any underlying connections,
+    and :meth:`describe` reports transport-level counters (at minimum
+    ``requests`` / ``bytes_sent`` / ``bytes_received``) for ``stats()``
+    folding.  :class:`~repro.api.gateway.InProcessTransport` moves the bytes
+    with a function call; :class:`~repro.api.transport.TcpTransport` moves the
+    same bytes over length-prefixed frames on real sockets -- a
+    :class:`~repro.api.gateway.GatewayClient` cannot tell the difference,
+    which is the point.
+
+    Transport-level failures are raised as
+    :class:`~repro.core.errors.SmacsError` with stable codes
+    (``UNAVAILABLE`` for unreachable/slow endpoints, ``MALFORMED_REQUEST``
+    for framing violations); they never hang and never leak raw socket
+    exceptions.
+    """
+
+    def send(self, raw: bytes) -> bytes:
+        """Deliver one request envelope; block for the response envelope."""
+        ...
+
+    def close(self) -> None:
+        """Release underlying resources (idempotent)."""
+        ...
+
+    def describe(self) -> dict[str, Any]:
+        """Transport counters and endpoint description (wire hygiene)."""
+        ...
+
+
+@runtime_checkable
 class TokenIssuer(Protocol):
     """What every token-issuance stack exposes, from serial TS to gateway."""
 
@@ -84,4 +119,4 @@ def conforms(candidate: object) -> bool:
     return isinstance(candidate, TokenIssuer)
 
 
-__all__ = ["TokenIssuer", "conforms", "issue_one", "try_issue_one"]
+__all__ = ["TokenIssuer", "Transport", "conforms", "issue_one", "try_issue_one"]

@@ -1,0 +1,633 @@
+"""Real wire transport for the service gateway: asyncio TCP, framed.
+
+The paper's deployment story (§IV-B) has many independent wallets talk to
+the Token Service over the network.  This module is that wire, in two
+halves behind the :class:`~repro.api.protocol.Transport` protocol:
+
+* :class:`GatewayServer` -- an asyncio TCP server (run on a background
+  thread so the synchronous world can drive it) that serves
+  :meth:`~repro.api.gateway.ServiceGateway.handle` behind length-prefixed
+  frames.  Per connection it enforces an idle timeout, a maximum frame
+  size, and write-side backpressure: responses are written through
+  ``drain()`` with a bounded ``write_timeout``, so a slow reader first
+  pauses the connection and is then disconnected instead of ballooning
+  server memory.  An optional edge rate limit reuses the same
+  :class:`~repro.api.middleware.TokenBucket` as the ``RateLimiter`` issuer
+  middleware and answers ``RATE_LIMITED`` error envelopes before the
+  gateway is ever invoked.
+* :class:`TcpTransport` -- the client half: a thread-safe, connection-
+  pooling blocking-socket transport that load-balances round-robin across
+  multiple endpoints and fails over to the next endpoint when one is
+  unreachable.  Transport failures map onto stable
+  :class:`~repro.core.errors.ErrorCode` values (``UNAVAILABLE`` for
+  unreachable or slow endpoints, ``MALFORMED_REQUEST`` for framing
+  violations) and every receive is bounded by ``request_timeout`` -- the
+  client never hangs on a dead server.
+
+Framing is a 4-byte big-endian payload length followed by one codec
+envelope (:mod:`repro.api.codec`; JSON or the compact binary lane --
+negotiation is per-envelope, the server answers in the lane the request
+arrived in).  ``TCP_NODELAY`` is set on both sides: request/response
+envelopes are small and Nagle/delayed-ACK interaction would otherwise put
+tens of milliseconds on every issuance.
+
+The gateway (and therefore every registered issuer stack) is driven
+entirely from the server's event-loop thread, which serialises issuance
+exactly like the in-process path does -- replica counters and bitmap words
+never see concurrent mutation from the wire.
+
+Factories: :func:`serve` starts a server for a gateway, :func:`connect`
+returns a protocol-speaking :class:`~repro.api.gateway.GatewayClient` for
+one or many ``tcp://`` endpoints, and :func:`dial` adapts :func:`connect`
+to the :class:`~repro.core.discovery.ServiceDiscovery` dialer hook so a
+contract's published TS URL resolves to a live wire client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Any, Callable, Sequence, Union
+
+from repro.core.errors import ErrorCode, SmacsError
+
+from repro.api import codec
+from repro.api.gateway import GatewayClient, ServiceGateway
+from repro.api.middleware import TokenBucket
+from repro.api.protocol import TokenIssuer
+
+#: bytes in the big-endian length prefix of every frame
+FRAME_HEADER_BYTES = 4
+
+#: default ceiling for one frame's payload (requests and responses alike)
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: an endpoint is a URL string, a ``(host, port)`` pair, or a mix of both
+EndpointLike = Union[str, "tuple[str, int]"]
+
+
+def parse_endpoint(value: EndpointLike) -> tuple[str, int]:
+    """Normalise ``tcp://host:port`` / ``host:port`` / ``(host, port)``."""
+    if isinstance(value, tuple):
+        host, port = value
+        return str(host), int(port)
+    url = str(value)
+    if url.startswith("tcp://"):
+        url = url[len("tcp://"):]
+    url = url.rstrip("/")
+    host, separator, port_text = url.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise ValueError(
+            f"unsupported endpoint {value!r} (expected tcp://host:port)"
+        )
+    if host.startswith("[") and host.endswith("]"):  # bracketed IPv6 literal
+        host = host[1:-1]
+    return host, int(port_text)
+
+
+def endpoint_url(host: str, port: int) -> str:
+    return f"tcp://[{host}]:{port}" if ":" in host else f"tcp://{host}:{port}"
+
+
+def _set_nodelay(sock: "socket.socket | None") -> None:
+    if sock is None:
+        return
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - non-TCP sockets in exotic setups
+        pass
+
+
+class GatewayServer:
+    """Serves one :class:`~repro.api.gateway.ServiceGateway` over asyncio TCP.
+
+    The event loop runs on a dedicated daemon thread; :meth:`start` blocks
+    until the listening socket is bound (``port=0`` picks a free port, read
+    the bound one back from :attr:`port` / :attr:`url`).  :meth:`close` is
+    idempotent and tears down the loop, the listener and every open
+    connection.
+    """
+
+    def __init__(
+        self,
+        gateway: ServiceGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        idle_timeout: float = 30.0,
+        write_timeout: float = 10.0,
+        rate_limit: "tuple[float, int] | None" = None,
+        now: "Callable[[], float] | None" = None,
+    ) -> None:
+        if max_frame_bytes <= 0:
+            raise ValueError("max_frame_bytes must be positive")
+        if idle_timeout <= 0 or write_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.idle_timeout = float(idle_timeout)
+        self.write_timeout = float(write_timeout)
+        self._bucket = (
+            TokenBucket(rate_limit[0], rate_limit[1], now=now)
+            if rate_limit is not None
+            else None
+        )
+        # Counters are only mutated on the loop thread; cross-thread reads
+        # are monotonic-counter reads, safe under the GIL.
+        self.connections_accepted = 0
+        self.connections_open = 0
+        self.frames_served = 0
+        self.frames_limited = 0
+        self.malformed_frames = 0
+        self.idle_closes = 0
+        self.backpressure_closes = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self._thread: "threading.Thread | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The ``tcp://`` endpoint clients dial (valid after :meth:`start`)."""
+        return endpoint_url(self.host, self.port)
+
+    def start(self) -> "GatewayServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"smacs-gateway-{self.host}", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise self._startup_error
+        if not self._ready.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("gateway server failed to start in time")
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release every connection (idempotent)."""
+        thread, loop, stop = self._thread, self._loop, self._stop
+        if thread is None or loop is None:
+            return
+        if thread.is_alive() and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already closed under us
+                pass
+        thread.join(timeout=10.0)
+
+    def __enter__(self) -> "GatewayServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        sockets = server.sockets or ()
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Closing the writers unblocks every handler's pending read
+            # (IncompleteReadError), so connections drain cleanly; only
+            # stragglers are cancelled after a short grace period.
+            for writer in list(self._writers):
+                writer.close()
+            current = asyncio.current_task()
+            pending = {task for task in asyncio.all_tasks() if task is not current}
+            if pending:
+                _, pending = await asyncio.wait(pending, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    # -- the per-connection frame loop ----------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        self.connections_open += 1
+        self._writers.add(writer)
+        _set_nodelay(writer.get_extra_info("socket"))
+        try:
+            while True:
+                try:
+                    header = await asyncio.wait_for(
+                        reader.readexactly(FRAME_HEADER_BYTES), self.idle_timeout
+                    )
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF between frames
+                except asyncio.TimeoutError:
+                    self.idle_closes += 1
+                    break
+                length = int.from_bytes(header, "big")
+                if not 0 < length <= self.max_frame_bytes:
+                    self.malformed_frames += 1
+                    error = SmacsError(
+                        f"frame length {length} outside (0, {self.max_frame_bytes}]",
+                        ErrorCode.MALFORMED_REQUEST,
+                    )
+                    await self._write_frame(writer, codec.encode_error_envelope(error))
+                    break  # framing is unrecoverable on this connection
+                try:
+                    payload = await asyncio.wait_for(
+                        reader.readexactly(length), self.idle_timeout
+                    )
+                except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                    self.malformed_frames += 1
+                    break
+                self.bytes_received += FRAME_HEADER_BYTES + length
+                if self._bucket is not None and self._bucket.take(1) < 1:
+                    self.frames_limited += 1
+                    response = codec.encode_error_envelope(
+                        SmacsError(
+                            "gateway edge rate limit exceeded",
+                            ErrorCode.RATE_LIMITED,
+                        ),
+                        codec=self._safe_sniff(payload),
+                    )
+                else:
+                    # The gateway never raises: malformed envelopes, unknown
+                    # routes and issuer failures all come back as envelopes.
+                    response = self.gateway.handle(payload)
+                    self.frames_served += 1
+                if not await self._write_frame(writer, response):
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown straggler: finish the task cleanly so the stream
+            # machinery does not log the cancellation as an error.
+            pass
+        finally:
+            self.connections_open -= 1
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, payload: bytes
+    ) -> bool:
+        writer.write(len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload)
+        self.bytes_sent += FRAME_HEADER_BYTES + len(payload)
+        try:
+            await asyncio.wait_for(writer.drain(), self.write_timeout)
+        except asyncio.TimeoutError:
+            # Backpressure escalation: the reader paused us past the write
+            # timeout, so it is disconnected rather than buffered forever.
+            self.backpressure_closes += 1
+            return False
+        return True
+
+    @staticmethod
+    def _safe_sniff(payload: bytes) -> str:
+        try:
+            return codec.sniff_codec(payload)
+        except SmacsError:
+            return codec.CODEC_JSON
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "connections_accepted": self.connections_accepted,
+            "connections_open": self.connections_open,
+            "frames_served": self.frames_served,
+            "frames_limited": self.frames_limited,
+            "malformed_frames": self.malformed_frames,
+            "idle_closes": self.idle_closes,
+            "backpressure_closes": self.backpressure_closes,
+            "bytes_received": self.bytes_received,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class _StaleConnection(Exception):
+    """A pooled connection died before any response bytes arrived."""
+
+
+class TcpTransport:
+    """Blocking-socket client side of the framed wire.
+
+    Satisfies :class:`~repro.api.protocol.Transport`.  Connections are
+    pooled per endpoint (``pool_size`` idle sockets each) and reused across
+    requests; a pooled socket that turns out to be stale -- the server
+    closed it while idle -- is replaced with one fresh dial before the
+    request counts as failed.  With several endpoints, requests are
+    load-balanced round-robin and an unreachable endpoint fails over to the
+    next (the same at-least-once semantics as the replicated issuer's
+    §VII-B fail-over; one-time indexes stay unique because the counter, not
+    the transport, allocates them).
+
+    Thread-safe: workers of an open-loop load generator can share one
+    transport, each request checking out its own socket.
+    """
+
+    def __init__(
+        self,
+        endpoints: "Sequence[EndpointLike] | EndpointLike",
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        pool_size: int = 2,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if isinstance(endpoints, (str, tuple)):
+            endpoints = [endpoints]
+        self.endpoints = [parse_endpoint(endpoint) for endpoint in endpoints]
+        if not self.endpoints:
+            raise ValueError("need at least one endpoint")
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        self.connect_timeout = float(connect_timeout)
+        self.request_timeout = float(request_timeout)
+        self.pool_size = int(pool_size)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._pools: "list[list[socket.socket]]" = [[] for _ in self.endpoints]
+        self._lock = threading.Lock()
+        self._cursor = 0
+        self._closed = False
+        self.requests = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.dials = 0
+        self.reconnects = 0
+        self.failovers = 0
+
+    # -- Transport -------------------------------------------------------------
+
+    def send(self, raw: bytes) -> bytes:
+        if self._closed:
+            raise SmacsError("transport is closed", ErrorCode.UNAVAILABLE)
+        if len(raw) > self.max_frame_bytes:
+            raise SmacsError(
+                f"request of {len(raw)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte frame ceiling",
+                ErrorCode.MALFORMED_REQUEST,
+            )
+        with self._lock:
+            start = self._cursor
+            self._cursor += 1
+        last_error: "SmacsError | None" = None
+        for attempt in range(len(self.endpoints)):
+            index = (start + attempt) % len(self.endpoints)
+            if attempt:
+                with self._lock:
+                    self.failovers += 1
+            try:
+                return self._exchange(index, raw)
+            except SmacsError as error:
+                if error.code is not ErrorCode.UNAVAILABLE:
+                    raise
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            sockets = [sock for pool in self._pools for sock in pool]
+            for pool in self._pools:
+                pool.clear()
+        for sock in sockets:
+            sock.close()
+
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "kind": "tcp",
+                "endpoints": [endpoint_url(host, port) for host, port in self.endpoints],
+                "requests": self.requests,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "dials": self.dials,
+                "reconnects": self.reconnects,
+                "failovers": self.failovers,
+                "pooled": sum(len(pool) for pool in self._pools),
+            }
+
+    # -- internals -------------------------------------------------------------
+
+    def _exchange(self, index: int, raw: bytes) -> bytes:
+        pooled = self._checkout(index)
+        if pooled is not None:
+            try:
+                return self._roundtrip(index, pooled, raw, pooled_socket=True)
+            except _StaleConnection:
+                with self._lock:
+                    self.reconnects += 1
+        fresh = self._dial(index)
+        try:
+            return self._roundtrip(index, fresh, raw, pooled_socket=False)
+        except _StaleConnection as exc:  # fresh socket: a real failure
+            host, port = self.endpoints[index]
+            raise SmacsError(
+                f"{endpoint_url(host, port)} closed the connection mid-request: {exc}",
+                ErrorCode.UNAVAILABLE,
+            ) from exc
+
+    def _roundtrip(
+        self, index: int, sock: socket.socket, raw: bytes, *, pooled_socket: bool
+    ) -> bytes:
+        host, port = self.endpoints[index]
+        received_any = False
+        try:
+            sock.sendall(len(raw).to_bytes(FRAME_HEADER_BYTES, "big") + raw)
+            header = self._recv_exactly(sock, FRAME_HEADER_BYTES)
+            received_any = True
+            length = int.from_bytes(header, "big")
+            if not 0 < length <= self.max_frame_bytes:
+                sock.close()
+                raise SmacsError(
+                    f"response frame length {length} from {endpoint_url(host, port)} "
+                    f"outside (0, {self.max_frame_bytes}]",
+                    ErrorCode.MALFORMED_REQUEST,
+                )
+            payload = self._recv_exactly(sock, length)
+        except socket.timeout as exc:
+            sock.close()
+            raise SmacsError(
+                f"{endpoint_url(host, port)} did not answer within "
+                f"{self.request_timeout}s",
+                ErrorCode.UNAVAILABLE,
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            sock.close()
+            if pooled_socket and not received_any:
+                # The server dropped the idle connection; the request was
+                # never processed -- safe to replay on a fresh dial.
+                raise _StaleConnection(str(exc)) from exc
+            raise SmacsError(
+                f"connection to {endpoint_url(host, port)} failed: {exc}",
+                ErrorCode.UNAVAILABLE,
+            ) from exc
+        with self._lock:
+            self.requests += 1
+            self.bytes_sent += FRAME_HEADER_BYTES + len(raw)
+            self.bytes_received += FRAME_HEADER_BYTES + length
+        self._checkin(index, sock)
+        return payload
+
+    @staticmethod
+    def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def _checkout(self, index: int) -> "socket.socket | None":
+        with self._lock:
+            pool = self._pools[index]
+            return pool.pop() if pool else None
+
+    def _checkin(self, index: int, sock: socket.socket) -> None:
+        with self._lock:
+            pool = self._pools[index]
+            if not self._closed and len(pool) < self.pool_size:
+                pool.append(sock)
+                return
+        sock.close()
+
+    def _dial(self, index: int) -> socket.socket:
+        host, port = self.endpoints[index]
+        try:
+            sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        except OSError as exc:
+            raise SmacsError(
+                f"cannot reach {endpoint_url(host, port)}: {exc}",
+                ErrorCode.UNAVAILABLE,
+            ) from exc
+        sock.settimeout(self.request_timeout)
+        _set_nodelay(sock)
+        with self._lock:
+            self.dials += 1
+        return sock
+
+
+# -- factories -----------------------------------------------------------------
+
+
+def serve(
+    gateway: ServiceGateway,
+    addr: EndpointLike = ("127.0.0.1", 0),
+    **options: Any,
+) -> GatewayServer:
+    """Start a :class:`GatewayServer` for ``gateway`` and return it running.
+
+    ``addr`` is ``(host, port)`` or ``tcp://host:port``; port 0 binds a free
+    port (read it back from ``server.url``).  Keyword options are forwarded
+    to :class:`GatewayServer` (``max_frame_bytes``, ``idle_timeout``,
+    ``write_timeout``, ``rate_limit``, ``now``).
+    """
+    host, port = parse_endpoint(addr)
+    return GatewayServer(gateway, host, port, **options).start()
+
+
+def connect(
+    urls: "Sequence[EndpointLike] | EndpointLike",
+    route: "str | None" = None,
+    *,
+    wire_codec: str = codec.CODEC_JSON,
+    **transport_options: Any,
+) -> GatewayClient:
+    """Dial one or many ``tcp://`` endpoints; return a protocol client.
+
+    With several URLs the client load-balances round-robin and fails over
+    between them (they should serve the same routes -- e.g. the replicated
+    TS profiles behind separate gateways).  When ``route`` is omitted it is
+    discovered over the wire: a route equal to one of the dialled URLs wins
+    (the §VII-B convention that a contract's published TS URL doubles as its
+    gateway route), otherwise the server must serve exactly one route.
+    Keyword options are forwarded to :class:`TcpTransport`.
+    """
+    url_list = [urls] if isinstance(urls, (str, tuple)) else list(urls)
+    transport = TcpTransport(url_list, **transport_options)
+    try:
+        if route is None:
+            probe = GatewayClient(transport, "", wire_codec=wire_codec)
+            routes = [str(item) for item in probe.describe().get("routes", [])]
+            dialled = {str(url) for url in url_list}
+            matching = [item for item in routes if item in dialled]
+            if matching:
+                route = matching[0]
+            elif len(routes) == 1:
+                route = routes[0]
+            else:
+                raise ValueError(
+                    f"cannot infer a route: server at {url_list[0]!r} serves "
+                    f"{routes!r}; pass route= explicitly"
+                )
+    except BaseException:
+        transport.close()
+        raise
+    return GatewayClient(transport, route, wire_codec=wire_codec)
+
+
+def dial(url: str) -> "TokenIssuer | None":
+    """:class:`~repro.core.discovery.ServiceDiscovery` dialer hook.
+
+    ``tcp://`` URLs become live :class:`~repro.api.gateway.GatewayClient`\\ s
+    (``None`` when the endpoint is down or serves no matching route); other
+    schemes are not ours to resolve.
+    """
+    if not str(url).startswith("tcp://"):
+        return None
+    try:
+        return connect(url)
+    except (SmacsError, ValueError, OSError):
+        return None
+
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_HEADER_BYTES",
+    "GatewayServer",
+    "TcpTransport",
+    "connect",
+    "dial",
+    "endpoint_url",
+    "parse_endpoint",
+    "serve",
+]

@@ -12,11 +12,20 @@ stack from :func:`repro.api.factory.build_service`, or a wire-level
 :class:`~repro.api.gateway.GatewayClient` all publish and resolve the same
 way (the URL a gateway client was built for is naturally the route it
 answers under).
+
+URLs that name a *remote* endpoint resolve through the optional ``dialer``
+hook -- a ``Callable[[str], TokenIssuer | None]`` consulted when the local
+directory misses.  :func:`repro.api.transport.dial` is the stock dialer: it
+turns ``tcp://host:port`` metadata into a live, pooled
+:class:`~repro.api.gateway.GatewayClient`.  The hook keeps the layering rule
+intact (``core`` never imports ``api``) while letting a wallet follow a
+contract's published TS URL across the real wire; dialled issuers are cached
+in the directory so each endpoint is dialled once.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chain.address import Address
 from repro.chain.chain import Blockchain
@@ -29,8 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class ServiceDiscovery:
     """Resolves contract addresses to token-issuer stacks."""
 
-    def __init__(self, chain: Blockchain):
+    def __init__(
+        self,
+        chain: Blockchain,
+        dialer: "Optional[Callable[[str], Optional[TokenIssuer]]]" = None,
+    ):
         self.chain = chain
+        self.dialer = dialer
         self._directory: "dict[str, TokenIssuer]" = {}
 
     def publish(self, url: str, service: "TokenIssuer") -> None:
@@ -42,11 +56,21 @@ class ServiceDiscovery:
         return self.chain.state.storage_get(contract, TS_URL_SLOT, None)
 
     def resolve(self, contract: Address) -> "TokenIssuer | None":
-        """Find the issuer serving ``contract`` (None when unknown)."""
+        """Find the issuer serving ``contract`` (None when unknown).
+
+        Local directory entries win; otherwise the ``dialer`` may turn the
+        published URL into a live issuer (e.g. a wire-level gateway client),
+        which is cached for subsequent resolutions.
+        """
         url = self.url_for(contract)
         if url is None:
             return None
-        return self._directory.get(url)
+        issuer = self._directory.get(url)
+        if issuer is None and self.dialer is not None:
+            issuer = self.dialer(url)
+            if issuer is not None:
+                self._directory[url] = issuer
+        return issuer
 
     def known_urls(self) -> list[str]:
         return sorted(self._directory)

@@ -45,6 +45,10 @@ class ErrorCode(str, enum.Enum):
     UNKNOWN_ROUTE = "UNKNOWN_ROUTE"
     #: The caller exceeded a front-end rate limit (transient: back off).
     RATE_LIMITED = "RATE_LIMITED"
+    #: The wire endpoint could not be reached or answered too slowly
+    #: (connection refused/reset, request timeout -- transient: retry, ideally
+    #: on another endpoint).
+    UNAVAILABLE = "UNAVAILABLE"
     #: The operation or wire version is not supported by this endpoint.
     UNSUPPORTED = "UNSUPPORTED"
     #: Anything that is a bug rather than a request/infrastructure condition.
@@ -52,7 +56,9 @@ class ErrorCode(str, enum.Enum):
 
 
 #: Codes a front end may transparently retry (possibly on another replica).
-RETRYABLE_CODES = frozenset({ErrorCode.COUNTER_TIMEOUT, ErrorCode.RATE_LIMITED})
+RETRYABLE_CODES = frozenset(
+    {ErrorCode.COUNTER_TIMEOUT, ErrorCode.RATE_LIMITED, ErrorCode.UNAVAILABLE}
+)
 
 
 class SmacsError(Exception):

@@ -17,7 +17,11 @@ block-oriented execution pipeline:
 * :mod:`repro.pipeline.load` -- trace- and scenario-driven clients that
   request tokens (typically from a
   :class:`~repro.core.replication.ReplicatedTokenService`) and sign the
-  transactions the pipeline ingests.
+  transactions the pipeline ingests;
+* :mod:`repro.pipeline.openloop` -- fixed-rate open-loop arrival generation
+  with p50/p99/p999 service and end-to-end latency accounting (the honest
+  model of a million independent wallets, driven over the real wire by
+  ``benchmarks/bench_latency.py``).
 
 ``benchmarks/bench_end_to_end.py`` drives the whole loop from the §VI-A
 diurnal traces and asserts the paper's ≥35 tx/s peak survives the full
@@ -28,6 +32,13 @@ from repro.pipeline.builder import BlockBuilder, BlockPlan, DEFAULT_BLOCK_GAS_LI
 from repro.pipeline.executor import BlockExecutor, BlockResult
 from repro.pipeline.load import SmacsLoadGenerator
 from repro.pipeline.mempool import AdmissionDecision, BitmapView, Mempool
+from repro.pipeline.openloop import (
+    LatencySummary,
+    OpenLoopReport,
+    arrival_offsets,
+    percentile,
+    run_open_loop,
+)
 from repro.pipeline.pipeline import ExecutionPipeline
 
 __all__ = [
@@ -39,6 +50,11 @@ __all__ = [
     "BlockResult",
     "DEFAULT_BLOCK_GAS_LIMIT",
     "ExecutionPipeline",
+    "LatencySummary",
     "Mempool",
+    "OpenLoopReport",
     "SmacsLoadGenerator",
+    "arrival_offsets",
+    "percentile",
+    "run_open_loop",
 ]

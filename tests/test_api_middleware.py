@@ -53,15 +53,14 @@ def test_rate_limiter_refills_with_the_shared_clock(chain, service, recorder, al
     assert limited.submit(_request(recorder, alice))[0].issued
 
 
-def test_rate_limiter_without_clock_refills_on_wall_time(service, recorder, alice):
-    import time
-
-    # Slow enough that the microseconds the submits themselves take cannot
-    # refill a whole bucket token, fast enough that a short sleep does.
-    limited = RateLimiter(service, rate_per_second=20, burst=3)
+def test_rate_limiter_without_clock_refills_on_injected_time(service, recorder, alice):
+    # No SimulatedClock: the wall-clock fallback, made deterministic by
+    # injecting ``now`` instead of sleeping through a real refill window.
+    fake = {"t": 100.0}
+    limited = RateLimiter(service, rate_per_second=20, burst=3, now=lambda: fake["t"])
     assert all(r.issued for r in limited.submit([_request(recorder, alice)] * 3))
     assert limited.submit(_request(recorder, alice))[0].code is ErrorCode.RATE_LIMITED
-    time.sleep(0.2)  # ~4 bucket tokens at 20/s
+    fake["t"] += 0.2  # ~4 bucket tokens at 20/s
     assert limited.submit(_request(recorder, alice))[0].issued
 
 
@@ -70,6 +69,32 @@ def test_rate_limiter_validates_parameters(service):
         RateLimiter(service, rate_per_second=0, burst=1)
     with pytest.raises(ValueError):
         RateLimiter(service, rate_per_second=1, burst=0)
+
+
+# --- TokenBucket (shared by RateLimiter and the wire edge) --------------------------
+
+
+def test_token_bucket_grants_partially_and_refills():
+    from repro.api import TokenBucket
+
+    fake = {"t": 0.0}
+    bucket = TokenBucket(rate_per_second=10, burst=5, now=lambda: fake["t"])
+    assert bucket.take(3) == 3
+    assert bucket.take(4) == 2  # partial grant: only 2 left in the bucket
+    assert bucket.take(1) == 0
+    fake["t"] += 0.25  # 2.5 bucket tokens accrue
+    assert bucket.take(5) == 2
+    fake["t"] += 10.0  # refill saturates at the burst capacity
+    assert bucket.take(50) == 5
+
+
+def test_token_bucket_validates_parameters():
+    from repro.api import TokenBucket
+
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_second=0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_second=1, burst=0)
 
 
 # --- Metrics ------------------------------------------------------------------------

@@ -19,7 +19,9 @@ from repro.api import (
     TokenIssuer,
     build_service,
     conforms,
+    connect,
     issue_one,
+    serve,
     try_issue_one,
     unwrap,
 )
@@ -32,7 +34,15 @@ from repro.core.replication import ReplicatedTokenService
 from repro.core.token_request import TokenRequest
 from repro.crypto.keys import KeyPair
 
-STACKS = ["serial", "sharded", "replicated", "gateway-serial", "gateway-replicated"]
+STACKS = [
+    "serial",
+    "sharded",
+    "replicated",
+    "gateway-serial",
+    "gateway-replicated",
+    "tcp-serial",
+    "tcp-replicated",
+]
 
 
 def _whitelisted_rules(*addresses) -> RuleSet:
@@ -41,7 +51,7 @@ def _whitelisted_rules(*addresses) -> RuleSet:
     return rules
 
 
-def _build_stack(name: str, *, keypair, rules, clock) -> TokenIssuer:
+def _build_stack(name: str, *, keypair, rules, clock, cleanups=None) -> TokenIssuer:
     kwargs = dict(
         keypair=keypair,
         rules=rules,
@@ -56,6 +66,19 @@ def _build_stack(name: str, *, keypair, rules, clock) -> TokenIssuer:
         gateway = ServiceGateway()
         gateway.register("https://ts.conformance.example", base)
         return gateway.client_for("https://ts.conformance.example")
+    if name.startswith("tcp-"):
+        # The same gateway, but reached through real sockets: an asyncio
+        # GatewayServer and a pooled TcpTransport.  The conformance bar is
+        # that nothing in this file can tell the difference.
+        base = build_service(name.split("-", 1)[1], **kwargs)
+        gateway = ServiceGateway()
+        gateway.register("https://ts.conformance.example", base)
+        server = serve(gateway)
+        client = connect(server.url)
+        if cleanups is not None:
+            cleanups.append(client.close)
+            cleanups.append(server.close)
+        return client
     return build_service(name, **kwargs)
 
 
@@ -63,7 +86,18 @@ def _build_stack(name: str, *, keypair, rules, clock) -> TokenIssuer:
 def stack(request, chain, alice):
     keypair = KeyPair.from_seed("conformance-ts")
     rules = _whitelisted_rules(alice.address)
-    return _build_stack(request.param, keypair=keypair, rules=rules, clock=chain.clock)
+    cleanups = []
+    try:
+        yield _build_stack(
+            request.param,
+            keypair=keypair,
+            rules=rules,
+            clock=chain.clock,
+            cleanups=cleanups,
+        )
+    finally:
+        for cleanup in reversed(cleanups):
+            cleanup()
 
 
 # --- structural conformance ---------------------------------------------------------
@@ -105,13 +139,21 @@ def test_same_requests_same_decisions_across_all_stacks(chain, alice, eve, recor
     keypair = KeyPair.from_seed("conformance-ts")
     outcomes = {}
     for name in STACKS:
-        issuer = _build_stack(
-            name,
-            keypair=keypair,
-            rules=_whitelisted_rules(alice.address),
-            clock=chain.clock,
-        )
-        results = issuer.submit(_mixed_batch(recorder.this, alice.address, eve.address))
+        cleanups = []
+        try:
+            issuer = _build_stack(
+                name,
+                keypair=keypair,
+                rules=_whitelisted_rules(alice.address),
+                clock=chain.clock,
+                cleanups=cleanups,
+            )
+            results = issuer.submit(
+                _mixed_batch(recorder.this, alice.address, eve.address)
+            )
+        finally:
+            for cleanup in reversed(cleanups):
+                cleanup()
         outcomes[name] = [
             (result.issued, result.code.value if result.code is not None else None)
             for result in results

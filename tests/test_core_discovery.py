@@ -102,6 +102,36 @@ def test_discovery_misses_stay_explicit(chain, owner, alice, discovery, token_se
     assert excinfo.value.code is repro.api.ErrorCode.UNKNOWN_ROUTE
 
 
+def test_dialer_hook_resolves_remote_urls_and_caches(chain, owner, token_service):
+    """A directory miss consults the dialer once; the result is cached.
+
+    The stock dialer is :func:`repro.api.transport.dial` (exercised over real
+    sockets in ``test_api_transport.py``); here a fake keeps the layering
+    unit-testable without opening a port.
+    """
+    url = "tcp://ts.remote.example:8821"
+    contract = _deploy_for(owner, token_service, url)
+    dialled = []
+
+    def fake_dial(target):
+        dialled.append(target)
+        return token_service if target.startswith("tcp://") else None
+
+    discovery = ServiceDiscovery(chain, dialer=fake_dial)
+    assert discovery.resolve(contract.this) is token_service
+    assert discovery.resolve(contract.this) is token_service
+    assert dialled == [url]  # second resolve hit the directory cache
+    assert discovery.known_urls() == [url]
+
+    # A dialer that declines (returns None) leaves the miss explicit.
+    declined = _deploy_for(owner, token_service, "https://not-ours.example")
+    assert discovery.resolve(declined.this) is None
+    # Local directory entries always win over the dialer.
+    local = ServiceDiscovery(chain, dialer=lambda target: pytest.fail("dialled"))
+    local.publish(url, token_service)
+    assert local.resolve(contract.this) is token_service
+
+
 def test_known_urls_sorted(chain, discovery, token_service):
     for url in ("https://b.example", "https://a.example"):
         discovery.publish(url, token_service)
@@ -114,9 +144,13 @@ def test_known_urls_sorted(chain, discovery, token_service):
 #: snapshot deliberately; renaming or removing a symbol is a breaking change.
 API_SURFACE_SNAPSHOT = [
     "Audit",
+    "CODECS",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "CounterTimeout",
     "ErrorCode",
     "GatewayClient",
+    "GatewayServer",
     "InProcessTransport",
     "IssuerMiddleware",
     "Metrics",
@@ -128,13 +162,19 @@ API_SURFACE_SNAPSHOT = [
     "ServiceGateway",
     "SignatureCachePrimer",
     "SmacsError",
+    "TcpTransport",
+    "TokenBucket",
     "TokenDenied",
     "TokenIssuer",
+    "Transport",
     "WIRE_VERSION",
     "build_service",
     "classify",
     "conforms",
+    "connect",
+    "dial",
     "issue_one",
+    "serve",
     "try_issue_one",
     "unwrap",
 ]
@@ -157,6 +197,7 @@ def test_api_error_codes_are_stable():
         "UNKNOWN_ROUTE",
         "RATE_LIMITED",
         "UNSUPPORTED",
+        "UNAVAILABLE",
         "INTERNAL",
     }
     # str-valued enum: codes serialise as their own names.

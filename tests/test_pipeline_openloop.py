@@ -1,0 +1,157 @@
+"""Unit tests for the open-loop load generator and its latency accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import build_service
+from repro.core.acr import RuleSet, WhitelistRule
+from repro.core.errors import ErrorCode, SmacsError
+from repro.core.token_request import TokenRequest
+from repro.pipeline import (
+    LatencySummary,
+    OpenLoopReport,
+    arrival_offsets,
+    percentile,
+    run_open_loop,
+)
+
+CONTRACT = b"\xaa" * 20
+CLIENT = b"\xbb" * 20
+
+
+def _request(index: int) -> TokenRequest:
+    return TokenRequest.method_token(CONTRACT, CLIENT, "submit", one_time=True)
+
+
+# --- percentile ---------------------------------------------------------------------
+
+
+def test_percentile_is_nearest_rank():
+    sample = list(range(1, 101))  # 1..100
+    assert percentile(sample, 0.50) == 50
+    assert percentile(sample, 0.99) == 99
+    assert percentile(sample, 0.999) == 100
+    assert percentile(sample, 0.0) == 1
+    assert percentile(sample, 1.0) == 100
+    assert percentile([42.0], 0.999) == 42.0
+
+
+def test_percentile_ignores_input_order():
+    assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+
+def test_percentile_validates():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+# --- arrival schedule ---------------------------------------------------------------
+
+
+def test_arrival_offsets_are_a_fixed_rate_train():
+    assert arrival_offsets(50, 4) == [0.0, 0.02, 0.04, 0.06]
+    assert arrival_offsets(10, 0) == []
+    with pytest.raises(ValueError):
+        arrival_offsets(0, 5)
+    with pytest.raises(ValueError):
+        arrival_offsets(10, -1)
+
+
+# --- summaries ----------------------------------------------------------------------
+
+
+def test_latency_summary_from_seconds_and_to_data():
+    summary = LatencySummary.from_seconds([0.001, 0.002, 0.010])
+    assert summary.count == 3
+    assert summary.p50_ms == 2.0
+    assert summary.max_ms == 10.0
+    data = summary.to_data("issuance")
+    assert set(data) == {
+        "issuance_p50_ms",
+        "issuance_p99_ms",
+        "issuance_p999_ms",
+        "issuance_mean_ms",
+        "issuance_max_ms",
+    }
+
+
+def test_latency_summary_handles_the_empty_sample():
+    summary = LatencySummary.from_seconds([])
+    assert summary.count == 0
+    assert summary.p999_ms == 0.0
+
+
+def test_report_rates():
+    summary = LatencySummary.from_seconds([])
+    report = OpenLoopReport(
+        offered_rate_per_s=100.0,
+        arrivals=10,
+        completed=8,
+        failed=2,
+        duration_s=2.0,
+        service=summary,
+        end_to_end=summary,
+        errors_by_code={"DENIED": 2},
+    )
+    assert report.error_rate == 0.2
+    assert report.success_rate == 0.8
+    assert report.achieved_rate_per_s == 4.0
+    data = report.to_data()
+    assert data["errors_by_code"] == {"DENIED": 2}
+    assert data["arrivals"] == 10
+
+
+# --- the generator ------------------------------------------------------------------
+
+
+def test_run_open_loop_completes_every_arrival():
+    issuer = build_service("serial")
+    report = run_open_loop(
+        issuer, _request, rate_per_second=10_000, arrivals=24, workers=4
+    )
+    assert report.arrivals == 24
+    assert report.completed == 24
+    assert report.failed == 0
+    assert report.error_rate == 0.0
+    assert report.service.count == 24
+    assert report.end_to_end.count == 24
+    # Open-loop: end-to-end includes queueing, so it can only be >= service.
+    assert report.end_to_end.mean_ms >= report.service.mean_ms - 1e-6
+    # Every one-time index was issued exactly once despite 4 workers.
+    assert issuer.stats()["issued"] == 24
+
+
+def test_run_open_loop_counts_denials_per_code():
+    rules = RuleSet()
+    rules.add_rule(WhitelistRule([], name="nobody"))
+    issuer = build_service("serial", rules=rules)
+    report = run_open_loop(
+        issuer, _request, rate_per_second=10_000, arrivals=10, workers=2
+    )
+    assert report.completed == 0
+    assert report.failed == 10
+    assert report.errors_by_code == {"DENIED": 10}
+    assert report.error_rate == 1.0
+
+
+def test_run_open_loop_counts_raised_transport_errors():
+    class DeadIssuer:
+        def submit(self, requests):
+            raise SmacsError("endpoint is gone", ErrorCode.UNAVAILABLE)
+
+    report = run_open_loop(
+        [DeadIssuer()], _request, rate_per_second=10_000, arrivals=6, workers=3
+    )
+    assert report.failed == 6
+    assert report.errors_by_code == {"UNAVAILABLE": 6}
+
+
+def test_run_open_loop_validates():
+    issuer = build_service("serial")
+    with pytest.raises(ValueError):
+        run_open_loop([], _request, rate_per_second=10, arrivals=1)
+    with pytest.raises(ValueError):
+        run_open_loop(issuer, _request, rate_per_second=10, arrivals=1, workers=0)
