@@ -116,7 +116,17 @@ class ServiceGateway:
                 raise SmacsError(
                     "submit body requires a 'requests' array", ErrorCode.MALFORMED_REQUEST
                 )
-            requests = [codec.decode_token_request(item) for item in raw_requests]
+            try:
+                requests = [codec.decode_token_request(item) for item in raw_requests]
+            except SmacsError:
+                raise
+            except (ValueError, TypeError, KeyError) as exc:
+                # Structurally valid JSON carrying undecodable content (a
+                # corrupted address, a bad enum value) is the *caller's*
+                # malformed request, not a gateway fault.
+                raise SmacsError(
+                    f"undecodable token request: {exc}", ErrorCode.MALFORMED_REQUEST
+                ) from exc
             results = issuer.submit(requests)
             return {"results": [codec.encode_issuance_result(result) for result in results]}
         if op == "address":
@@ -141,6 +151,12 @@ class ServiceGateway:
                     "replace_rules body requires a 'config' object",
                     ErrorCode.MALFORMED_REQUEST,
                 )
+            try:
+                RuleSet.from_config(config)  # validate before touching shared rules
+            except (ValueError, TypeError, KeyError) as exc:
+                raise SmacsError(
+                    f"undecodable rule config: {exc}", ErrorCode.MALFORMED_REQUEST
+                ) from exc
             issuer.update_rules(lambda rules: rules.load_config(config))
             self._rule_epochs[route] = expected + 1
             return {"epoch": self._rule_epochs[route]}

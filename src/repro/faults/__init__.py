@@ -1,0 +1,42 @@
+"""Fault harnesses for the adversarial scenario matrix.
+
+Two layers:
+
+* :mod:`repro.faults.byzantine` -- the harness objects themselves (stale
+  Raft leaders that keep answering, equivocating counters, corrupt-frame
+  transports, untrusted twin signers);
+* :mod:`repro.faults.injectors` -- declarative :class:`FaultPlan` objects
+  that :mod:`repro.workloads.matrix` applies around a cell's load batches.
+"""
+
+from repro.faults.byzantine import (
+    CorruptingTransport,
+    EquivocatingCounter,
+    StaleLeaderCounter,
+    untrusted_twin_service,
+)
+from repro.faults.injectors import (
+    CorruptFramesPlan,
+    EquivocationPlan,
+    FaultPlan,
+    LeaderCrashPlan,
+    PartitionPlan,
+    StaleLeaderPlan,
+    TransientTimeoutPlan,
+    UntrustedSignerPlan,
+)
+
+__all__ = [
+    "CorruptFramesPlan",
+    "CorruptingTransport",
+    "EquivocatingCounter",
+    "EquivocationPlan",
+    "FaultPlan",
+    "LeaderCrashPlan",
+    "PartitionPlan",
+    "StaleLeaderCounter",
+    "StaleLeaderPlan",
+    "TransientTimeoutPlan",
+    "UntrustedSignerPlan",
+    "untrusted_twin_service",
+]

@@ -1,0 +1,310 @@
+"""Declarative fault plans for scenario-matrix cells.
+
+A :class:`FaultPlan` is the *fault axis* of one matrix cell: a small object
+the runner (:mod:`repro.workloads.matrix`) consults while it assembles the
+issuance stack and drives the workload.  Plans are deliberately passive --
+they only act through four well-defined seams, so the same workload code
+runs unchanged under every fault:
+
+``wrap_counter(counter, cluster)``
+    replace or wrap the one-time counter the Token Service will trust
+    (Byzantine counter plans live here);
+``wrap_transport(transport)``
+    wrap the wire transport a gateway-backed cell dials through
+    (corrupt-frame plans live here);
+``setup / between_batches / teardown``
+    lifecycle hooks around the load batches -- crash a Raft leader, cut a
+    partition, heal it, restore monkey-patched replicas;
+``observations(env)``
+    plan-specific counters merged into the cell's benchmark record.
+
+The ``env`` passed to the lifecycle hooks is the runner's cell environment;
+plans rely only on three documented attributes: ``env.cluster`` (the
+:class:`~repro.consensus.counter.CounterCluster` behind issuance, possibly
+``None``), ``env.rts`` (the replicated front end, possibly ``None``) and
+``env.notes`` (a free-form dict merged into the cell record).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.counter import CounterTimeout
+from repro.faults.byzantine import (
+    CorruptingTransport,
+    EquivocatingCounter,
+    StaleLeaderCounter,
+)
+
+
+class FaultPlan:
+    """No-op base plan (the ``none`` fault column)."""
+
+    name = "none"
+    kind = "none"
+    #: plans that model *wrong answers* rather than silence
+    byzantine = False
+    #: plans that need their own CounterCluster wired to a single-service
+    #: stack (the counter seam) instead of the replicated front end
+    needs_counter_seam = False
+    #: plans that act on the wire and need a gateway client between the load
+    #: generators and the issuer (the transport seam)
+    needs_transport_seam = False
+
+    # -- stack assembly seams ---------------------------------------------------
+
+    def wrap_counter(self, counter: Any, cluster: Any) -> Any:
+        return counter
+
+    def wrap_transport(self, transport: Any) -> Any:
+        return transport
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def setup(self, env: Any) -> None:
+        pass
+
+    def between_batches(self, env: Any, batch_no: int) -> None:
+        pass
+
+    def teardown(self, env: Any) -> None:
+        pass
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return {}
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "byzantine": self.byzantine}
+
+
+class LeaderCrashPlan(FaultPlan):
+    """Crash the counter's Raft leader mid-run; restart it later."""
+
+    kind = "crash"
+
+    def __init__(self, crash_at: int = 1, restart_after: int = 1, name: str = "leader-crash"):
+        self.name = name
+        self.crash_at = crash_at
+        self.restart_after = restart_after
+        self._crashed: "str | None" = None
+        self.crashes = 0
+
+    def between_batches(self, env: Any, batch_no: int) -> None:
+        if env.cluster is None:
+            return
+        if batch_no == self.crash_at:
+            self._crashed = env.cluster.crash_leader()
+            self.crashes += 1
+        elif self._crashed is not None and batch_no == self.crash_at + self.restart_after:
+            env.cluster.restart(self._crashed)
+            self._crashed = None
+
+    def teardown(self, env: Any) -> None:
+        if self._crashed is not None and env.cluster is not None:
+            env.cluster.restart(self._crashed)
+            self._crashed = None
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return {"leader_crashes": self.crashes}
+
+
+class PartitionPlan(FaultPlan):
+    """Isolate the current leader in a minority partition; heal later."""
+
+    kind = "partition"
+
+    def __init__(self, cut_at: int = 1, heal_after: int = 1, name: str = "leader-partition"):
+        self.name = name
+        self.cut_at = cut_at
+        self.heal_after = heal_after
+        self._cut = False
+        self.partitions = 0
+
+    def between_batches(self, env: Any, batch_no: int) -> None:
+        if env.cluster is None:
+            return
+        if batch_no == self.cut_at:
+            leader = env.cluster.elect_leader()
+            others = [n for n in env.cluster.nodes if n != leader.node_id]
+            env.cluster.network.partition(others, [leader.node_id])
+            self._cut = True
+            self.partitions += 1
+        elif self._cut and batch_no == self.cut_at + self.heal_after:
+            env.cluster.network.heal_partition()
+            self._cut = False
+
+    def teardown(self, env: Any) -> None:
+        if self._cut and env.cluster is not None:
+            env.cluster.network.heal_partition()
+            self._cut = False
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return {"partitions_cut": self.partitions}
+
+
+class TransientTimeoutPlan(FaultPlan):
+    """Replicas intermittently answer ``COUNTER_TIMEOUT``; failover absorbs it.
+
+    Every ``every``-th front-end batch submission against a replica raises a
+    transient :class:`~repro.consensus.counter.CounterTimeout` before any
+    token is issued, exactly the shape of a commit deadline missed during a
+    leader election.  The replicated front end must absorb each one by
+    retrying the still-pending requests on the next replica.
+    """
+
+    kind = "timeout"
+
+    def __init__(self, every: int = 4, name: str = "transient-timeouts"):
+        if every < 2:
+            raise ValueError("every must be >= 2 (every call failing can never recover)")
+        self.name = name
+        self.every = every
+        self.injected = 0
+        self._originals: list[tuple[Any, Any]] = []
+
+    def setup(self, env: Any) -> None:
+        if env.rts is None:
+            return
+        plan = self
+        for replica in env.rts.replicas:
+            original = replica.submit
+            calls = {"n": 0}
+
+            def flaky(requests, _original=original, _calls=calls):
+                _calls["n"] += 1
+                if _calls["n"] % plan.every == 0:
+                    plan.injected += 1
+                    raise CounterTimeout("injected: commit deadline exceeded")
+                return _original(requests)
+
+            self._originals.append((replica, original))
+            replica.submit = flaky  # type: ignore[method-assign]
+
+    def teardown(self, env: Any) -> None:
+        for replica, original in self._originals:
+            replica.submit = original
+        self._originals.clear()
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return {
+            "timeouts_injected": self.injected,
+            "transient_failovers": env.rts.transient_failovers if env.rts else 0,
+        }
+
+
+class StaleLeaderPlan(FaultPlan):
+    """Byzantine: a deposed leader keeps answering; its answers must be inert."""
+
+    kind = "byzantine"
+    byzantine = True
+    needs_counter_seam = True
+
+    def __init__(self, induce_at: int = 1, heal_after: int = 2, name: str = "stale-leader"):
+        self.name = name
+        self.induce_at = induce_at
+        self.heal_after = heal_after
+        self.harness: "StaleLeaderCounter | None" = None
+
+    def wrap_counter(self, counter: Any, cluster: Any) -> Any:
+        self.harness = StaleLeaderCounter(cluster)
+        return self.harness
+
+    def between_batches(self, env: Any, batch_no: int) -> None:
+        if self.harness is None:
+            return
+        if batch_no == self.induce_at:
+            self.harness.induce_zombie()
+        elif batch_no == self.induce_at + self.heal_after:
+            self.harness.heal()
+
+    def teardown(self, env: Any) -> None:
+        if self.harness is not None and self.harness.zombie_id is not None:
+            self.harness.heal()
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return dict(self.harness.stats()) if self.harness else {}
+
+
+class EquivocationPlan(FaultPlan):
+    """Byzantine: the counter lies -- duplicate and skipped one-time indexes."""
+
+    kind = "byzantine"
+    byzantine = True
+    needs_counter_seam = True
+
+    def __init__(
+        self, duplicate_every: int = 5, skip_every: int = 7, name: str = "equivocating-counter"
+    ):
+        self.name = name
+        self.duplicate_every = duplicate_every
+        self.skip_every = skip_every
+        self.harness: "EquivocatingCounter | None" = None
+
+    def wrap_counter(self, counter: Any, cluster: Any) -> Any:
+        self.harness = EquivocatingCounter(
+            counter, duplicate_every=self.duplicate_every, skip_every=self.skip_every
+        )
+        return self.harness
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return dict(self.harness.stats()) if self.harness else {}
+
+
+class CorruptFramesPlan(FaultPlan):
+    """Byzantine edge: request frames are damaged before they hit the wire."""
+
+    kind = "byzantine"
+    byzantine = True
+    needs_transport_seam = True
+
+    def __init__(self, corrupt_every: int = 3, seed: int = 0, name: str = "corrupt-frames"):
+        self.name = name
+        self.corrupt_every = corrupt_every
+        self.seed = seed
+        self.harness: "CorruptingTransport | None" = None
+
+    def wrap_transport(self, transport: Any) -> Any:
+        self.harness = CorruptingTransport(
+            transport, corrupt_every=self.corrupt_every, seed=self.seed
+        )
+        return self.harness
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        if self.harness is None:
+            return {}
+        return {
+            "frames_sent": self.harness.requests,
+            "frames_corrupted": self.harness.corrupted,
+        }
+
+
+class UntrustedSignerPlan(FaultPlan):
+    """Byzantine: a twin Token Service with the wrong ``skTS`` joins the load.
+
+    The runner interleaves forged-token transactions from the twin alongside
+    the honest load; the plan records how many forgeries were generated so
+    the trusted-signer invariant can demand exactly zero of them succeed.
+    """
+
+    kind = "byzantine"
+    byzantine = True
+
+    def __init__(self, forgeries_per_batch: int = 2, name: str = "untrusted-signer"):
+        self.name = name
+        self.forgeries_per_batch = forgeries_per_batch
+        self.forged_hashes: list[bytes] = []
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        return {"forged_txs": len(self.forged_hashes)}
+
+
+__all__ = [
+    "CorruptFramesPlan",
+    "EquivocationPlan",
+    "FaultPlan",
+    "LeaderCrashPlan",
+    "PartitionPlan",
+    "StaleLeaderPlan",
+    "TransientTimeoutPlan",
+    "UntrustedSignerPlan",
+]

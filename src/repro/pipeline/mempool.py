@@ -147,6 +147,17 @@ class Mempool:
         self._reserved_indexes: set[tuple[Address, int]] = set()
         self.admitted_count = 0
         self.rejected: dict[str, int] = {}
+        #: accounting disagreements detected by :meth:`remove` -- an included
+        #: transaction whose sender had no nonce/spend recorded.  Always 0 for
+        #: a healthy pool; never silently clamped away.
+        self.accounting_underflows = 0
+        # Per-sender view over ``chain.pending`` (txs enqueued for the next
+        # block but not yet mined), deduplicated against this pool by hash.
+        # Rebuilt only when the chain's pending list changes identity or
+        # length, so admission is O(1) instead of O(len(pending)) per call.
+        self._inclusion_ref: "list[Transaction] | None" = None
+        self._inclusion_len = -1
+        self._inclusion_counts: dict[Address, int] = {}
 
     # -- introspection ---------------------------------------------------------
 
@@ -166,6 +177,9 @@ class Mempool:
             "admitted": self.admitted_count,
             "rejected": dict(self.rejected),
             "reserved_one_time_indexes": len(self._reserved_indexes),
+            "accounting_underflows": self.accounting_underflows,
+            "tracked_nonce_senders": len(self._pending_nonces),
+            "tracked_spend_senders": len(self._pending_spend),
         }
 
     # -- admission -------------------------------------------------------------
@@ -188,7 +202,12 @@ class Mempool:
 
         self._pool[tx_hash] = _PoolEntry(tx, reservations)
         self._pending_nonces[tx.sender] = self._pending_nonces.get(tx.sender, 0) + 1
-        self._pending_spend[tx.sender] = self._pending_spend.get(tx.sender, 0) + tx.value
+        if tx.value:
+            # Zero-value calls carry no spend to track; recording a 0 entry
+            # would only grow the dict by one key per sender.
+            self._pending_spend[tx.sender] = (
+                self._pending_spend.get(tx.sender, 0) + tx.value
+            )
         self._reserved_indexes.update(reservations)
         self.admitted_count += 1
         return AdmissionDecision(True)
@@ -212,15 +231,40 @@ class Mempool:
             return self._reject("transaction gas limit exceeds the block gas limit")
         if not tx.verify_signature():
             return self._reject("invalid signature")
-        expected = self.chain.state.nonce_of(tx.sender) + self._pending_nonces.get(
-            tx.sender, 0
-        ) + sum(1 for p in self.chain.pending if p.sender == tx.sender)
+        expected = (
+            self.chain.state.nonce_of(tx.sender)
+            + self._pending_nonces.get(tx.sender, 0)
+            + self._enqueued_count(tx.sender)
+        )
         if tx.nonce != expected:
             return self._reject("bad nonce")
         committed = self._pending_spend.get(tx.sender, 0)
         if self.chain.state.balance_of(tx.sender) < committed + tx.value:
             return self._reject("insufficient funds")
         return None
+
+    def _enqueued_count(self, sender: Address) -> int:
+        """Nonces ``sender`` holds in ``chain.pending`` but *not* in this pool.
+
+        Between :meth:`repro.chain.chain.Blockchain.enqueue_validated` (the
+        transaction joins the chain's next-block queue) and :meth:`remove`
+        (block inclusion reported back), a transaction sits in *both* places;
+        counting it twice made the sender's next-nonce admission fail as
+        "bad nonce".  The per-sender counts are cached and rebuilt only when
+        the chain's pending list changes, so admission no longer walks
+        ``chain.pending`` per transaction.
+        """
+        pending = self.chain.pending
+        if pending is not self._inclusion_ref or len(pending) != self._inclusion_len:
+            counts: dict[Address, int] = {}
+            for queued in pending:
+                if queued.hash() in self._pool:
+                    continue  # already accounted for in _pending_nonces
+                counts[queued.sender] = counts.get(queued.sender, 0) + 1
+            self._inclusion_ref = pending
+            self._inclusion_len = len(pending)
+            self._inclusion_counts = counts
+        return self._inclusion_counts.get(sender, 0)
 
     def _check_smacs(
         self, tx: Transaction
@@ -304,19 +348,44 @@ class Mempool:
     # -- builder interface ------------------------------------------------------
 
     def remove(self, txs: Iterable[Transaction]) -> None:
-        """Drop transactions (after block inclusion) and free reservations."""
+        """Drop transactions (after block inclusion) and free reservations.
+
+        Per-sender accounting entries are *deleted* once they reach zero --
+        under sender churn (millions of distinct senders passing through) the
+        dicts would otherwise grow one zeroed entry per sender forever.  A
+        decrement that would go negative means the pool's books disagree with
+        the caller; it is counted in ``accounting_underflows`` (visible via
+        :meth:`stats`) instead of being silently absorbed by a fallback
+        default.
+        """
+        removed = False
         for tx in txs:
             entry = self._pool.pop(tx.hash(), None)
             if entry is None:
                 continue
-            self._pending_nonces[tx.sender] = max(
-                0, self._pending_nonces.get(tx.sender, 1) - 1
-            )
-            self._pending_spend[tx.sender] = max(
-                0, self._pending_spend.get(tx.sender, tx.value) - tx.value
-            )
+            removed = True
+            sender = tx.sender
+            remaining = self._pending_nonces.get(sender, 0) - 1
+            if remaining > 0:
+                self._pending_nonces[sender] = remaining
+            else:
+                self._pending_nonces.pop(sender, None)
+                if remaining < 0:
+                    self.accounting_underflows += 1
+            if tx.value:
+                spend = self._pending_spend.get(sender, 0) - tx.value
+                if spend > 0:
+                    self._pending_spend[sender] = spend
+                else:
+                    self._pending_spend.pop(sender, None)
+                    if spend < 0:
+                        self.accounting_underflows += 1
             for reservation in entry.one_time_reservations:
                 self._reserved_indexes.discard(reservation)
+        if removed:
+            # Pool membership changed, so the in-pool/enqueued deduplication
+            # baked into the cached counts may be stale -- recount lazily.
+            self._inclusion_ref = None
 
 
 __all__ = [

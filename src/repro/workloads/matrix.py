@@ -1,0 +1,917 @@
+"""The adversarial scenario matrix: workloads x faults, invariants per cell.
+
+Every cell of the matrix crosses one *workload axis* (flash-sale stampedes,
+replay storms, multi-contract fan-out, one-time state stress with mid-batch
+reverts, a token-expiry avalanche that also slides the whole Alg. 2 bitmap
+window, rule-churn storms against the epoch-guarded gateway update path,
+multi-tenant mixes sharing one TS fleet) with one *fault axis* (the
+crash/partition/timeout plans plus the Byzantine harnesses of
+:mod:`repro.faults`).  Each cell drives the full production loop -- token
+issuance through the (possibly faulted) front-end stack, signed transactions
+through :class:`~repro.pipeline.SmacsLoadGenerator`, admission + block
+production through :class:`~repro.pipeline.ExecutionPipeline` -- and then
+asserts the SMACS safety invariants on the chain that came out:
+
+* **no-duplicate-one-time-index** -- across every successful transaction in
+  every block, each ``(contract, index)`` one-time pair was accepted at most
+  once (the Alg. 2 property, checked from the blocks themselves, not from
+  any component's own bookkeeping);
+* **trusted-signer-only** -- every accepted token recovers to the trusted TS
+  address over its reconstructed datagram, and every forged transaction from
+  the untrusted twin signer (one canary per cell, more under the
+  ``untrusted-signer`` fault) failed;
+* **counter-agreement** -- all live counter replicas converged on one
+  committed value (issuance-side uniqueness);
+* **mempool-accounting** -- after the drain the mempool's per-sender
+  reservation tables are empty and no underflow was masked (the satellite
+  fixes of this PR, kept honest under every fault);
+* **rate-limit-fairness** -- multi-tenant cells only: identically provisioned
+  tenants were granted identical admission counts.
+
+A violated invariant raises :class:`InvariantViolation` -- the matrix is a
+bug hunt, not a dashboard.  Each cell also emits a JSON record (committed as
+``benchmarks/baselines/BENCH_scenarios.json``, refreshed by the CI smoke
+lane) so drift in *expected* failure counts is visible too.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.workloads.matrix --list
+    PYTHONPATH=src python -m repro.workloads.matrix --cells flash-sale/none,fan-out/stale-leader
+    PYTHONPATH=src python -m repro.workloads.matrix --out benchmarks/results/BENCH_scenarios.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.api.gateway import GatewayClient, InProcessTransport, ServiceGateway
+from repro.api.middleware import RateLimiter
+from repro.chain.account import ExternallyOwnedAccount
+from repro.chain.chain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.consensus.counter import CounterCluster, ReplicatedCounter
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core.acr import BlacklistRule, RuleSet
+from repro.core.errors import ErrorCode, SmacsError
+from repro.core.replication import ReplicatedTokenService
+from repro.core.token import Token, TokenType
+from repro.core.token_request import TokenRequest
+from repro.core.token_service import TokenService
+from repro.core.wallet import OwnerWallet
+from repro.crypto.keys import KeyPair, recover_address
+from repro.crypto.sigcache import SignatureCache
+from repro.faults.byzantine import untrusted_twin_service
+from repro.faults.injectors import (
+    CorruptFramesPlan,
+    EquivocationPlan,
+    FaultPlan,
+    LeaderCrashPlan,
+    PartitionPlan,
+    StaleLeaderPlan,
+    TransientTimeoutPlan,
+    UntrustedSignerPlan,
+)
+from repro.pipeline.load import DEFAULT_CALL_GAS_LIMIT, SmacsLoadGenerator
+from repro.pipeline.pipeline import ExecutionPipeline
+from repro.workloads.generator import ScenarioMix, flash_sale_bursts, replay_storm
+
+
+class InvariantViolation(AssertionError):
+    """A SMACS safety invariant failed inside a matrix cell."""
+
+
+# ---------------------------------------------------------------------------
+# cell specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellSpec:
+    """One (workload, fault) cell with its sizing knobs."""
+
+    workload: str
+    fault: Callable[[], FaultPlan]
+    fault_name: str
+    tenants: int = 1
+    accounts_per_tenant: int = 4
+    batches: int = 4
+    batch_size: int = 12
+    bitmap_bits: int = 4096
+    token_lifetime: int = 3600
+    seed: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}/{self.fault_name}"
+
+
+@dataclass
+class CellEnv:
+    """Everything one cell assembles; fault plans see ``cluster``/``rts``/``notes``."""
+
+    spec: CellSpec
+    plan: FaultPlan
+    chain: Blockchain
+    pipeline: ExecutionPipeline
+    service: Any  # the issuer the generators talk to (possibly wrapped)
+    rts: "ReplicatedTokenService | None"
+    cluster: "CounterCluster | None"
+    trusted_address: bytes
+    contracts: list[Any]
+    tenant_accounts: list[list[ExternallyOwnedAccount]]
+    generators: list[SmacsLoadGenerator]
+    twin: TokenService
+    canary: ExternallyOwnedAccount
+    notes: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+    forged_hashes: list[bytes] = field(default_factory=list)
+    _canary_nonce: int = 0
+
+    def forge_tx(self, tenant: int = 0, amount: int = 1) -> Transaction:
+        """A structurally valid transaction carrying a wrong-``skTS`` token."""
+        contract = self.contracts[tenant % len(self.contracts)]
+        request = TokenRequest.method_token(
+            contract.this, self.canary.address, "submit", one_time=False
+        )
+        forged = self.twin.issue_token(request)
+        tx = Transaction(
+            sender=self.canary.address,
+            to=contract.this,
+            nonce=self._canary_nonce,
+            method="submit",
+            args=(),
+            kwargs={"amount": amount, "token": forged.to_bytes()},
+            gas_limit=DEFAULT_CALL_GAS_LIMIT,
+        ).sign_with(self.canary.keypair)
+        self._canary_nonce += 1
+        self.forged_hashes.append(tx.hash())
+        return tx
+
+    def set_token_lifetime(self, seconds: int) -> None:
+        if self.rts is not None:
+            for replica in self.rts.replicas:
+                replica.token_lifetime = seconds
+        base = self.extra.get("base_service")
+        if isinstance(base, TokenService):
+            base.token_lifetime = seconds
+
+
+class _ResendingClient:
+    """Client-side re-send driver around a gateway client.
+
+    A corrupted frame comes back as a ``MALFORMED_REQUEST`` error envelope
+    and the gateway client raises the carried error; a real client re-sends
+    the (uncorrupted) request.  Every other error propagates.
+    """
+
+    def __init__(self, inner: GatewayClient, attempts: int = 6):
+        self.inner = inner
+        self.attempts = attempts
+        self.resends = 0
+
+    @property
+    def address(self) -> bytes:
+        return self._retry(lambda: self.inner.address)
+
+    def submit(self, requests: Any) -> list[Any]:
+        return self._retry(lambda: self.inner.submit(requests))
+
+    def update_rules(self, mutate: Callable[[RuleSet], None]) -> None:
+        self._retry(lambda: self.inner.update_rules(mutate))
+
+    def stats(self) -> dict[str, Any]:
+        return self._retry(lambda: self.inner.stats())
+
+    def _retry(self, operation: Callable[[], Any]) -> Any:
+        for attempt in range(self.attempts):
+            try:
+                return operation()
+            except SmacsError as error:
+                if (
+                    error.code is not ErrorCode.MALFORMED_REQUEST
+                    or attempt == self.attempts - 1
+                ):
+                    raise
+                self.resends += 1
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# environment assembly
+# ---------------------------------------------------------------------------
+
+
+def _build_env(spec: CellSpec) -> CellEnv:
+    plan = spec.fault()
+    chain = Blockchain(auto_mine=False)
+    # A private signature cache isolates cells from each other AND from the
+    # process-global DEFAULT_SIGNATURE_CACHE: a recovery cached by an earlier
+    # cell (or an earlier matrix run in the same process -- cells are
+    # deterministic, so digests repeat) would let the mempool screen a forged
+    # token at admission that a fresh node would only reject on-chain,
+    # changing the record.
+    pipeline = ExecutionPipeline(chain, signature_cache=SignatureCache())
+    keypair = KeyPair.from_seed(f"matrix-ts-{spec.workload}")
+
+    rts: "ReplicatedTokenService | None" = None
+    cluster: "CounterCluster | None" = None
+    base_service: TokenService
+    if plan.needs_counter_seam:
+        cluster = CounterCluster(size=3, seed=100 + spec.seed)
+        counter = plan.wrap_counter(ReplicatedCounter(cluster=cluster), cluster)
+        base_service = TokenService(
+            keypair=keypair,
+            rules=RuleSet(),
+            clock=chain.clock,
+            token_lifetime=spec.token_lifetime,
+            counter=counter,
+            signature_cache=pipeline.signature_cache,
+            label=f"matrix-{spec.name}",
+        )
+        issuer: Any = base_service
+    else:
+        rts = ReplicatedTokenService(
+            replica_count=3,
+            keypair=keypair,
+            rules=RuleSet(),
+            clock=chain.clock,
+            token_lifetime=spec.token_lifetime,
+            seed=100 + spec.seed,
+            signature_cache=pipeline.signature_cache,
+        )
+        cluster = rts.counter_cluster
+        base_service = rts.replicas[0]
+        issuer = rts
+
+    # The transport seam: rule-churn cells always speak the gateway protocol;
+    # corrupt-frame plans wrap whatever transport the cell dials through.
+    service: Any = issuer
+    extra: dict[str, Any] = {"base_service": base_service}
+    if plan.needs_transport_seam or spec.workload == "rule-churn":
+        gateway = ServiceGateway()
+        gateway.register("ts", issuer)
+        transport = plan.wrap_transport(InProcessTransport(gateway))
+        client = GatewayClient(transport, "ts")
+        service = _ResendingClient(client) if plan.needs_transport_seam else client
+        extra["gateway"] = gateway
+        if spec.workload == "rule-churn":
+            # A second, independent client for the conflicting updater.
+            extra["churn_rival"] = GatewayClient(InProcessTransport(gateway), "ts")
+
+    # Deploy one SMACS-protected contract per tenant (trusted TS address is
+    # baked into storage at deployment) and fund disjoint client pools.
+    chain.auto_mine = True
+    owner = chain.create_account("owner", seed=f"matrix-owner-{spec.name}")
+    contracts = []
+    for tenant in range(spec.tenants):
+        receipt = OwnerWallet(owner, base_service).deploy_protected(
+            ProtectedRecorder, one_time_bitmap_bits=spec.bitmap_bits
+        )
+        if not receipt.success:  # pragma: no cover - deployment is infallible here
+            raise RuntimeError(f"tenant {tenant} deployment failed: {receipt.error}")
+        contracts.append(receipt.return_value)
+    chain.auto_mine = False
+
+    tenant_accounts = [
+        [
+            chain.create_account(
+                f"client-{tenant}-{i}", seed=f"matrix-{spec.name}-{tenant}-{i}"
+            )
+            for i in range(spec.accounts_per_tenant)
+        ]
+        for tenant in range(spec.tenants)
+    ]
+    canary = chain.create_account("canary", seed=f"matrix-canary-{spec.name}")
+
+    # Per-tenant issuance path: multi-tenant cells interpose one identically
+    # provisioned rate limiter per tenant (fairness is an invariant there).
+    limiters: list[RateLimiter] = []
+    tenant_services: list[Any] = []
+    if spec.workload == "multi-tenant":
+        for _ in range(spec.tenants):
+            limiter = RateLimiter(
+                issuer,
+                rate_per_second=spec.params.get("rate_per_second", 0.5),
+                burst=spec.params.get("burst", 8),
+                clock=chain.clock,
+            )
+            limiters.append(limiter)
+            tenant_services.append(limiter)
+    else:
+        tenant_services = [service] * spec.tenants
+    extra["limiters"] = limiters
+
+    generators = [
+        SmacsLoadGenerator(tenant_services[t], contracts[t], tenant_accounts[t])
+        for t in range(spec.tenants)
+    ]
+
+    env = CellEnv(
+        spec=spec,
+        plan=plan,
+        chain=chain,
+        pipeline=pipeline,
+        service=service,
+        rts=rts,
+        cluster=cluster,
+        trusted_address=keypair.address,
+        contracts=contracts,
+        tenant_accounts=tenant_accounts,
+        generators=generators,
+        twin=untrusted_twin_service(base_service, seed=f"twin-{spec.name}"),
+        canary=canary,
+        extra=extra,
+    )
+    return env
+
+
+# ---------------------------------------------------------------------------
+# workload axis: each builder returns one thunk per batch
+# ---------------------------------------------------------------------------
+
+
+def _single_batch(generator: SmacsLoadGenerator, batch: list[TokenRequest]) -> list[Transaction]:
+    return generator.from_scenario(ScenarioMix("cell-batch", [batch]))
+
+
+def _wl_flash_sale(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    mix = flash_sale_bursts(
+        env.contracts[0].this,
+        [account.address for account in env.tenant_accounts[0]],
+        bursts=spec.batches,
+        burst_size=spec.batch_size,
+        method="submit",
+        seed=spec.seed,
+    )
+    return [
+        (lambda batch=batch: _single_batch(env.generators[0], batch))
+        for batch in mix.batches
+    ]
+
+
+def _wl_replay_storm(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    mix = replay_storm(
+        env.contracts[0].this,
+        [account.address for account in env.tenant_accounts[0]],
+        unique_requests=max(2, spec.batch_size // 3),
+        replays_per_request=max(1, spec.batches * spec.batch_size // max(2, spec.batch_size // 3)),
+        method="submit",
+        batch_size=spec.batch_size,
+        seed=spec.seed,
+    )
+    batches = mix.batches[: spec.batches]
+    return [
+        (lambda batch=batch: _single_batch(env.generators[0], batch))
+        for batch in batches
+    ]
+
+
+def _wl_fan_out(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    rng = random.Random(spec.seed)
+    per_tenant = max(1, spec.batch_size // spec.tenants)
+
+    def make_batch() -> list[Transaction]:
+        txs: list[Transaction] = []
+        for tenant, generator in enumerate(env.generators):
+            pool = env.tenant_accounts[tenant]
+            requests = [
+                TokenRequest.method_token(
+                    env.contracts[tenant].this,
+                    rng.choice(pool).address,
+                    "submit",
+                    one_time=(tenant % 2 == 0),
+                )
+                for _ in range(per_tenant)
+            ]
+            txs.extend(_single_batch(generator, requests))
+        return txs
+
+    return [make_batch for _ in range(spec.batches)]
+
+
+def _wl_state_stress(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    rng = random.Random(spec.seed)
+    zero_every = spec.params.get("zero_every", 6)
+    serial = {"n": 0}
+
+    def make_batch() -> list[Transaction]:
+        requests = []
+        for _ in range(spec.batch_size):
+            serial["n"] += 1
+            # Every zero_every-th call carries amount=0: the method body
+            # reverts AFTER token verification, so the bitmap mark must be
+            # rolled back with the frame (correct EVM semantics under load).
+            amount = 0 if serial["n"] % zero_every == 0 else serial["n"]
+            account = rng.choice(env.tenant_accounts[0])
+            requests.append(
+                TokenRequest.argument_token(
+                    env.contracts[0].this,
+                    account.address,
+                    "submit",
+                    {"amount": amount},
+                    one_time=True,
+                )
+            )
+        return _single_batch(env.generators[0], requests)
+
+    return [make_batch for _ in range(spec.batches)]
+
+
+def _wl_expiry_avalanche(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    short = spec.params.get("short_lifetime", 5)  # < 13s block interval: TOCTOU
+
+    def make_batch(batch_no: int) -> list[Transaction]:
+        # Even batches issue tokens that expire between admission and
+        # execution (the documented clock.now()/block.timestamp TOCTOU);
+        # odd batches issue long-lived one-time tokens whose indexes march
+        # the small bitmap window forward -- whole-window slides included.
+        env.set_token_lifetime(short if batch_no % 2 == 0 else 3600)
+        return env.generators[0].from_arrivals([spec.batch_size], token_type=TokenType.METHOD)
+
+    return [
+        (lambda batch_no=batch_no: make_batch(batch_no))
+        for batch_no in range(spec.batches)
+    ]
+
+
+def _wl_rule_churn(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    rng = random.Random(spec.seed)
+    churn_client = env.service
+    rival: GatewayClient = env.extra["churn_rival"]
+    env.notes.setdefault("rule_conflicts", 0)
+    env.notes.setdefault("rule_updates", 0)
+    decoys = [KeyPair.from_seed(f"decoy-{i}").address for i in range(4)]
+
+    def churn() -> None:
+        # The rival lands a full read-modify-write inside our read/replace
+        # window, so our replace hits a stale epoch (EXPIRED_RULESET) and the
+        # client must re-read and retry -- the race the epoch guard exists for.
+        fired = {"done": False}
+        attempts = {"n": 0}
+
+        def rival_update(rules: RuleSet) -> None:
+            rules.add_rule(
+                BlacklistRule([rng.choice(decoys)], method="maintenance"),
+                TokenType.METHOD,
+            )
+
+        def conflicted_update(rules: RuleSet) -> None:
+            attempts["n"] += 1
+            if not fired["done"]:
+                fired["done"] = True
+                rival.update_rules(rival_update)
+            rules.add_rule(
+                BlacklistRule([rng.choice(decoys)], method="maintenance"),
+                TokenType.METHOD,
+            )
+
+        churn_client.update_rules(conflicted_update)
+        env.notes["rule_updates"] += 2
+        env.notes["rule_conflicts"] += attempts["n"] - 1
+
+    def make_batch() -> list[Transaction]:
+        churn()
+        requests = [
+            TokenRequest.method_token(
+                env.contracts[0].this,
+                rng.choice(env.tenant_accounts[0]).address,
+                "submit",
+                one_time=False,
+            )
+            for _ in range(spec.batch_size)
+        ]
+        return _single_batch(env.generators[0], requests)
+
+    return [make_batch for _ in range(spec.batches)]
+
+
+def _wl_multi_tenant(env: CellEnv) -> list[Callable[[], list[Transaction]]]:
+    spec = env.spec
+    rng = random.Random(spec.seed)
+    per_tenant = spec.params.get("demand_per_tenant", spec.batch_size)
+
+    def make_batch() -> list[Transaction]:
+        txs: list[Transaction] = []
+        # Identical per-tenant demand against identically provisioned
+        # limiters sharing one clock: admission counts must come out equal.
+        for tenant, generator in enumerate(env.generators):
+            pool = env.tenant_accounts[tenant]
+            requests = [
+                TokenRequest.method_token(
+                    env.contracts[tenant].this,
+                    pool[rng.randrange(len(pool))].address,
+                    "submit",
+                    one_time=False,
+                )
+                for _ in range(per_tenant)
+            ]
+            txs.extend(_single_batch(generator, requests))
+        return txs
+
+    return [make_batch for _ in range(spec.batches)]
+
+
+WORKLOADS: dict[str, Callable[[CellEnv], list[Callable[[], list[Transaction]]]]] = {
+    "flash-sale": _wl_flash_sale,
+    "replay-storm": _wl_replay_storm,
+    "fan-out": _wl_fan_out,
+    "state-stress": _wl_state_stress,
+    "expiry-avalanche": _wl_expiry_avalanche,
+    "rule-churn": _wl_rule_churn,
+    "multi-tenant": _wl_multi_tenant,
+}
+
+
+# ---------------------------------------------------------------------------
+# invariants
+# ---------------------------------------------------------------------------
+
+
+def _accepted_token_calls(env: CellEnv) -> list[tuple[Transaction, Token]]:
+    accepted: list[tuple[Transaction, Token]] = []
+    for block in env.chain.blocks:
+        for tx in block.transactions:
+            receipt = env.chain.receipts.get(tx.hash())
+            if receipt is None or not receipt.success:
+                continue
+            raw = tx.kwargs.get("token")
+            if not isinstance(raw, (bytes, bytearray)):
+                continue
+            accepted.append((tx, Token.from_bytes(bytes(raw))))
+    return accepted
+
+
+def _check_no_duplicate_one_time(env: CellEnv, accepted: list[tuple[Transaction, Token]]) -> int:
+    seen: set[tuple[bytes, int]] = set()
+    one_time = 0
+    for tx, token in accepted:
+        if not token.is_one_time:
+            continue
+        one_time += 1
+        key = (bytes(tx.to), token.index)
+        if key in seen:
+            raise InvariantViolation(
+                f"[{env.spec.name}] one-time index {token.index} accepted twice "
+                f"on contract 0x{bytes(tx.to).hex()}"
+            )
+        seen.add(key)
+    return one_time
+
+
+def _check_trusted_signer(env: CellEnv, accepted: list[tuple[Transaction, Token]]) -> None:
+    for tx, token in accepted:
+        arguments = None
+        if token.token_type is TokenType.ARGUMENT:
+            arguments = {k: v for k, v in tx.kwargs.items() if k != "token"}
+        method = None if token.token_type is TokenType.SUPER else tx.method
+        digest = token.digest_for(tx.sender, tx.to, method=method, arguments=arguments)
+        try:
+            recovered = recover_address(digest, token.signature)
+        except Exception as exc:
+            raise InvariantViolation(
+                f"[{env.spec.name}] accepted token signature does not recover: {exc}"
+            ) from exc
+        if recovered != env.trusted_address:
+            raise InvariantViolation(
+                f"[{env.spec.name}] accepted token recovers to untrusted signer "
+                f"0x{recovered.hex()} (trusted 0x{env.trusted_address.hex()})"
+            )
+    succeeded = {
+        tx.hash()
+        for block in env.chain.blocks
+        for tx in block.transactions
+        if env.chain.receipts[tx.hash()].success
+    }
+    for forged in env.forged_hashes:
+        if forged in succeeded:
+            raise InvariantViolation(
+                f"[{env.spec.name}] forged transaction {forged.hex()} from the "
+                "untrusted twin signer was accepted on-chain"
+            )
+
+
+def _check_counter_agreement(env: CellEnv) -> None:
+    if env.cluster is None:
+        return
+    env.cluster.network.run_for(2.0)
+    committed = env.cluster.committed_values()
+    live = {
+        value
+        for node_id, value in committed.items()
+        if not env.cluster.network.is_down(node_id)
+    }
+    if len(live) > 1:
+        raise InvariantViolation(
+            f"[{env.spec.name}] counter replicas diverged: {committed}"
+        )
+
+
+def _check_mempool_accounting(env: CellEnv) -> dict[str, int]:
+    stats = env.pipeline.mempool.stats()
+    accounting = {
+        "accounting_underflows": stats["accounting_underflows"],
+        "tracked_nonce_senders": stats["tracked_nonce_senders"],
+        "tracked_spend_senders": stats["tracked_spend_senders"],
+    }
+    if stats["accounting_underflows"]:
+        raise InvariantViolation(
+            f"[{env.spec.name}] mempool masked {stats['accounting_underflows']} "
+            "accounting underflow(s)"
+        )
+    if stats["tracked_nonce_senders"] or stats["tracked_spend_senders"]:
+        raise InvariantViolation(
+            f"[{env.spec.name}] mempool reservation tables leak after drain: "
+            f"{accounting}"
+        )
+    return accounting
+
+
+def _check_fairness(env: CellEnv) -> "dict[str, Any] | None":
+    limiters: list[RateLimiter] = env.extra.get("limiters") or []
+    if not limiters:
+        return None
+    admitted = [limiter.admitted for limiter in limiters]
+    limited = [limiter.limited for limiter in limiters]
+    slack = env.spec.params.get("fairness_slack", 1)
+    if max(admitted) - min(admitted) > slack:
+        raise InvariantViolation(
+            f"[{env.spec.name}] identically provisioned tenants admitted unevenly: "
+            f"{admitted}"
+        )
+    if sum(limited) == 0:
+        raise InvariantViolation(
+            f"[{env.spec.name}] fairness cell never hit the rate limit "
+            "(demand too low to test anything)"
+        )
+    return {"admitted": admitted, "limited": limited}
+
+
+# ---------------------------------------------------------------------------
+# cell + matrix runners
+# ---------------------------------------------------------------------------
+
+
+def run_cell(spec: CellSpec) -> dict[str, Any]:
+    """Run one (workload, fault) cell and return its benchmark record."""
+    env = _build_env(spec)
+    plan = env.plan
+    thunks = WORKLOADS[spec.workload](env)
+    forgeries_per_batch = getattr(plan, "forgeries_per_batch", 0)
+
+    plan.setup(env)
+    txs_built = 0
+    try:
+        for batch_no, thunk in enumerate(thunks):
+            plan.between_batches(env, batch_no)
+            txs = thunk()
+            if forgeries_per_batch:
+                txs.extend(env.forge_tx(tenant=batch_no) for _ in range(forgeries_per_batch))
+            txs_built += len(txs)
+            env.pipeline.ingest(txs)
+            env.pipeline.run_block()
+        # One forged canary rides through EVERY cell so the trusted-signer
+        # invariant is exercised, not just vacuously true.
+        canary_tx = env.forge_tx()
+        txs_built += 1
+        env.pipeline.ingest([canary_tx])
+        env.pipeline.drain()
+    finally:
+        plan.teardown(env)
+
+    accepted = _accepted_token_calls(env)
+    one_time_accepted = _check_no_duplicate_one_time(env, accepted)
+    _check_trusted_signer(env, accepted)
+    _check_counter_agreement(env)
+    accounting = _check_mempool_accounting(env)
+    fairness = _check_fairness(env)
+
+    pipeline_stats = env.pipeline.stats()
+    executed = env.pipeline.transactions_executed
+    token_txs_total = sum(
+        1
+        for block in env.chain.blocks
+        for tx in block.transactions
+        if isinstance(tx.kwargs.get("token"), (bytes, bytearray))
+    )
+    record: dict[str, Any] = {
+        "cell": spec.name,
+        "workload": spec.workload,
+        "fault": plan.name,
+        "fault_kind": plan.kind,
+        "byzantine": plan.byzantine,
+        "tenants": spec.tenants,
+        "batches": spec.batches,
+        "batch_size": spec.batch_size,
+        "tokens_issued": sum(g.tokens_issued for g in env.generators),
+        "requests_failed": sum(g.requests_failed for g in env.generators),
+        "txs_built": txs_built,
+        "txs_admitted": pipeline_stats["mempool"]["admitted"],
+        "rejected": dict(pipeline_stats["mempool"]["rejected"]),
+        "blocks_executed": env.pipeline.blocks_executed,
+        "txs_executed": executed,
+        "token_txs_succeeded": len(accepted),
+        "token_txs_failed_onchain": token_txs_total - len(accepted),
+        "accepted_token_calls": len(accepted),
+        "one_time_accepted": one_time_accepted,
+        "forged_attempted": len(env.forged_hashes),
+        "invariants": {
+            "no_duplicate_one_time_index": True,
+            "trusted_signer_only": True,
+            "counter_agreement": True,
+            "mempool_accounting_clean": True,
+            **({"rate_limit_fairness": True} if fairness else {}),
+        },
+        "mempool_accounting": accounting,
+        "fault_observations": plan.observations(env),
+    }
+    if fairness:
+        record["fairness"] = fairness
+    window = env.contracts[0].bitmap_state()
+    if window.get("size"):
+        # ``start`` > 0 on the entry contract proves the Alg. 2 window slid.
+        record["bitmap_window"] = {"size": window["size"], "start": window["start"]}
+    if isinstance(env.service, _ResendingClient):
+        record["frame_resends"] = env.service.resends
+    if env.notes:
+        record["notes"] = dict(env.notes)
+    return record
+
+
+def default_cells() -> list[CellSpec]:
+    """The curated matrix: every workload under representative faults."""
+
+    def spec(workload: str, fault_name: str, fault: Callable[[], FaultPlan], **kw: Any) -> CellSpec:
+        return CellSpec(workload=workload, fault=fault, fault_name=fault_name, **kw)
+
+    none = lambda: FaultPlan()  # noqa: E731
+    crash = lambda: LeaderCrashPlan(crash_at=1, restart_after=1)  # noqa: E731
+    part = lambda: PartitionPlan(cut_at=1, heal_after=1)  # noqa: E731
+    timeouts = lambda: TransientTimeoutPlan(every=4)  # noqa: E731
+    stale = lambda: StaleLeaderPlan(induce_at=1, heal_after=2)  # noqa: E731
+    equiv = lambda: EquivocationPlan(duplicate_every=4, skip_every=7)  # noqa: E731
+    corrupt = lambda: CorruptFramesPlan(corrupt_every=2)  # noqa: E731
+    # Odd stride for multi-frame operations (read-modify-write rule updates
+    # are two frames each): an even stride would corrupt the same frame of
+    # the operation on every client retry and never converge.
+    corrupt_rmw = lambda: CorruptFramesPlan(corrupt_every=3)  # noqa: E731
+    untrusted = lambda: UntrustedSignerPlan(forgeries_per_batch=2)  # noqa: E731
+
+    # A 16-bit window with 16-token batches: each expired (unmarked) batch
+    # leaves an index gap wider than the whole window, so the marked batch
+    # after it slides the entire Alg. 2 window at once (the reset path).
+    tiny_window: dict[str, Any] = {"bitmap_bits": 16, "batch_size": 16}
+    multi = {"tenants": 3, "batch_size": 6, "params": {"demand_per_tenant": 10}}
+
+    return [
+        # flash-sale stampede (one-time argument tokens, zipf-skewed bots)
+        spec("flash-sale", "none", none, seed=1),
+        spec("flash-sale", "leader-crash", crash, seed=2),
+        spec("flash-sale", "leader-partition", part, seed=3),
+        spec("flash-sale", "equivocating-counter", equiv, seed=4),
+        spec("flash-sale", "untrusted-signer", untrusted, seed=5),
+        # replay storm (non-one-time: issuance-side replay pressure)
+        spec("replay-storm", "none", none, seed=6),
+        spec("replay-storm", "transient-timeouts", timeouts, seed=7),
+        spec("replay-storm", "corrupt-frames", corrupt, seed=8),
+        spec("replay-storm", "untrusted-signer", untrusted, seed=9),
+        # multi-contract fan-out sharing one TS fleet
+        spec("fan-out", "none", none, tenants=3, seed=10),
+        spec("fan-out", "leader-crash", crash, tenants=3, seed=11),
+        spec("fan-out", "transient-timeouts", timeouts, tenants=3, seed=12),
+        spec("fan-out", "stale-leader", stale, tenants=2, seed=13),
+        # one-time state stress with mid-batch reverts
+        spec("state-stress", "none", none, accounts_per_tenant=8, seed=14),
+        spec("state-stress", "leader-partition", part, accounts_per_tenant=8, seed=15),
+        spec("state-stress", "equivocating-counter", equiv, accounts_per_tenant=8, seed=16),
+        # token-expiry avalanche + whole-window bitmap slides
+        spec("expiry-avalanche", "none", none, batches=6, **tiny_window, seed=17),
+        spec("expiry-avalanche", "leader-crash", crash, batches=6, **tiny_window, seed=18),
+        spec("expiry-avalanche", "stale-leader", stale, batches=6, **tiny_window, seed=19),
+        # rule-churn storms against the epoch-guarded update path
+        spec("rule-churn", "none", none, seed=20),
+        spec("rule-churn", "transient-timeouts", timeouts, seed=21),
+        spec("rule-churn", "corrupt-frames", corrupt_rmw, seed=22),
+        # multi-tenant fairness under one TS fleet
+        spec("multi-tenant", "none", none, seed=23, **multi),
+        spec("multi-tenant", "leader-crash", crash, seed=24, **multi),
+        spec("multi-tenant", "leader-partition", part, seed=25, **multi),
+        spec("multi-tenant", "untrusted-signer", untrusted, seed=26, **multi),
+    ]
+
+
+#: the small, fast subset the CI smoke lane runs on every push
+SMOKE_CELLS = [
+    "flash-sale/none",
+    "replay-storm/corrupt-frames",
+    "fan-out/stale-leader",
+    "state-stress/equivocating-counter",
+    "multi-tenant/untrusted-signer",
+]
+
+
+def run_matrix(
+    cells: "Sequence[str] | None" = None,
+    progress: "Callable[[str], None] | None" = None,
+) -> dict[str, Any]:
+    """Run the selected cells (all by default); raises on any violated invariant."""
+    specs = default_cells()
+    if cells is not None:
+        wanted = list(cells)
+        by_name = {spec.name: spec for spec in specs}
+        missing = [name for name in wanted if name not in by_name]
+        if missing:
+            raise KeyError(f"unknown cells {missing}; see --list for the matrix")
+        specs = [by_name[name] for name in wanted]
+
+    records = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec.name)
+        records.append(run_cell(spec))
+
+    return {
+        "benchmark": "scenarios",
+        "cells": records,
+        "summary": {
+            "cells_run": len(records),
+            "byzantine_cells": sum(1 for r in records if r["byzantine"]),
+            "workloads": sorted({r["workload"] for r in records}),
+            "faults": sorted({r["fault"] for r in records}),
+            "tokens_issued": sum(r["tokens_issued"] for r in records),
+            "txs_executed": sum(r["txs_executed"] for r in records),
+            "forged_attempted": sum(r["forged_attempted"] for r in records),
+            "forged_accepted": 0,  # the trusted-signer invariant enforces this
+            "invariants_checked": sum(len(r["invariants"]) for r in records),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.matrix",
+        description="Run the adversarial scenario matrix (workloads x faults).",
+    )
+    parser.add_argument(
+        "--cells",
+        help="comma-separated cell names (default: the full matrix)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help=f"run the CI smoke subset {SMOKE_CELLS}"
+    )
+    parser.add_argument("--list", action="store_true", help="list cells and exit")
+    parser.add_argument("--out", help="write the JSON report to this path")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in default_cells():
+            plan = spec.fault()
+            marker = " [byzantine]" if plan.byzantine else ""
+            print(f"{spec.name}{marker}")
+        return 0
+
+    cells: "list[str] | None" = None
+    if args.smoke:
+        cells = list(SMOKE_CELLS)
+    if args.cells:
+        cells = (cells or []) + [name.strip() for name in args.cells.split(",") if name.strip()]
+
+    progress = None if args.quiet else (lambda name: print(f"cell {name} ...", flush=True))
+    report = run_matrix(cells=cells, progress=progress)
+
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if not args.quiet:
+        summary = report["summary"]
+        print(
+            f"{summary['cells_run']} cells ({summary['byzantine_cells']} byzantine), "
+            f"{summary['tokens_issued']} tokens issued, "
+            f"{summary['txs_executed']} txs executed, "
+            f"{summary['forged_attempted']} forgeries all rejected"
+        )
+    if not args.out and args.quiet:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

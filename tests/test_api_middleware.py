@@ -64,6 +64,35 @@ def test_rate_limiter_without_clock_refills_on_injected_time(service, recorder, 
     assert limited.submit(_request(recorder, alice))[0].issued
 
 
+def test_rate_limiter_partial_grant_preserves_order_and_suffix(chain, service, recorder):
+    """``0 < allowed < len(batch)``: the granted prefix is issued in request
+    order and the RATE_LIMITED failures are *exactly* the suffix."""
+    clients = [chain.create_account(seed=f"pg-{i}") for i in range(5)]
+    batch = [_request(recorder, client) for client in clients]
+    limited = RateLimiter(service, rate_per_second=1, burst=3, clock=chain.clock)
+
+    results = limited.submit(batch)
+    assert len(results) == len(batch)
+    # Positional identity: result i answers request i, issued or not.
+    assert [result.request for result in results] == batch
+    assert [result.issued for result in results] == [True, True, True, False, False]
+    for result in results[:3]:
+        assert result.token is not None and result.error is None
+    for result in results[3:]:
+        assert result.token is None
+        assert result.code is ErrorCode.RATE_LIMITED
+        assert result.error.retryable
+    assert limited.layer_stats() == {"admitted": 3, "limited": 2}
+
+    # A partial refill produces another partial grant, same shape.
+    chain.clock.advance(2)  # 2 bucket tokens at 1/s
+    again = limited.submit(batch[:4])
+    assert [result.request for result in again] == batch[:4]
+    assert [result.issued for result in again] == [True, True, False, False]
+    assert all(result.code is ErrorCode.RATE_LIMITED for result in again[2:])
+    assert limited.layer_stats() == {"admitted": 5, "limited": 4}
+
+
 def test_rate_limiter_validates_parameters(service):
     with pytest.raises(ValueError):
         RateLimiter(service, rate_per_second=0, burst=1)

@@ -1,0 +1,167 @@
+"""The adversarial scenario matrix: smoke cells inline, the full grid slow.
+
+Every cell is a (workload x fault) pairing run end-to-end through the
+issuance stack, the mempool and the chain, with the SMACS safety invariants
+(no one-time index accepted twice, no token from an untrusted signer,
+per-tenant fairness, clean mempool books) asserted inside ``run_cell`` --
+a cell that returns at all has already survived them.  These tests pin the
+matrix's shape, determinism and the fault signal each plan must produce.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.workloads.matrix import (
+    SMOKE_CELLS,
+    CellSpec,
+    default_cells,
+    main,
+    run_cell,
+    run_matrix,
+)
+
+
+def _cells_by_name():
+    return {spec.name: spec for spec in default_cells()}
+
+
+# --- matrix shape -------------------------------------------------------------------
+
+
+def test_default_matrix_is_wide_enough():
+    specs = default_cells()
+    names = [spec.name for spec in specs]
+    assert len(names) == len(set(names))  # cell names are unique
+    assert len(specs) >= 20
+    byzantine = [spec for spec in specs if spec.fault().byzantine]
+    assert len(byzantine) >= 3
+    workloads = {spec.workload for spec in specs}
+    assert {"flash-sale", "replay-storm", "fan-out", "state-stress",
+            "expiry-avalanche", "rule-churn", "multi-tenant"} <= workloads
+    assert set(SMOKE_CELLS) <= set(names)
+
+
+def test_every_workload_has_a_no_fault_baseline():
+    specs = default_cells()
+    workloads = {spec.workload for spec in specs}
+    baselines = {spec.workload for spec in specs if spec.fault_name == "none"}
+    assert baselines == workloads
+
+
+# --- smoke cells (one per workload family, the CI lane) -----------------------------
+
+
+def test_smoke_flash_sale_baseline_runs_clean():
+    record = run_cell(_cells_by_name()["flash-sale/none"])
+    assert record["invariants"]["no_duplicate_one_time_index"]
+    assert record["invariants"]["trusted_signer_only"]
+    assert record["token_txs_succeeded"] > 0
+    assert record["forged_attempted"] >= 1  # the canary rode along
+    assert record["mempool_accounting"]["accounting_underflows"] == 0
+
+
+def test_smoke_corrupt_frames_cell_resends_and_survives():
+    record = run_cell(_cells_by_name()["replay-storm/corrupt-frames"])
+    assert record["fault_observations"]["frames_corrupted"] > 0
+    assert record["frame_resends"] > 0  # damaged frames were re-sent, not lost
+    assert record["token_txs_succeeded"] > 0
+
+
+def test_smoke_stale_leader_cell_proves_zombie_answers_inert():
+    record = run_cell(_cells_by_name()["fan-out/stale-leader"])
+    observed = record["fault_observations"]
+    assert observed["zombie_answers"] > 0  # the deposed leader kept talking
+    assert observed["zombie_results"] == 0  # and none of it ever committed
+    assert record["token_txs_succeeded"] > 0
+
+
+def test_smoke_equivocation_cell_screens_duplicate_indexes():
+    record = run_cell(_cells_by_name()["state-stress/equivocating-counter"])
+    observed = record["fault_observations"]
+    assert observed["duplicates_injected"] > 0
+    # The invariant held *because* the duplicates were screened before the
+    # chain: the pool's reservation table rejected them at admission.
+    assert record["invariants"]["no_duplicate_one_time_index"]
+    assert "duplicate one-time index in pool" in record["rejected"]
+
+
+def test_smoke_untrusted_signer_cell_rejects_every_forgery():
+    record = run_cell(_cells_by_name()["multi-tenant/untrusted-signer"])
+    assert record["forged_attempted"] > record["batches"]  # plan + canary
+    assert record["invariants"]["trusted_signer_only"]
+    fairness = record["fairness"]
+    assert max(fairness["admitted"]) - min(fairness["admitted"]) <= 1
+    assert sum(fairness["limited"]) > 0
+
+
+def test_expiry_avalanche_slides_the_bitmap_window():
+    record = run_cell(_cells_by_name()["expiry-avalanche/none"])
+    assert record["bitmap_window"]["start"] > 0  # the whole window moved
+    assert record["token_txs_failed_onchain"] > 0  # TOCTOU casualties
+    assert record["token_txs_succeeded"] > 0  # long-lived traffic unharmed
+
+
+# --- determinism and the CLI --------------------------------------------------------
+
+
+def test_cells_are_deterministic():
+    spec = _cells_by_name()["flash-sale/none"]
+    assert run_cell(spec) == run_cell(spec)
+
+
+def test_cli_writes_the_selected_cells(tmp_path):
+    out = tmp_path / "scenarios.json"
+    code = main(["--cells", "flash-sale/none", "--out", str(out), "--quiet"])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "scenarios"
+    assert [cell["cell"] for cell in payload["cells"]] == ["flash-sale/none"]
+    assert payload["summary"]["forged_accepted"] == 0
+
+
+def test_cli_rejects_unknown_cells():
+    with pytest.raises(KeyError):
+        main(["--cells", "no-such/cell", "--quiet"])
+
+
+def test_custom_cell_spec_runs_outside_the_default_grid():
+    spec = CellSpec(
+        workload="flash-sale",
+        fault=FaultPlan,
+        fault_name="none",
+        batches=2,
+        batch_size=4,
+        seed=99,
+    )
+    record = run_cell(spec)
+    assert record["cell"] == "flash-sale/none"
+    assert record["batches"] == 2
+
+
+# --- the full grid (slow lane; CI runs it separately) -------------------------------
+
+
+@pytest.mark.slow
+def test_full_matrix_all_invariants_hold():
+    report = run_matrix()
+    summary = report["summary"]
+    assert summary["cells_run"] >= 20
+    assert summary["byzantine_cells"] >= 3
+    assert summary["forged_accepted"] == 0
+    for record in report["cells"]:
+        for invariant, held in record["invariants"].items():
+            assert held, f"{record['cell']}: invariant {invariant} failed"
+        assert record["mempool_accounting"]["accounting_underflows"] == 0
+
+
+@pytest.mark.slow
+def test_full_matrix_matches_committed_baseline():
+    committed = json.loads(
+        open("benchmarks/baselines/BENCH_scenarios.json").read()
+    )
+    fresh = run_matrix()
+    assert fresh == committed
