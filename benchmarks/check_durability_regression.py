@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Fail CI when the durability engine regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_durability_regression.py \
+        benchmarks/baselines/BENCH_durability.json \
+        benchmarks/results/BENCH_durability.json \
+        [--tolerance 0.30]
+
+Compares the freshly measured ``durable_relative`` (machine-independent: a
+slower runner moves the durable and memory lanes together), the absolute
+``durable_tx_per_s`` and the ``recovery_tx_per_s`` replay rate against the
+committed baseline; a drop larger than the tolerance on any exits non-zero.
+When reference hardware legitimately changes, refresh the baseline by copying
+the new ``BENCH_durability.json`` over the committed one.
+"""
+
+from __future__ import annotations
+
+try:  # invoked as `python benchmarks/check_durability_regression.py`
+    from regression_gate import run_gate
+except ImportError:  # imported as part of the benchmarks package
+    from benchmarks.regression_gate import run_gate
+
+GATED_METRICS = ("durable_relative", "durable_tx_per_s", "recovery_tx_per_s")
+CONTEXT_METRICS = ("memory_tx_per_s", "wal_bytes_per_tx")
+
+
+def main() -> int:
+    return run_gate(
+        description=__doc__,
+        gated_metrics=GATED_METRICS,
+        context_metrics=CONTEXT_METRICS,
+        workload_keys=("clients", "blocks", "batch", "transactions"),
+        failure_title="durability regression",
+        baseline_path_hint="benchmarks/baselines/BENCH_durability.json",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

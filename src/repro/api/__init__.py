@@ -40,7 +40,13 @@ from repro.api.errors import (
     classify,
 )
 from repro.api.factory import PROFILES, build_service
-from repro.api.gateway import GatewayClient, InProcessTransport, ServiceGateway
+from repro.api.gateway import (
+    Backoff,
+    DEFAULT_RETRY_CODES,
+    GatewayClient,
+    InProcessTransport,
+    ServiceGateway,
+)
 from repro.api.middleware import (
     Audit,
     IssuerMiddleware,
@@ -56,10 +62,12 @@ from repro.api.transport import GatewayServer, TcpTransport, connect, dial, serv
 
 __all__ = [
     "Audit",
+    "Backoff",
     "CODECS",
     "CODEC_BINARY",
     "CODEC_JSON",
     "CounterTimeout",
+    "DEFAULT_RETRY_CODES",
     "ErrorCode",
     "GatewayClient",
     "GatewayServer",

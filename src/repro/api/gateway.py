@@ -27,6 +27,9 @@ runtime-verification rules stay an in-process feature.
 
 from __future__ import annotations
 
+import random
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.chain.address import Address, address_hex, to_address
@@ -196,6 +199,42 @@ class InProcessTransport:
         }
 
 
+@dataclass
+class Backoff:
+    """Bounded exponential backoff with full jitter for wire retries.
+
+    ``delay(attempt)`` draws uniformly from ``[0, min(cap, base * 2**attempt)]``
+    (the AWS "full jitter" scheme: staggers a thundering herd of retrying
+    clients instead of re-synchronising them on the failing service).  Both
+    the sleeper and the RNG are injectable so tests drive retries with zero
+    wall-clock and deterministic delays.
+    """
+
+    retries: int = 3
+    base: float = 0.05
+    cap: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=random.Random)
+
+    def delay(self, attempt: int) -> float:
+        bound = min(self.cap, self.base * (2 ** max(0, attempt)))
+        return self.rng.uniform(0.0, bound)
+
+    def pause(self, attempt: int) -> float:
+        delay = self.delay(attempt)
+        self.sleep(delay)
+        return delay
+
+
+#: codes a gateway client retries by default when given a :class:`Backoff`.
+#: Deliberately narrower than :data:`~repro.core.errors.RETRYABLE_CODES`:
+#: ``RATE_LIMITED`` is a *policy* answer, not an outage -- blind re-sends
+#: would fight the limiter for the tenant's own budget (and double-count
+#: denials in the fairness cells).  Callers that want the full set pass
+#: ``retry_codes=RETRYABLE_CODES`` explicitly.
+DEFAULT_RETRY_CODES = frozenset({ErrorCode.COUNTER_TIMEOUT, ErrorCode.UNAVAILABLE})
+
+
 class GatewayClient:
     """A :class:`~repro.api.protocol.TokenIssuer` that lives across the wire.
 
@@ -210,10 +249,22 @@ class GatewayClient:
     ``update_rules`` is read-modify-write with epoch-based conflict
     detection: on ``EXPIRED_RULESET`` the client re-reads and re-applies the
     mutation (bounded retries), so lost updates are impossible.
+
+    Passing a :class:`Backoff` turns on bounded retries for transient wire
+    failures: a :class:`~repro.core.errors.SmacsError` whose code is in
+    ``retry_codes`` (default :data:`DEFAULT_RETRY_CODES`) is re-sent after a
+    jittered pause, up to ``backoff.retries`` extra attempts.  Without a
+    backoff the client fails fast, exactly as before.
     """
 
     def __init__(
-        self, transport: Transport, route: str, *, wire_codec: str = codec.CODEC_JSON
+        self,
+        transport: Transport,
+        route: str,
+        *,
+        wire_codec: str = codec.CODEC_JSON,
+        backoff: "Backoff | None" = None,
+        retry_codes: "frozenset[ErrorCode] | None" = None,
     ) -> None:
         if wire_codec not in codec.CODECS:
             raise ValueError(
@@ -222,11 +273,29 @@ class GatewayClient:
         self.transport = transport
         self.route = route
         self.wire_codec = wire_codec
+        self.backoff = backoff
+        self.retry_codes = (
+            DEFAULT_RETRY_CODES if retry_codes is None else frozenset(retry_codes)
+        )
+        self.retries_performed = 0
         self._address: "Address | None" = None
 
     def _call(self, op: str, body: dict[str, Any]) -> dict[str, Any]:
         raw = codec.encode_request_envelope(op, self.route, body, codec=self.wire_codec)
-        return codec.decode_response_envelope(self.transport.send(raw))
+        attempt = 0
+        while True:
+            try:
+                return codec.decode_response_envelope(self.transport.send(raw))
+            except SmacsError as error:
+                if (
+                    self.backoff is None
+                    or error.code not in self.retry_codes
+                    or attempt >= self.backoff.retries
+                ):
+                    raise
+                self.backoff.pause(attempt)
+                attempt += 1
+                self.retries_performed += 1
 
     # -- TokenIssuer ----------------------------------------------------------
 
@@ -273,6 +342,10 @@ class GatewayClient:
             except SmacsError as error:
                 if error.code is not ErrorCode.EXPIRED_RULESET or attempt == max_retries - 1:
                     raise
+                if self.backoff is not None:
+                    # stagger contending rule writers the same way wire
+                    # retries stagger: full jitter, bounded by the cap
+                    self.backoff.pause(attempt)
 
     # -- conveniences ---------------------------------------------------------
 
@@ -288,4 +361,10 @@ class GatewayClient:
         self.transport.close()
 
 
-__all__ = ["GatewayClient", "InProcessTransport", "ServiceGateway"]
+__all__ = [
+    "Backoff",
+    "DEFAULT_RETRY_CODES",
+    "GatewayClient",
+    "InProcessTransport",
+    "ServiceGateway",
+]

@@ -19,15 +19,23 @@ class Block:
     timestamp: int
     transactions: list[Transaction] = field(default_factory=list)
     gas_used: int = 0
+    #: flat state-root commitment over the post-block world state; empty on
+    #: nodes running without a durability layer (see ``repro.storage``).
+    state_root: bytes = b""
 
     def hash(self) -> bytes:
-        """Block hash over the header and the contained transaction hashes."""
+        """Block hash over the header and the contained transaction hashes.
+
+        The state root is folded in only when present, so hashes of blocks
+        mined without a durability layer are unchanged.
+        """
         payload = (
             self.number.to_bytes(8, "big")
             + self.parent_hash
             + self.timestamp.to_bytes(8, "big")
             + self.gas_used.to_bytes(8, "big")
             + b"".join(tx.hash() for tx in self.transactions)
+            + self.state_root
         )
         return keccak256(payload)
 

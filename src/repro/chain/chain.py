@@ -69,6 +69,9 @@ class Blockchain:
         ]
         # Tracer factory can be overridden (runtime verification testnets do).
         self.trace_transactions = False
+        #: durability hook: called with the post-block world state inside
+        #: ``_mine`` to stamp ``Block.state_root`` (see ``repro.storage``).
+        self.state_root_provider: "Callable[[WorldState], bytes] | None" = None
 
     # -- basic accessors ----------------------------------------------------------
 
@@ -212,6 +215,8 @@ class Blockchain:
             block.gas_used += receipt.gas_used
             receipts.append(receipt)
             self.receipts[receipt.tx_hash] = receipt
+        if self.state_root_provider is not None:
+            block.state_root = self.state_root_provider(self.evm.state)
         self.blocks.append(block)
         self._checkpoints.append(
             _Checkpoint(self.evm.state.deep_copy(), dict(self.evm.contracts),
@@ -259,6 +264,21 @@ class Blockchain:
 
     def receipt_for(self, tx_hash: bytes) -> Receipt:
         return self.receipts[tx_hash]
+
+    # -- crash recovery ----------------------------------------------------------------------
+
+    def install_state(self, state: WorldState) -> None:
+        """Replace the world state wholesale (crash recovery / state sync).
+
+        The recovered state becomes the chain's single source of truth and,
+        as with :meth:`fork`, pre-existing per-block fork points collapse to
+        one checkpoint of the installed state: a recovered node resumes
+        forward from here, it does not replay the pre-crash fork history.
+        """
+        self.evm.state = state
+        self._checkpoints = [
+            _Checkpoint(state.deep_copy(), dict(self.evm.contracts), self.clock.now())
+        ]
 
     # -- forks and reorgs ------------------------------------------------------------------------
 

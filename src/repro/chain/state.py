@@ -38,6 +38,7 @@ path -- go through :meth:`deep_copy`.
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Iterator, Mapping
@@ -46,6 +47,66 @@ from repro.chain.address import Address
 
 #: Storage value types that can be shared between copies without cloning.
 _IMMUTABLE_SCALARS = (int, float, bool, str, bytes, frozenset, type(None))
+
+
+class JournalHazardError(RuntimeError):
+    """A stored mutable value was mutated behind the journal's back.
+
+    Raised only under the ``canary`` journal guard (see
+    :func:`set_journal_guard`): the undo record's fingerprint no longer
+    matches the object it journaled by reference, so a revert would restore
+    corrupted history.
+    """
+
+
+#: journal-guard mode: "" (off, the default), "copy" or "canary".
+#: Seeded from the ``SMACS_STATE_GUARD`` environment variable so test and
+#: debug runs can arm the guard without touching call sites.
+_GUARD_MODES = ("", "copy", "canary")
+_journal_guard = os.environ.get("SMACS_STATE_GUARD", "").strip().lower()
+if _journal_guard in ("off", "none", "0"):
+    _journal_guard = ""
+if _journal_guard not in _GUARD_MODES:
+    raise ValueError(
+        f"SMACS_STATE_GUARD={_journal_guard!r}: expected 'off', 'copy' or 'canary'"
+    )
+
+
+def set_journal_guard(mode: str) -> str:
+    """Arm or disarm the journaled-by-reference guard; returns the old mode.
+
+    ``"off"`` (production default) journals mutable storage values by
+    reference -- zero overhead, but in-place mutation of a stored mutable
+    object is invisible to rollback (the documented hazard).  ``"copy"``
+    deep-copies mutable old values into the journal, making reverts immune
+    to back-door mutation.  ``"canary"`` journals by reference but records
+    a ``repr`` fingerprint and raises :class:`JournalHazardError` from
+    ``revert_to`` when the object changed underneath the journal.
+    """
+    global _journal_guard
+    normalized = mode.strip().lower()
+    if normalized in ("off", "none", "0"):
+        normalized = ""
+    if normalized not in _GUARD_MODES:
+        raise ValueError(f"unknown journal guard mode {mode!r}")
+    previous = _journal_guard or "off"
+    _journal_guard = normalized
+    return previous
+
+
+def journal_guard() -> str:
+    """The active journal guard mode: ``"off"``, ``"copy"`` or ``"canary"``."""
+    return _journal_guard or "off"
+
+
+class _GuardedValue:
+    """A journaled-by-reference mutable value plus its canary fingerprint."""
+
+    __slots__ = ("value", "fingerprint")
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.fingerprint = repr(value)
 
 
 def _copy_value(value: Any) -> Any:
@@ -91,6 +152,21 @@ _SLOT = 5      # (tag, address, slot) -> old value (or _ABSENT)
 
 #: Sentinel recorded when a storage slot did not exist before the write.
 _ABSENT = object()
+
+
+def _journal_old_value(old: Any) -> Any:
+    """What to record in the undo journal for a storage slot's old value.
+
+    With the guard off this is the value itself (by reference).  Under
+    ``copy`` mutable values are cloned so reverts are immune to back-door
+    mutation; under ``canary`` they are wrapped with a fingerprint that
+    ``revert_to`` checks before restoring.
+    """
+    if old is _ABSENT or isinstance(old, _IMMUTABLE_SCALARS):
+        return old
+    if _journal_guard == "copy":
+        return _copy_value(old)
+    return _GuardedValue(old)
 
 
 class _AccountStore:
@@ -150,6 +226,16 @@ class _AccountStore:
 
     def increment_nonce(self, address: Address) -> None:
         self.account(address).nonce += 1
+
+    def set_nonce(self, address: Address, nonce: int) -> None:
+        """Set a nonce outright (state sync / crash recovery)."""
+        if nonce < 0:
+            raise ValueError("nonce cannot be negative")
+        self.account(address).nonce = nonce
+
+    def discard_account(self, address: Address) -> None:
+        """Remove an account record entirely (recovery/bootstrap only)."""
+        self._accounts.pop(address, None)
 
     # -- contract metadata ------------------------------------------------------
 
@@ -294,13 +380,38 @@ class WorldState(_AccountStore):
                 top[key] = record.code_size
         record.code_size = code_size
 
+    def set_nonce(self, address: Address, nonce: int) -> None:
+        if nonce < 0:
+            raise ValueError("nonce cannot be negative")
+        record = self.account(address)
+        top = self._top
+        if top is not None:
+            key = (_NONCE, address)
+            if key not in top:
+                top[key] = record.nonce
+        record.nonce = nonce
+
+    def discard_account(self, address: Address) -> None:
+        """Remove an account record entirely (recovery/bootstrap only).
+
+        Account removal has no undo record, so it is refused while any
+        checkpoint is open: it exists for rebuilding scratch states during
+        crash recovery, not for journaled execution.
+        """
+        if self._top is not None:
+            raise RuntimeError(
+                "discard_account is not journal-aware; close all checkpoints first"
+            )
+        self._accounts.pop(address, None)
+
     def storage_set(self, address: Address, slot: Any, value: Any) -> None:
         storage = self.account(address).storage
         top = self._top
         if top is not None:
             key = (_SLOT, address, slot)
             if key not in top:
-                top[key] = storage.get(slot, _ABSENT)
+                old = storage.get(slot, _ABSENT)
+                top[key] = _journal_old_value(old) if _journal_guard else old
         storage[slot] = value
 
     def storage_delete(self, address: Address, slot: Any) -> None:
@@ -309,7 +420,8 @@ class WorldState(_AccountStore):
         if top is not None:
             key = (_SLOT, address, slot)
             if key not in top:
-                top[key] = storage.get(slot, _ABSENT)
+                old = storage.get(slot, _ABSENT)
+                top[key] = _journal_old_value(old) if _journal_guard else old
         storage.pop(slot, None)
 
     # -- snapshots ----------------------------------------------------------------
@@ -340,6 +452,14 @@ class WorldState(_AccountStore):
                     if old is _ABSENT:
                         record.storage.pop(key[2], None)
                     else:
+                        if type(old) is _GuardedValue:
+                            if repr(old.value) != old.fingerprint:
+                                raise JournalHazardError(
+                                    f"storage slot {key[2]!r} of account "
+                                    f"0x{bytes(key[1]).hex()} was mutated in place "
+                                    "behind the journal (write through storage_set)"
+                                )
+                            old = old.value
                         record.storage[key[2]] = old
                 elif tag == _CREATED:
                     accounts.pop(key[1], None)
@@ -389,6 +509,26 @@ class WorldState(_AccountStore):
     def journal_records(self) -> int:
         """Total undo records across all open checkpoints."""
         return sum(len(checkpoint) for checkpoint in self._checkpoints)
+
+    def touched_since(self, snapshot_id: int) -> dict[Address, set]:
+        """Addresses (and their touched storage slots) written since a snapshot.
+
+        Aggregates the undo journals of ``snapshot_id`` and every checkpoint
+        above it into ``{address: {touched slot, ...}}``; an account whose
+        scalar fields (balance, nonce, flags) were touched appears with an
+        empty slot set.  This is the write-behind delta surface the
+        durability layer flushes at block boundaries -- O(records), and
+        purely observational (no journal state changes).
+        """
+        if not 0 <= snapshot_id < len(self._checkpoints):
+            raise ValueError(f"unknown snapshot {snapshot_id}")
+        touched: dict[Address, set] = {}
+        for checkpoint in self._checkpoints[snapshot_id:]:
+            for key in checkpoint:
+                slots = touched.setdefault(key[1], set())
+                if key[0] == _SLOT:
+                    slots.add(key[2])
+        return touched
 
 
 class ReferenceWorldState(_AccountStore):

@@ -6,7 +6,10 @@ Two layers:
   Raft leaders that keep answering, equivocating counters, corrupt-frame
   transports, untrusted twin signers);
 * :mod:`repro.faults.injectors` -- declarative :class:`FaultPlan` objects
-  that :mod:`repro.workloads.matrix` applies around a cell's load batches.
+  that :mod:`repro.workloads.matrix` applies around a cell's load batches;
+* :mod:`repro.faults.disk` -- disk-fault injectors that crash a durable
+  node at the write-ahead log's fsync boundary (crash-before-fsync, torn
+  writes, bit flips, stale logs) for the crash-restart cells.
 """
 
 from repro.faults.byzantine import (
@@ -15,8 +18,10 @@ from repro.faults.byzantine import (
     StaleLeaderCounter,
     untrusted_twin_service,
 )
+from repro.faults.disk import DISK_FAULT_MODES, DiskFaultInjector, SimulatedCrash
 from repro.faults.injectors import (
     CorruptFramesPlan,
+    DiskCrashPlan,
     EquivocationPlan,
     FaultPlan,
     LeaderCrashPlan,
@@ -29,8 +34,12 @@ from repro.faults.injectors import (
 __all__ = [
     "CorruptFramesPlan",
     "CorruptingTransport",
+    "DISK_FAULT_MODES",
+    "DiskCrashPlan",
+    "DiskFaultInjector",
     "EquivocatingCounter",
     "EquivocationPlan",
+    "SimulatedCrash",
     "FaultPlan",
     "LeaderCrashPlan",
     "PartitionPlan",

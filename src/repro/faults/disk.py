@@ -1,0 +1,99 @@
+"""Disk-fault harnesses: crash the node at the WAL's fsync boundary.
+
+The write-ahead log calls ``hooks.before_sync(wal)`` after flushing Python's
+buffers but *before* ``os.fsync`` -- exactly the window where a process
+crash separates "in the page cache" from "on stable storage".  A
+:class:`DiskFaultInjector` armed by a fault plan uses that window to arrange
+the post-crash disk image with the WAL's crash-surface helpers, then raises
+:class:`SimulatedCrash` to kill the simulated node mid-operation:
+
+``crash-before-fsync``
+    everything unsynced vanishes (clean page-cache loss) -- the canonical
+    kill-the-node-mid-block scenario;
+``torn-write``
+    the unsynced suffix is cut mid-record, leaving a torn tail that replay
+    must truncate;
+``bit-flip``
+    one byte of the unsynced suffix is flipped: the record is fully present
+    but its checksum is wrong, the other torn-tail shape;
+``stale-wal``
+    the file is cut *below* the synced prefix (a lying disk / restored-from-
+    an-old-image scenario): fsync'd block records are missing, which
+    recovery must refuse loudly rather than resume from silently.
+
+Injectors stay inert until :meth:`DiskFaultInjector.arm` so the runner can
+pick the exact batch boundary that dies, independent of how many fsyncs the
+workload happened to issue before it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected disk fault killed the simulated node mid-operation."""
+
+
+#: the fault modes :class:`DiskFaultInjector` understands
+DISK_FAULT_MODES = ("crash-before-fsync", "torn-write", "bit-flip", "stale-wal")
+
+
+class DiskFaultInjector:
+    """WAL hook that stages a disk-crash image at the next armed fsync."""
+
+    def __init__(self, mode: str = "crash-before-fsync", torn_fraction: float = 0.5):
+        if mode not in DISK_FAULT_MODES:
+            raise ValueError(f"unknown disk fault mode {mode!r} (expected {DISK_FAULT_MODES})")
+        if not 0.0 < torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be strictly between 0 and 1")
+        self.mode = mode
+        self.torn_fraction = torn_fraction
+        self.armed = False
+        self.crashed = False
+        self.syncs_seen = 0
+        #: record start offsets of fsync'd frames (for the stale-wal cut)
+        self._synced_marks: list[int] = []
+
+    def arm(self) -> None:
+        """The next fsync dies; call at the batch boundary that should crash."""
+        self.armed = True
+
+    # -- WriteAheadLog hooks protocol --------------------------------------------------
+
+    def before_sync(self, wal: Any) -> None:
+        self.syncs_seen += 1
+        if not self.armed or self.crashed:
+            self._synced_marks.append(wal.synced_size)
+            return
+        self.crashed = True
+        self.armed = False
+        if self.mode == "crash-before-fsync":
+            wal.discard_unsynced()
+        elif self.mode == "torn-write":
+            unsynced = wal.size - wal.synced_size
+            # keep a strict prefix of the dying write: at least one byte,
+            # never the whole thing (that would just be a clean loss)
+            keep = max(1, min(unsynced - 1, int(unsynced * self.torn_fraction)))
+            wal.truncate_to(wal.synced_size + keep)
+        elif self.mode == "bit-flip":
+            # flip a byte inside the record being written: the frame lands
+            # complete but its checksum no longer matches
+            offset = wal.synced_size + max(0, (wal.size - wal.synced_size) // 2)
+            wal.corrupt_byte(min(offset, wal.size - 1))
+        else:  # stale-wal
+            marks = [m for m in self._synced_marks if m < wal.synced_size]
+            cut = marks[-1] if marks else wal.synced_size // 2
+            wal.truncate_to(cut)
+        wal.mark_dead()
+        raise SimulatedCrash(f"disk fault '{self.mode}' at sync #{self.syncs_seen}")
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "syncs_seen": self.syncs_seen,
+            "crashed": self.crashed,
+        }
+
+
+__all__ = ["DISK_FAULT_MODES", "DiskFaultInjector", "SimulatedCrash"]

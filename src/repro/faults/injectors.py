@@ -35,6 +35,7 @@ from repro.faults.byzantine import (
     EquivocatingCounter,
     StaleLeaderCounter,
 )
+from repro.faults.disk import DiskFaultInjector
 
 
 class FaultPlan:
@@ -50,6 +51,10 @@ class FaultPlan:
     #: plans that act on the wire and need a gateway client between the load
     #: generators and the issuer (the transport seam)
     needs_transport_seam = False
+    #: plans that need a durable node (WAL + backend) so they can kill it
+    #: mid-workload and demand a recovery (the disk seam); the matrix runs
+    #: such cells through its two-phase crash-restart driver
+    needs_durability = False
 
     # -- stack assembly seams ---------------------------------------------------
 
@@ -58,6 +63,10 @@ class FaultPlan:
 
     def wrap_transport(self, transport: Any) -> Any:
         return transport
+
+    def disk_hooks(self) -> Any:
+        """WAL fault hooks for durable cells (None = clean disk)."""
+        return None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -298,8 +307,50 @@ class UntrustedSignerPlan(FaultPlan):
         return {"forged_txs": len(self.forged_hashes)}
 
 
+class DiskCrashPlan(FaultPlan):
+    """Kill the durable node at a block-commit fsync; demand a recovery.
+
+    The matrix's two-phase crash-restart driver builds a durable node with
+    this plan's WAL hooks, arms the injector at ``crash_after_batch``, and
+    expects the very next block commit to die with ``SimulatedCrash``.
+    Phase two rebuilds the node from disk and resumes the workload; the
+    block-derived invariants are then asserted across the restart boundary.
+
+    ``mode`` picks the disk image left behind (see
+    :mod:`repro.faults.disk`): clean page-cache loss, a torn write, or a
+    bit-flipped record.
+    """
+
+    kind = "disk"
+    needs_durability = True
+
+    def __init__(
+        self,
+        mode: str = "crash-before-fsync",
+        crash_after_batch: int = 1,
+        name: str = "crash-restart",
+    ):
+        self.name = name
+        self.mode = mode
+        self.crash_after_batch = crash_after_batch
+        self.harness: "DiskFaultInjector | None" = None
+
+    def disk_hooks(self) -> DiskFaultInjector:
+        self.harness = DiskFaultInjector(mode=self.mode)
+        return self.harness
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        harness_stats = self.harness.stats() if self.harness else {}
+        return {
+            "disk_fault_mode": self.mode,
+            "crashes": 1 if harness_stats.get("crashed") else 0,
+            "syncs_before_crash": harness_stats.get("syncs_seen", 0),
+        }
+
+
 __all__ = [
     "CorruptFramesPlan",
+    "DiskCrashPlan",
     "EquivocationPlan",
     "FaultPlan",
     "LeaderCrashPlan",

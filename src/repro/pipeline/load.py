@@ -58,6 +58,17 @@ class SmacsLoadGenerator:
         #: every arrival to become a transaction must check this counter).
         self.requests_failed = 0
 
+    def refresh_nonces(self) -> None:
+        """Re-read every account's nonce from the chain.
+
+        The generator caches nonces at construction for speed; after a crash
+        recovery installs a different world state (or anything else advances
+        nonces out-of-band), the cache is stale and every subsequent
+        transaction would be refused as ``bad nonce`` -- call this to
+        resynchronise before resuming load.
+        """
+        self._nonces = {account.address: account.nonce for account in self.accounts}
+
     # -- internals ----------------------------------------------------------------
 
     def _next_account(self) -> ExternallyOwnedAccount:

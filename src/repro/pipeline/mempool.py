@@ -158,6 +158,9 @@ class Mempool:
         self._inclusion_ref: "list[Transaction] | None" = None
         self._inclusion_len = -1
         self._inclusion_counts: dict[Address, int] = {}
+        #: called with each successfully admitted transaction -- the seam
+        #: the durability layer uses to write mempool WAL records.
+        self.admission_listener: "Any | None" = None
 
     # -- introspection ---------------------------------------------------------
 
@@ -210,6 +213,8 @@ class Mempool:
             )
         self._reserved_indexes.update(reservations)
         self.admitted_count += 1
+        if self.admission_listener is not None:
+            self.admission_listener(tx)
         return AdmissionDecision(True)
 
     def admit_many(self, txs: Iterable[Transaction]) -> list[AdmissionDecision]:

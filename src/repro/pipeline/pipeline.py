@@ -54,6 +54,10 @@ class ExecutionPipeline:
         self.executor = BlockExecutor(chain, signature_cache=self.signature_cache)
         self.blocks_executed = 0
         self.transactions_executed = 0
+        #: optional durability engine (``repro.storage.DurableStore``); set
+        #: by its ``attach()`` -- the pipeline only drives the block-commit
+        #: protocol, it never imports the storage layer.
+        self.durability = None
 
     # -- ingest -----------------------------------------------------------------
 
@@ -66,14 +70,26 @@ class ExecutionPipeline:
     # -- block production ----------------------------------------------------------
 
     def run_block(self, pre_warm: bool = True) -> "BlockResult | None":
-        """Pack and execute the next block; None when the pool is empty."""
+        """Pack and execute the next block; None when the pool is empty.
+
+        With a durability engine attached, ``begin_block`` opens the block's
+        journal checkpoint before execution and ``commit_block`` appends +
+        fsyncs the WAL record afterwards -- a crash between the two loses
+        only the in-memory block, which recovery rebuilds from the admission
+        log (the crash-before-fsync scenario of the fault matrix).
+        """
         plan = self.builder.build()
         if not plan:
             return None
+        durability = self.durability
+        if durability is not None:
+            durability.begin_block()
         result = self.executor.execute(plan.transactions, pre_warm=pre_warm)
         self.mempool.remove(plan.transactions)
         self.blocks_executed += 1
         self.transactions_executed += result.executed
+        if durability is not None:
+            durability.commit_block(self.chain.latest_block, result)
         return result
 
     def drain(self, pre_warm: bool = True, max_blocks: int = 10_000) -> list[BlockResult]:

@@ -1,0 +1,46 @@
+"""Durable state for the SMACS reproduction (WAL + pluggable backends).
+
+The layering follows py-evm's ``JournalDB``-over-``AtomicDB`` split:
+
+* :mod:`repro.storage.backend` -- the keyed atomic-batch store protocol
+  plus in-memory and SQLite implementations;
+* :mod:`repro.storage.wal` -- the checksummed, length-prefixed write-ahead
+  log with block-boundary fsyncs and torn-tail repair;
+* :mod:`repro.storage.codec` -- the canonical binary codec and the flat
+  state-root commitment;
+* :mod:`repro.storage.durable` -- :class:`DurableStore`, which wires all
+  of it under an :class:`~repro.pipeline.pipeline.ExecutionPipeline` and
+  owns the ``recover()`` path.
+
+Persistence is strictly an off-chain node concern: nothing here changes
+contract semantics or the paper's gas accounting.
+"""
+
+from repro.storage.backend import Backend, MemoryBackend, SQLiteBackend, open_backend
+from repro.storage.codec import StateRootTracker, state_root
+from repro.storage.durable import (
+    DurabilityError,
+    DurableStore,
+    RecoveredBlock,
+    RecoveryError,
+    RecoveryReport,
+)
+from repro.storage.wal import CorruptWal, ReplaySummary, WalError, WriteAheadLog
+
+__all__ = [
+    "Backend",
+    "CorruptWal",
+    "DurabilityError",
+    "DurableStore",
+    "MemoryBackend",
+    "RecoveredBlock",
+    "RecoveryError",
+    "RecoveryReport",
+    "ReplaySummary",
+    "SQLiteBackend",
+    "StateRootTracker",
+    "WalError",
+    "WriteAheadLog",
+    "open_backend",
+    "state_root",
+]

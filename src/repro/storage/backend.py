@@ -1,0 +1,159 @@
+"""Pluggable keyed storage backends (the ``AtomicDB`` layer).
+
+The durability stack follows py-evm's layering: the journaled
+:class:`~repro.chain.state.WorldState` plays the ``JournalDB`` role in RAM,
+and a :class:`Backend` underneath is the dumb, keyed, atomic-batch store
+that compacted snapshots land in.  Backends know nothing about accounts or
+blocks -- they move opaque ``bytes -> bytes`` pairs -- which keeps the
+protocol small enough that an in-memory dict and a SQLite file are both
+complete implementations.
+
+``flush()`` is the atomicity point: writes and deletes buffer in RAM until
+then, and a backend must make the whole buffered batch visible atomically
+(SQLite gets this from a transaction; the in-memory backend from a single
+dict update under the GIL).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Minimal keyed store the durability layer compacts into."""
+
+    def get(self, key: bytes) -> "bytes | None":
+        """Return the value for ``key`` or ``None`` (buffered writes visible)."""
+        ...
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Buffer a write; durable only after :meth:`flush`."""
+        ...
+
+    def delete(self, key: bytes) -> None:
+        """Buffer a delete; absent keys are ignored."""
+        ...
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all pairs (buffered state included), unspecified order."""
+        ...
+
+    def flush(self) -> None:
+        """Atomically persist every buffered write and delete."""
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class MemoryBackend:
+    """Dict-backed backend -- the test double and the volatile default."""
+
+    def __init__(self) -> None:
+        self._committed: dict[bytes, bytes] = {}
+        self._writes: dict[bytes, "bytes | None"] = {}
+        self.flushes = 0
+
+    def get(self, key: bytes) -> "bytes | None":
+        if key in self._writes:
+            return self._writes[key]
+        return self._committed.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._writes[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._writes[key] = None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        merged = dict(self._committed)
+        for key, value in self._writes.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        yield from merged.items()
+
+    def flush(self) -> None:
+        for key, value in self._writes.items():
+            if value is None:
+                self._committed.pop(key, None)
+            else:
+                self._committed[key] = value
+        self._writes.clear()
+        self.flushes += 1
+
+    def close(self) -> None:
+        self._writes.clear()
+
+
+class SQLiteBackend:
+    """Durable backend on stdlib ``sqlite3`` (one table of blob pairs).
+
+    The connection runs with ``synchronous=FULL`` so a committed flush is
+    on stable storage; the WAL above this layer is what amortises fsyncs,
+    so the backend itself can afford to be strict.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA synchronous=FULL")
+        self._conn.execute("CREATE TABLE IF NOT EXISTS kv (k BLOB PRIMARY KEY, v BLOB NOT NULL)")
+        self._conn.commit()
+        self._writes: dict[bytes, "bytes | None"] = {}
+        self.flushes = 0
+
+    def get(self, key: bytes) -> "bytes | None":
+        if key in self._writes:
+            return self._writes[key]
+        row = self._conn.execute("SELECT v FROM kv WHERE k = ?", (key,)).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._writes[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._writes[key] = None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        seen = set(self._writes)
+        for row in self._conn.execute("SELECT k, v FROM kv"):
+            key = bytes(row[0])
+            if key not in seen:
+                yield key, bytes(row[1])
+        for key, value in self._writes.items():
+            if value is not None:
+                yield key, value
+
+    def flush(self) -> None:
+        with self._conn:  # one transaction == one atomic batch
+            for key, value in self._writes.items():
+                if value is None:
+                    self._conn.execute("DELETE FROM kv WHERE k = ?", (key,))
+                else:
+                    self._conn.execute(
+                        "INSERT INTO kv (k, v) VALUES (?, ?) "
+                        "ON CONFLICT(k) DO UPDATE SET v = excluded.v",
+                        (key, value),
+                    )
+        self._writes.clear()
+        self.flushes += 1
+
+    def close(self) -> None:
+        self._writes.clear()
+        self._conn.close()
+
+
+def open_backend(kind: str, path: str) -> Backend:
+    """Factory for the backend kinds the durability layer accepts."""
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite":
+        return SQLiteBackend(path)
+    raise ValueError(f"unknown backend kind: {kind!r} (expected 'memory' or 'sqlite')")
+
+
+__all__ = ["Backend", "MemoryBackend", "SQLiteBackend", "open_backend"]

@@ -1,0 +1,343 @@
+"""Canonical binary codec for durable records and state commitments.
+
+Everything the durability layer writes to disk -- WAL records, backend
+snapshots, per-block deltas -- goes through one deterministic encoding so
+that byte-identical inputs always produce byte-identical records and the
+flat state root is reproducible across restarts.
+
+The value codec is a small TLV scheme (one tag byte, varint lengths) over
+the closed set of types the reproduction actually stores: ``None``, bools,
+arbitrary-precision ints, bytes, str, floats, tuples, lists and dicts.
+Dict entries are sorted by their *encoded key bytes*, which makes the
+encoding canonical without demanding orderable heterogeneous keys.
+
+The state commitment is deliberately flat (ROADMAP: trie-backed state is a
+separate open item): every account folds to a 32-byte sha256 digest of its
+canonical encoding, and the root is the sha256 of the XOR of all account
+digests.  XOR-folding makes the root order-independent and lets
+:class:`StateRootTracker` update it in O(touched accounts) per block while
+a full O(N) recompute stays available as the recovery cross-check.  sha256
+(not the pure-Python keccak used for consensus artifacts) keeps the
+durability hot path at C speed; the commitment is strictly off-chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+from repro.chain.state import AccountState
+from repro.chain.transaction import Signature, Transaction
+
+# -- value codec ---------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_BYTES = 0x04
+_T_STR = 0x05
+_T_FLOAT = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+
+
+class CodecError(ValueError):
+    """Raised when a value cannot be encoded or a buffer cannot be decoded."""
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(raw: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(raw):
+            raise CodecError("truncated varint")
+        byte = raw[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        out.append(_T_INT)
+        # zigzag so negative ints get a canonical varint form
+        _write_varint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+    elif type(value) is bytes:
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif type(value) is str:
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(encoded))
+        out += encoded
+    elif type(value) is float:
+        import struct
+
+        out.append(_T_FLOAT)
+        out += struct.pack(">d", value)
+    elif type(value) is tuple or type(value) is list:
+        out.append(_T_TUPLE if type(value) is tuple else _T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        entries = []
+        for key, item in value.items():
+            key_buf = bytearray()
+            _encode_into(key_buf, key)
+            item_buf = bytearray()
+            _encode_into(item_buf, item)
+            entries.append((bytes(key_buf), bytes(item_buf)))
+        entries.sort(key=lambda entry: entry[0])
+        for key_bytes, item_bytes in entries:
+            out += key_bytes
+            out += item_bytes
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__} canonically")
+
+
+def encode_value(value: Any) -> bytes:
+    """Canonically encode ``value``; equal values always yield equal bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _decode_at(raw: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(raw):
+        raise CodecError("truncated value")
+    tag = raw[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        zig, pos = _read_varint(raw, pos)
+        return (-((zig + 1) >> 1) if zig & 1 else zig >> 1), pos
+    if tag == _T_BYTES or tag == _T_STR:
+        length, pos = _read_varint(raw, pos)
+        if pos + length > len(raw):
+            raise CodecError("truncated bytes payload")
+        payload = raw[pos : pos + length]
+        return (payload if tag == _T_BYTES else payload.decode("utf-8")), pos + length
+    if tag == _T_FLOAT:
+        import struct
+
+        if pos + 8 > len(raw):
+            raise CodecError("truncated float payload")
+        return struct.unpack(">d", raw[pos : pos + 8])[0], pos + 8
+    if tag == _T_TUPLE or tag == _T_LIST:
+        count, pos = _read_varint(raw, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_at(raw, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        count, pos = _read_varint(raw, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _decode_at(raw, pos)
+            value, pos = _decode_at(raw, pos)
+            result[key] = value
+        return result, pos
+    raise CodecError(f"unknown tag 0x{tag:02x}")
+
+
+def decode_value(raw: bytes) -> Any:
+    """Decode one canonical value; trailing bytes are an error."""
+    value, pos = _decode_at(raw, 0)
+    if pos != len(raw):
+        raise CodecError(f"{len(raw) - pos} trailing bytes after value")
+    return value
+
+
+# -- transactions --------------------------------------------------------------------
+
+
+def _canonical_arg(value: Any) -> Any:
+    """Flatten structured call arguments to their wire bytes.
+
+    Tokens and bundles ride in ``tx.kwargs`` as live objects; the ABI layer
+    canonicalises them through ``to_bytes()`` when hashing, so substituting
+    the raw bytes here keeps ``calldata`` -- and therefore the transaction
+    hash and its signature -- identical across a WAL round trip.
+    """
+    to_bytes = getattr(value, "to_bytes", None)
+    if callable(to_bytes) and not isinstance(value, (int, float)):
+        return to_bytes()
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_arg(item) for item in value)
+    return value
+
+
+def encode_transaction(tx: Transaction) -> bytes:
+    """Serialize a signed transaction for the WAL (full round trip)."""
+    return encode_value(
+        {
+            "s": tx.sender,
+            "t": tx.to,
+            "n": tx.nonce,
+            "m": tx.method,
+            "a": tuple(_canonical_arg(arg) for arg in tx.args),
+            "k": {key: _canonical_arg(val) for key, val in tx.kwargs.items()},
+            "v": tx.value,
+            "g": tx.gas_limit,
+            "p": tx.gas_price,
+            "x": tx.signature.to_bytes() if tx.signature is not None else b"",
+        }
+    )
+
+
+def decode_transaction(raw: bytes) -> Transaction:
+    fields = decode_value(raw)
+    if not isinstance(fields, dict):
+        raise CodecError("transaction record is not a dict")
+    signature = Signature.from_bytes(fields["x"]) if fields["x"] else None
+    return Transaction(
+        sender=fields["s"],
+        to=fields["t"],
+        nonce=fields["n"],
+        method=fields["m"],
+        args=tuple(fields["a"]),
+        kwargs=dict(fields["k"]),
+        value=fields["v"],
+        gas_limit=fields["g"],
+        gas_price=fields["p"],
+        signature=signature,
+    )
+
+
+# -- accounts and the flat state root ------------------------------------------------
+
+
+def encode_account(record: AccountState) -> bytes:
+    """Canonical encoding of one account (storage slots sorted via the codec)."""
+    return encode_value(
+        {
+            "b": record.balance,
+            "n": record.nonce,
+            "c": record.is_contract,
+            "z": record.code_size,
+            "s": dict(record.storage),
+        }
+    )
+
+
+def decode_account(raw: bytes) -> AccountState:
+    fields = decode_value(raw)
+    record = AccountState(
+        balance=fields["b"],
+        nonce=fields["n"],
+        is_contract=fields["c"],
+        code_size=fields["z"],
+    )
+    record.storage.update(fields["s"])
+    return record
+
+
+def account_digest(address: bytes, record: AccountState) -> bytes:
+    """32-byte digest binding an address to its canonical account encoding."""
+    return hashlib.sha256(address + encode_account(record)).digest()
+
+
+_EMPTY_ACCUMULATOR = 0
+
+
+def _fold(digests: Iterable[bytes]) -> int:
+    acc = _EMPTY_ACCUMULATOR
+    for digest in digests:
+        acc ^= int.from_bytes(digest, "big")
+    return acc
+
+
+def state_root(state: Any) -> bytes:
+    """Full O(N) recompute of the flat state root (the recovery cross-check).
+
+    ``state`` is any object with the ``_AccountStore`` read surface:
+    ``addresses()`` and ``account(addr)``.  Reads go through ``addresses()``
+    first so no account is created as a side effect.
+    """
+    acc = _fold(account_digest(addr, state.account(addr)) for addr in state.addresses())
+    return hashlib.sha256(acc.to_bytes(32, "big")).digest()
+
+
+class StateRootTracker:
+    """Incrementally maintained flat state root (O(touched) per block).
+
+    Keeps the per-account digest map and the XOR accumulator; a block's
+    touched-address set is folded in by removing each stale digest and
+    adding the fresh one.  ``root`` then hashes the accumulator.
+    """
+
+    def __init__(self) -> None:
+        self._digests: dict[bytes, bytes] = {}
+        self._acc = _EMPTY_ACCUMULATOR
+
+    @classmethod
+    def from_state(cls, state: Any) -> "StateRootTracker":
+        tracker = cls()
+        for addr in state.addresses():
+            digest = account_digest(addr, state.account(addr))
+            tracker._digests[addr] = digest
+            tracker._acc ^= int.from_bytes(digest, "big")
+        return tracker
+
+    def update(self, state: Any, touched: Iterable[bytes]) -> None:
+        """Re-fold every address in ``touched`` against the live state."""
+        for addr in touched:
+            stale = self._digests.pop(addr, None)
+            if stale is not None:
+                self._acc ^= int.from_bytes(stale, "big")
+            if state.has_account(addr):
+                fresh = account_digest(addr, state.account(addr))
+                self._digests[addr] = fresh
+                self._acc ^= int.from_bytes(fresh, "big")
+
+    @property
+    def root(self) -> bytes:
+        return hashlib.sha256(self._acc.to_bytes(32, "big")).digest()
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+
+__all__ = [
+    "CodecError",
+    "StateRootTracker",
+    "account_digest",
+    "decode_account",
+    "decode_transaction",
+    "decode_value",
+    "encode_account",
+    "encode_transaction",
+    "encode_value",
+    "state_root",
+]

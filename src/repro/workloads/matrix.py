@@ -45,7 +45,9 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import shutil
 import sys
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -66,8 +68,10 @@ from repro.core.wallet import OwnerWallet
 from repro.crypto.keys import KeyPair, recover_address
 from repro.crypto.sigcache import SignatureCache
 from repro.faults.byzantine import untrusted_twin_service
+from repro.faults.disk import SimulatedCrash
 from repro.faults.injectors import (
     CorruptFramesPlan,
+    DiskCrashPlan,
     EquivocationPlan,
     FaultPlan,
     LeaderCrashPlan,
@@ -78,6 +82,8 @@ from repro.faults.injectors import (
 )
 from repro.pipeline.load import DEFAULT_CALL_GAS_LIMIT, SmacsLoadGenerator
 from repro.pipeline.pipeline import ExecutionPipeline
+from repro.storage import DurableStore
+from repro.storage.codec import state_root
 from repro.workloads.generator import ScenarioMix, flash_sale_bursts, replay_storm
 
 
@@ -207,8 +213,8 @@ class _ResendingClient:
 # ---------------------------------------------------------------------------
 
 
-def _build_env(spec: CellSpec) -> CellEnv:
-    plan = spec.fault()
+def _build_env(spec: CellSpec, plan: "FaultPlan | None" = None) -> CellEnv:
+    plan = plan if plan is not None else spec.fault()
     chain = Blockchain(auto_mine=False)
     # A private signature cache isolates cells from each other AND from the
     # process-global DEFAULT_SIGNATURE_CACHE: a recovery cached by an earlier
@@ -663,10 +669,158 @@ def _check_fairness(env: CellEnv) -> "dict[str, Any] | None":
 # ---------------------------------------------------------------------------
 
 
+def _run_crash_restart_cell(spec: CellSpec, plan: DiskCrashPlan) -> dict[str, Any]:
+    """Two-phase crash-restart cell: kill a durable node mid-workload, recover.
+
+    Phase one runs the workload on a pipeline backed by a
+    :class:`~repro.storage.DurableStore` whose WAL carries the plan's disk
+    fault hooks; the injector is armed right before the crash batch's block
+    commit, so the fsync that would make that block durable dies instead
+    (crash-before-fsync / torn-write / bit-flip images).  Phase two builds a
+    *fresh* node with the same deployment recipe, recovers it from the disk
+    image, drains the re-admitted mempool survivors (the crashed batch was
+    fsync'd at admission, so no accepted work is lost), fast-forwards the
+    counter fleet from the highest durable one-time index, and resumes the
+    remaining workload batches.  The block-derived invariants are then
+    asserted over the union of durable pre-crash blocks and post-restart
+    blocks -- one-time uniqueness and trusted-signer across the restart
+    boundary -- and the last block's state root must match a full
+    recomputation over the live state.
+    """
+    workdir = tempfile.mkdtemp(prefix="smacs-wal-")
+    store1: "DurableStore | None" = None
+    store2: "DurableStore | None" = None
+    try:
+        # -- phase 1: durable node under load, killed at a block-commit fsync --
+        env1 = _build_env(spec, plan)
+        store1 = DurableStore(
+            workdir, "sqlite", fsync_on_admit=True, hooks=plan.disk_hooks()
+        )
+        store1.attach(env1.pipeline)
+        thunks = WORKLOADS[spec.workload](env1)
+        crash_at = min(plan.crash_after_batch, len(thunks) - 1)
+        txs_built = 0
+        crashed = False
+        for batch_no, thunk in enumerate(thunks[: crash_at + 1]):
+            txs = thunk()
+            txs_built += len(txs)
+            env1.pipeline.ingest(txs)
+            if batch_no == crash_at:
+                assert plan.harness is not None
+                plan.harness.arm()
+            try:
+                env1.pipeline.run_block()
+            except SimulatedCrash:
+                crashed = True
+                break
+        if not crashed:
+            raise InvariantViolation(
+                f"[{spec.name}] armed disk fault never fired: batch {crash_at} "
+                "committed without reaching the WAL fsync boundary"
+            )
+        durable_blocks_committed = store1.blocks_committed
+        store1.close()
+
+        # -- phase 2: fresh node, recover from the crash image, resume --------
+        env2 = _build_env(spec, FaultPlan())
+        store2 = DurableStore(workdir, "sqlite", fsync_on_admit=True)
+        report = store2.recover_into(env2.pipeline)
+        store2.attach(env2.pipeline)
+        # The crashed batch survives as fsync'd admission records; recovery
+        # re-admitted it, so draining now executes it exactly once.
+        env2.pipeline.drain()
+        # The TS fleet recovers its issuance counter the same way the node
+        # recovered its state: from the durable record (highest committed
+        # one-time index), so fresh tokens can never reuse an accepted index.
+        base2 = env2.extra["base_service"]
+        base2.counter.restore(report.max_one_time_index + 1)
+        for generator in env2.generators:
+            generator.refresh_nonces()
+        thunks2 = WORKLOADS[spec.workload](env2)
+        for thunk in thunks2[crash_at + 1 :]:
+            txs = thunk()
+            txs_built += len(txs)
+            env2.pipeline.ingest(txs)
+            env2.pipeline.run_block()
+        canary_tx = env2.forge_tx()
+        txs_built += 1
+        env2.pipeline.ingest([canary_tx])
+        env2.pipeline.drain()
+
+        # -- invariants across the restart boundary ---------------------------
+        combined = report.accepted_token_calls() + _accepted_token_calls(env2)
+        one_time_accepted = _check_no_duplicate_one_time(env2, combined)
+        _check_trusted_signer(env2, combined)
+        _check_counter_agreement(env2)
+        accounting = _check_mempool_accounting(env2)
+        latest = env2.chain.latest_block
+        if not latest.state_root:
+            raise InvariantViolation(
+                f"[{spec.name}] recovered node mined a block without a state root"
+            )
+        if latest.state_root != state_root(env2.chain.state):
+            raise InvariantViolation(
+                f"[{spec.name}] committed state root does not match a full "
+                "recomputation over the live state after recovery"
+            )
+
+        record: dict[str, Any] = {
+            "cell": spec.name,
+            "workload": spec.workload,
+            "fault": plan.name,
+            "fault_kind": plan.kind,
+            "byzantine": plan.byzantine,
+            "tenants": spec.tenants,
+            "batches": spec.batches,
+            "batch_size": spec.batch_size,
+            "crashed_at_batch": crash_at,
+            "tokens_issued": sum(
+                g.tokens_issued for g in env1.generators + env2.generators
+            ),
+            "requests_failed": sum(
+                g.requests_failed for g in env1.generators + env2.generators
+            ),
+            "txs_built": txs_built,
+            "blocks_executed": durable_blocks_committed
+            + env2.pipeline.blocks_executed,
+            "txs_executed": sum(len(b.transactions) for b in report.blocks)
+            + env2.pipeline.transactions_executed,
+            "token_txs_succeeded": len(combined),
+            "accepted_token_calls": len(combined),
+            "one_time_accepted": one_time_accepted,
+            "forged_attempted": len(env2.forged_hashes),
+            "recovery": report.describe(),
+            "invariants": {
+                "no_duplicate_one_time_index": True,
+                "trusted_signer_only": True,
+                "counter_agreement": True,
+                "mempool_accounting_clean": True,
+                "crash_recovered": True,
+                "state_root_matches_recomputation": True,
+            },
+            "mempool_accounting": accounting,
+            "fault_observations": plan.observations(env1),
+        }
+        window = env2.contracts[0].bitmap_state()
+        if window.get("size"):
+            record["bitmap_window"] = {"size": window["size"], "start": window["start"]}
+        return record
+    finally:
+        for store in (store1, store2):
+            if store is not None:
+                try:
+                    store.close()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_cell(spec: CellSpec) -> dict[str, Any]:
     """Run one (workload, fault) cell and return its benchmark record."""
-    env = _build_env(spec)
-    plan = env.plan
+    plan = spec.fault()
+    if isinstance(plan, DiskCrashPlan) or getattr(plan, "needs_durability", False):
+        return _run_crash_restart_cell(spec, plan)  # type: ignore[arg-type]
+    env = _build_env(spec, plan)
     thunks = WORKLOADS[spec.workload](env)
     forgeries_per_batch = getattr(plan, "forgeries_per_batch", 0)
 
@@ -767,6 +921,10 @@ def default_cells() -> list[CellSpec]:
     # the operation on every client retry and never converge.
     corrupt_rmw = lambda: CorruptFramesPlan(corrupt_every=3)  # noqa: E731
     untrusted = lambda: UntrustedSignerPlan(forgeries_per_batch=2)  # noqa: E731
+    disk_crash = lambda: DiskCrashPlan(mode="crash-before-fsync", crash_after_batch=1)  # noqa: E731
+    torn_wal = lambda: DiskCrashPlan(  # noqa: E731
+        mode="torn-write", crash_after_batch=1, name="torn-wal-restart"
+    )
 
     # A 16-bit window with 16-token batches: each expired (unmarked) batch
     # leaves an index gap wider than the whole window, so the marked batch
@@ -781,6 +939,7 @@ def default_cells() -> list[CellSpec]:
         spec("flash-sale", "leader-partition", part, seed=3),
         spec("flash-sale", "equivocating-counter", equiv, seed=4),
         spec("flash-sale", "untrusted-signer", untrusted, seed=5),
+        spec("flash-sale", "crash-restart", disk_crash, seed=27),
         # replay storm (non-one-time: issuance-side replay pressure)
         spec("replay-storm", "none", none, seed=6),
         spec("replay-storm", "transient-timeouts", timeouts, seed=7),
@@ -791,10 +950,12 @@ def default_cells() -> list[CellSpec]:
         spec("fan-out", "leader-crash", crash, tenants=3, seed=11),
         spec("fan-out", "transient-timeouts", timeouts, tenants=3, seed=12),
         spec("fan-out", "stale-leader", stale, tenants=2, seed=13),
+        spec("fan-out", "crash-restart", disk_crash, tenants=3, seed=28),
         # one-time state stress with mid-batch reverts
         spec("state-stress", "none", none, accounts_per_tenant=8, seed=14),
         spec("state-stress", "leader-partition", part, accounts_per_tenant=8, seed=15),
         spec("state-stress", "equivocating-counter", equiv, accounts_per_tenant=8, seed=16),
+        spec("state-stress", "torn-wal-restart", torn_wal, accounts_per_tenant=8, seed=29),
         # token-expiry avalanche + whole-window bitmap slides
         spec("expiry-avalanche", "none", none, batches=6, **tiny_window, seed=17),
         spec("expiry-avalanche", "leader-crash", crash, batches=6, **tiny_window, seed=18),

@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
 from repro.api import (
+    Backoff,
+    DEFAULT_RETRY_CODES,
     ErrorCode,
+    GatewayClient,
+    InProcessTransport,
+    RETRYABLE_CODES,
     ServiceGateway,
     SmacsError,
     TokenDenied,
@@ -253,3 +259,111 @@ def test_gateway_stats_are_wire_safe_json(client, recorder, alice):
 def test_decision_encoding_is_faithful():
     decision = AccessDecision.deny("client not on sender-whitelist")
     assert not decision.allowed and decision.reason
+
+
+# --- retry backoff ------------------------------------------------------------------
+
+
+class FlakyTransport:
+    """Fails the first N sends with a given code, then delegates for real."""
+
+    def __init__(self, inner, failures: int, code: ErrorCode):
+        self.inner = inner
+        self.failures = failures
+        self.code = code
+        self.attempts = 0
+
+    def send(self, raw: bytes) -> bytes:
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise SmacsError("endpoint down", self.code)
+        return self.inner.send(raw)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def describe(self):
+        return {"kind": "flaky", "attempts": self.attempts}
+
+
+def _flaky_client(gateway, failures, code, *, backoff=None, retry_codes=None):
+    transport = FlakyTransport(InProcessTransport(gateway), failures, code)
+    kwargs = {}
+    if backoff is not None:
+        kwargs["backoff"] = backoff
+    if retry_codes is not None:
+        kwargs["retry_codes"] = retry_codes
+    return GatewayClient(transport, ROUTE, **kwargs), transport
+
+
+def test_backoff_delays_are_jittered_and_capped():
+    backoff = Backoff(base=0.05, cap=0.2, rng=random.Random(7))
+    for attempt in range(8):
+        bound = min(0.2, 0.05 * 2**attempt)
+        for _ in range(20):
+            assert 0.0 <= backoff.delay(attempt) <= bound
+    # injectable sleep: pause() reports exactly what it slept
+    slept = []
+    backoff = Backoff(base=0.05, cap=0.2, sleep=slept.append, rng=random.Random(7))
+    paused = [backoff.pause(attempt) for attempt in range(4)]
+    assert slept == paused
+
+
+def test_client_retries_unavailable_with_backoff(gateway):
+    slept: list[float] = []
+    client, transport = _flaky_client(
+        gateway, 2, ErrorCode.UNAVAILABLE,
+        backoff=Backoff(sleep=slept.append, rng=random.Random(1)),
+    )
+    assert client.describe()["routes"] == [ROUTE]
+    assert transport.attempts == 3  # two failures were re-sent, not surfaced
+    assert client.retries_performed == 2
+    assert len(slept) == 2
+    assert all(0.0 <= delay <= 1.0 for delay in slept)
+
+
+def test_client_without_backoff_fails_fast(gateway):
+    client, transport = _flaky_client(gateway, 1, ErrorCode.UNAVAILABLE)
+    with pytest.raises(SmacsError) as excinfo:
+        client.describe()
+    assert excinfo.value.code is ErrorCode.UNAVAILABLE
+    assert transport.attempts == 1  # exactly as before backoff existed
+
+
+def test_rate_limited_is_not_retried_by_default(gateway):
+    """RATE_LIMITED is a policy answer: re-sending would fight the limiter
+    for the tenant's own budget, so the default retry set excludes it."""
+    slept: list[float] = []
+    client, transport = _flaky_client(
+        gateway, 1, ErrorCode.RATE_LIMITED,
+        backoff=Backoff(sleep=slept.append, rng=random.Random(2)),
+    )
+    assert ErrorCode.RATE_LIMITED not in DEFAULT_RETRY_CODES
+    with pytest.raises(SmacsError) as excinfo:
+        client.describe()
+    assert excinfo.value.code is ErrorCode.RATE_LIMITED
+    assert transport.attempts == 1 and slept == []
+
+
+def test_opt_in_retry_codes_widen_the_retry_set(gateway):
+    client, transport = _flaky_client(
+        gateway, 1, ErrorCode.RATE_LIMITED,
+        backoff=Backoff(sleep=lambda _s: None, rng=random.Random(3)),
+        retry_codes=RETRYABLE_CODES,
+    )
+    assert client.describe()["version"] == WIRE_VERSION
+    assert transport.attempts == 2
+
+
+def test_retry_budget_exhaustion_reraises(gateway):
+    slept: list[float] = []
+    client, transport = _flaky_client(
+        gateway, 99, ErrorCode.COUNTER_TIMEOUT,
+        backoff=Backoff(retries=2, sleep=slept.append, rng=random.Random(4)),
+    )
+    with pytest.raises(SmacsError) as excinfo:
+        client.describe()
+    assert excinfo.value.code is ErrorCode.COUNTER_TIMEOUT
+    assert transport.attempts == 3  # initial send + the whole retry budget
+    assert len(slept) == 2

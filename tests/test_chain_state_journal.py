@@ -288,3 +288,115 @@ def test_dispatch_cache_subclass_gets_its_own_table():
 def test_dispatchable_method_count_excludes_internals():
     engine = ExecutionEngine()
     assert engine._dispatchable_methods(_Pinger()) == ["ping"]
+
+
+# --- the journaled-by-reference guard (SMACS_STATE_GUARD) -------------------------
+
+
+def test_journal_guard_off_documents_the_aliasing_hazard():
+    """With the guard off, in-place mutation of a stored mutable value leaks
+    through a revert -- the documented hazard the guard exists to catch."""
+    from repro.chain.state import journal_guard
+
+    assert journal_guard() == "off"  # the default: zero overhead
+    state = WorldState()
+    state.storage_set(ADDR_A, "box", [1, 2])
+    snap = state.snapshot()
+    state.storage_get(ADDR_A, "box").append(3)  # behind the journal's back
+    state.revert_to(snap)
+    assert state.storage_get(ADDR_A, "box") == [1, 2, 3]  # the leak, verbatim
+
+
+def test_journal_guard_copy_mode_restores_the_pristine_value():
+    from repro.chain.state import set_journal_guard
+
+    previous = set_journal_guard("copy")
+    try:
+        state = WorldState()
+        state.storage_set(ADDR_A, "box", [1, 2])
+        snap = state.snapshot()
+        state.storage_set(ADDR_A, "box", [9])  # journal snapshots a deep copy
+        state.storage_get(ADDR_A, "box").append(10)
+        state.revert_to(snap)
+        assert state.storage_get(ADDR_A, "box") == [1, 2]
+    finally:
+        set_journal_guard(previous)
+
+
+def test_journal_guard_canary_raises_on_behind_the_back_mutation():
+    from repro.chain.state import JournalHazardError, set_journal_guard
+
+    previous = set_journal_guard("canary")
+    try:
+        state = WorldState()
+        state.storage_set(ADDR_A, "box", [1, 2])
+        snap = state.snapshot()
+        box = state.storage_get(ADDR_A, "box")  # alias captured before overwrite
+        state.storage_set(ADDR_A, "box", [1, 2, 3])  # fingerprints the old value
+        box.append(99)  # mutates the journaled undo value behind the journal's back
+        with pytest.raises(JournalHazardError):
+            state.revert_to(snap)
+    finally:
+        set_journal_guard(previous)
+
+
+def test_journal_guard_canary_is_quiet_for_honest_writes():
+    from repro.chain.state import set_journal_guard
+
+    previous = set_journal_guard("canary")
+    try:
+        state = WorldState()
+        state.storage_set(ADDR_A, "k", (1, 2))
+        snap = state.snapshot()
+        state.storage_set(ADDR_A, "k", (3, 4))
+        state.revert_to(snap)
+        assert state.storage_get(ADDR_A, "k") == (1, 2)
+        snap2 = state.snapshot()
+        state.storage_set(ADDR_A, "k", (5, 6))
+        state.commit(snap2)
+        assert state.storage_get(ADDR_A, "k") == (5, 6)
+    finally:
+        set_journal_guard(previous)
+
+
+def test_set_journal_guard_rejects_unknown_modes():
+    from repro.chain.state import set_journal_guard
+
+    with pytest.raises(ValueError):
+        set_journal_guard("paranoid")
+
+
+# --- touched_since (the durability layer's block-delta source) --------------------
+
+
+def test_touched_since_aggregates_slots_and_scalars():
+    state = WorldState()
+    state.storage_set(ADDR_A, "pre", 1)
+    snap = state.snapshot()
+    state.storage_set(ADDR_A, "x", 1)
+    inner = state.snapshot()
+    state.storage_set(ADDR_A, "y", 2)
+    state.add_balance(ADDR_B, 5)
+    state.commit(inner)
+    touched = state.touched_since(snap)
+    assert touched[ADDR_A] == {"x", "y"}
+    assert touched[ADDR_B] == set()  # scalar-only touch
+    assert "pre" not in touched[ADDR_A]
+    state.commit(snap)
+
+
+def test_touched_since_rejects_foreign_snapshot_ids():
+    state = WorldState()
+    with pytest.raises(ValueError):
+        state.touched_since(42)
+
+
+def test_worldstate_discard_account_requires_closed_journal():
+    state = WorldState()
+    state.add_balance(ADDR_A, 1)
+    snap = state.snapshot()
+    with pytest.raises(RuntimeError):
+        state.discard_account(ADDR_A)
+    state.commit(snap)
+    state.discard_account(ADDR_A)
+    assert not state.has_account(ADDR_A)

@@ -144,10 +144,12 @@ def test_known_urls_sorted(chain, discovery, token_service):
 #: snapshot deliberately; renaming or removing a symbol is a breaking change.
 API_SURFACE_SNAPSHOT = [
     "Audit",
+    "Backoff",
     "CODECS",
     "CODEC_BINARY",
     "CODEC_JSON",
     "CounterTimeout",
+    "DEFAULT_RETRY_CODES",
     "ErrorCode",
     "GatewayClient",
     "GatewayServer",

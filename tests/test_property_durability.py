@@ -1,0 +1,162 @@
+"""Property-based crash-image tests: recovery is prefix-consistent or loud.
+
+A pristine WAL image is built once from a real workload (base snapshot +
+three committed blocks).  Hypothesis then damages it at arbitrary byte
+offsets -- truncation, bit flips, or both -- and recovery must land in one
+of exactly two outcomes:
+
+* **a prefix**: the recovered state root is one of the roots the pristine
+  run actually committed (deployment state or an exact block boundary); or
+* **a loud failure**: :class:`RecoveryError` / :class:`CorruptWal`.
+
+What must never happen is a *third* outcome: recovery "succeeding" with a
+state root no honest node ever had (a half-applied block).  The per-block
+root verification plus the full-recompute cross-check inside
+``recover_into`` are what close that door; this suite hammers on it.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Blockchain
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import OwnerWallet
+from repro.core.acr import RuleSet
+from repro.core.replication import ReplicatedTokenService
+from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
+from repro.pipeline import ExecutionPipeline, SmacsLoadGenerator
+from repro.storage import CorruptWal, DurableStore, RecoveryError, state_root
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
+
+
+def _node():
+    chain = Blockchain(auto_mine=False)
+    pipeline = ExecutionPipeline(chain, signature_cache=SignatureCache())
+    chain.auto_mine = True
+    owner = chain.create_account("owner", seed="prop-owner")
+    clients = [chain.create_account(f"c{i}", seed=f"prop-client-{i}") for i in range(4)]
+    service = ReplicatedTokenService(
+        replica_count=3,
+        keypair=KeyPair.from_seed("prop-ts"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        seed=55,
+        signature_cache=pipeline.signature_cache,
+    )
+    recorder = OwnerWallet(owner, service.replicas[0]).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=1024
+    ).return_value
+    chain.auto_mine = False
+    generator = SmacsLoadGenerator(service, recorder, clients)
+    return chain, pipeline, generator
+
+
+_IMAGE: "dict | None" = None
+
+
+def _pristine_image():
+    """Build (once) a real WAL image and the set of roots it committed."""
+    global _IMAGE
+    if _IMAGE is not None:
+        return _IMAGE
+    workdir = tempfile.mkdtemp(prefix="smacs-prop-wal-")
+    chain, pipeline, generator = _node()
+    deployment_root = state_root(chain.state)
+    store = DurableStore(workdir, "memory", fsync_on_admit=True)
+    store.attach(pipeline)
+    roots = {deployment_root}
+    for batch in (4, 4, 4):
+        pipeline.ingest(generator.from_arrivals([batch]))
+        pipeline.run_block()
+        roots.add(chain.latest_block.state_root)
+    store.close()
+    with open(os.path.join(workdir, "wal.log"), "rb") as handle:
+        raw = handle.read()
+    shutil.rmtree(workdir, ignore_errors=True)
+    _IMAGE = {"bytes": raw, "roots": roots}
+    return _IMAGE
+
+
+def _recover(damaged: bytes):
+    """Recover a fresh node from the damaged image; returns the report."""
+    workdir = tempfile.mkdtemp(prefix="smacs-prop-rec-")
+    store = None
+    try:
+        with open(os.path.join(workdir, "wal.log"), "wb") as handle:
+            handle.write(damaged)
+        chain, pipeline, _ = _node()
+        store = DurableStore(workdir, "memory")
+        report = store.recover_into(pipeline)
+        # recover_into cross-checks incremental vs full recompute already;
+        # re-assert from the outside against the installed chain state.
+        assert state_root(chain.state) == report.state_root
+        return report
+    finally:
+        if store is not None:
+            store.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _assert_prefix_or_loud(damaged: bytes):
+    image = _pristine_image()
+    try:
+        report = _recover(damaged)
+    except (RecoveryError, CorruptWal):
+        return  # loud refusal: always a legal outcome for a damaged image
+    assert report.state_root in image["roots"], (
+        "recovery produced a state root no honest node ever committed "
+        f"({report.state_root.hex()})"
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_truncation_at_any_offset_is_prefix_or_loud(data):
+    raw = _pristine_image()["bytes"]
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    _assert_prefix_or_loud(raw[:cut])
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_bitflip_at_any_offset_is_prefix_or_loud(data):
+    raw = _pristine_image()["bytes"]
+    offset = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    mask = data.draw(st.integers(min_value=1, max_value=255))
+    damaged = bytearray(raw)
+    damaged[offset] ^= mask
+    _assert_prefix_or_loud(bytes(damaged))
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_combined_damage_is_prefix_or_loud(data):
+    raw = _pristine_image()["bytes"]
+    cut = data.draw(st.integers(min_value=1, max_value=len(raw)))
+    damaged = bytearray(raw[:cut])
+    flips = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=max(0, cut - 1)),
+                st.integers(min_value=1, max_value=255),
+            ),
+            max_size=4,
+        )
+    )
+    for offset, mask in flips:
+        if offset < len(damaged):
+            damaged[offset] ^= mask
+    _assert_prefix_or_loud(bytes(damaged))
+
+
+def test_undamaged_image_recovers_the_final_root():
+    image = _pristine_image()
+    report = _recover(image["bytes"])
+    assert report.state_root in image["roots"]
+    assert len(report.blocks) == 3

@@ -1,0 +1,423 @@
+"""Integration tests for the durability engine: WAL commits, crash recovery.
+
+Each test builds a full node (chain + pipeline + replicated TS + deployed
+recorder), attaches a :class:`~repro.storage.DurableStore`, drives real
+token-carrying load through it, and then exercises one leg of the crash
+model: clean restarts, page-cache loss at the commit fsync, torn and
+bit-flipped tails, compaction into the backend, stale/partial WAL images.
+Recovery is always checked against *block-derived* ground truth: the state
+root stamped into the last durable block.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts.protected_target import ProtectedRecorder
+from repro.core import OwnerWallet
+from repro.core.acr import RuleSet
+from repro.core.replication import ReplicatedTokenService
+from repro.crypto.keys import KeyPair
+from repro.crypto.sigcache import SignatureCache
+from repro.faults.disk import DiskFaultInjector, SimulatedCrash
+from repro.pipeline import ExecutionPipeline, SmacsLoadGenerator
+from repro.storage import (
+    DurabilityError,
+    DurableStore,
+    RecoveryError,
+    StateRootTracker,
+    WriteAheadLog,
+    state_root,
+)
+from repro.storage.codec import encode_value
+
+
+def _node():
+    """One deterministic node: same seeds -> same accounts, contract, tokens."""
+    chain = Blockchain(auto_mine=False)
+    pipeline = ExecutionPipeline(chain, signature_cache=SignatureCache())
+    chain.auto_mine = True
+    owner = chain.create_account("owner", seed="dur-owner")
+    clients = [chain.create_account(f"c{i}", seed=f"dur-client-{i}") for i in range(4)]
+    service = ReplicatedTokenService(
+        replica_count=3,
+        keypair=KeyPair.from_seed("dur-ts"),
+        rules=RuleSet(),
+        clock=chain.clock,
+        seed=77,
+        signature_cache=pipeline.signature_cache,
+    )
+    recorder = OwnerWallet(owner, service.replicas[0]).deploy_protected(
+        ProtectedRecorder, one_time_bitmap_bits=4096
+    ).return_value
+    chain.auto_mine = False
+    generator = SmacsLoadGenerator(service, recorder, clients)
+    return SimpleNamespace(
+        chain=chain,
+        pipeline=pipeline,
+        service=service,
+        recorder=recorder,
+        clients=clients,
+        generator=generator,
+    )
+
+
+def _run_batch(node, count):
+    txs = node.generator.from_arrivals([count])
+    decisions = node.pipeline.ingest(txs)
+    assert all(d.admitted for d in decisions)
+    node.pipeline.run_block()
+
+
+# --- root stamping ------------------------------------------------------------------
+
+
+def test_blocks_carry_verifiable_state_roots(tmp_path):
+    node = _node()
+    store = DurableStore(str(tmp_path / "n"), "memory")
+    store.attach(node.pipeline)
+    _run_batch(node, 5)
+    first = node.chain.latest_block
+    _run_batch(node, 5)
+    second = node.chain.latest_block
+    assert first.state_root and second.state_root
+    assert first.state_root != second.state_root
+    assert second.state_root == state_root(node.chain.state)
+    assert store.blocks_committed == 2
+    # the state root participates in the block hash
+    assert first.hash() != second.hash()
+    store.close()
+
+
+def test_admissions_are_logged_and_rejections_are_not(tmp_path):
+    node = _node()
+    store = DurableStore(str(tmp_path / "n"), "memory")
+    store.attach(node.pipeline)
+    txs = node.generator.from_arrivals([4])
+    node.pipeline.ingest(txs)
+    assert store.admissions_logged == 4
+    node.pipeline.ingest([txs[0]])  # duplicate: refused at admission
+    assert store.admissions_logged == 4
+    store.close()
+
+
+def test_commit_protocol_misuse_is_loud(tmp_path):
+    node = _node()
+    store = DurableStore(str(tmp_path / "n"), "memory")
+    store.attach(node.pipeline)
+    with pytest.raises(DurabilityError):
+        store.commit_block(node.chain.latest_block, None)
+    with pytest.raises(DurabilityError):
+        store._seal_block(node.chain.state)  # no begin_block() checkpoint
+    store.close()
+
+
+# --- clean restart and crash-before-fsync -------------------------------------------
+
+
+def test_clean_restart_recovers_everything(tmp_path):
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    store1 = DurableStore(workdir, "sqlite")
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    _run_batch(node1, 6)
+    final_root = node1.chain.latest_block.state_root
+    entries = node1.chain.read(node1.recorder, "entries")
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    assert report.recovered_height == node1.chain.height
+    assert report.state_root == final_root
+    assert state_root(node2.chain.state) == final_root
+    assert node2.chain.read(node2.recorder, "entries") == entries
+    assert [len(b.transactions) for b in report.blocks] == [6, 6]
+    store2.close()
+
+
+def test_crash_before_fsync_loses_only_the_inflight_block(tmp_path):
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    injector = DiskFaultInjector("crash-before-fsync")
+    store1 = DurableStore(workdir, "sqlite", fsync_on_admit=True, hooks=injector)
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    durable_root = node1.chain.latest_block.state_root
+
+    doomed = node1.generator.from_arrivals([5])
+    node1.pipeline.ingest(doomed)
+    injector.arm()
+    with pytest.raises(SimulatedCrash):
+        node1.pipeline.run_block()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite", fsync_on_admit=True)
+    report = store2.recover_into(node2.pipeline)
+    # the durable prefix: exactly the first block, root-verified
+    assert len(report.blocks) == 1
+    assert report.state_root == durable_root
+    assert state_root(node2.chain.state) == durable_root
+    # the doomed batch was fsync'd at admission and comes back as mempool
+    assert report.mempool_seen == 5
+    assert report.readmitted == 5
+    assert report.readmission_refused == 0
+    # recovery re-primed the signature cache: the drain pre-warm is all hits
+    assert report.signatures_primed > 0
+    store2.attach(node2.pipeline)
+    results = node2.pipeline.drain()
+    assert sum(r.executed for r in results) == 5
+    assert sum(r.prewarm_hits for r in results) == 5
+    assert sum(r.prewarm_misses for r in results) == 0
+    assert node2.chain.read(node2.recorder, "entries") == 11
+    assert node2.chain.latest_block.state_root == state_root(node2.chain.state)
+    store2.close()
+
+
+def test_unsynced_admissions_die_with_the_page_cache(tmp_path):
+    """Without fsync_on_admit, pooled admissions ride the next block's fsync."""
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    injector = DiskFaultInjector("crash-before-fsync")
+    store1 = DurableStore(workdir, "sqlite", fsync_on_admit=False, hooks=injector)
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    node1.pipeline.ingest(node1.generator.from_arrivals([5]))
+    injector.arm()
+    with pytest.raises(SimulatedCrash):
+        node1.pipeline.run_block()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    assert len(report.blocks) == 1  # the durable block survived
+    assert report.mempool_seen == 0  # the unsynced admissions did not
+    store2.close()
+
+
+@pytest.mark.parametrize("mode", ["torn-write", "bit-flip"])
+def test_torn_and_bitflipped_tails_recover_the_durable_prefix(tmp_path, mode):
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    injector = DiskFaultInjector(mode)
+    store1 = DurableStore(workdir, "sqlite", fsync_on_admit=True, hooks=injector)
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    durable_root = node1.chain.latest_block.state_root
+    node1.pipeline.ingest(node1.generator.from_arrivals([5]))
+    injector.arm()
+    with pytest.raises(SimulatedCrash):
+        node1.pipeline.run_block()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    assert report.wal is not None and report.wal.torn_tail
+    assert report.wal.truncated_bytes > 0
+    assert len(report.blocks) == 1
+    assert report.state_root == durable_root
+    assert state_root(node2.chain.state) == durable_root
+    store2.close()
+
+
+def test_stale_wal_cut_recovers_a_strict_consistent_prefix(tmp_path):
+    """A frame-aligned stale cut looks like an earlier crash: prefix recovery.
+
+    (A stale WAL *conflicting with the backend snapshot* is the detectable
+    case -- see ``test_wal_gap_behind_a_backend_snapshot_is_loud``.)
+    """
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    injector = DiskFaultInjector("stale-wal")
+    store1 = DurableStore(workdir, "sqlite", hooks=injector)
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 4)
+    _run_batch(node1, 4)
+    first_root = node1.chain.blocks[-2].state_root
+    node1.pipeline.ingest(node1.generator.from_arrivals([4]))
+    injector.arm()
+    with pytest.raises(SimulatedCrash):
+        node1.pipeline.run_block()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    # the cut landed on the fsync boundary before block 2: one block survives
+    assert len(report.blocks) == 1
+    assert report.state_root == first_root
+    assert state_root(node2.chain.state) == first_root
+    store2.close()
+
+
+# --- compaction ---------------------------------------------------------------------
+
+
+def test_flush_compacts_into_backend_and_recovery_uses_it(tmp_path):
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    store1 = DurableStore(workdir, "sqlite")
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    _run_batch(node1, 6)
+    store1.flush()
+    assert store1.wal.size < 100  # the log was truncated to (near) empty
+    _run_batch(node1, 6)
+    final_root = node1.chain.latest_block.state_root
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    assert report.sources == ["backend"]
+    assert len(report.blocks) == 1  # only the post-compaction block replays
+    assert report.state_root == final_root
+    assert node2.chain.read(node2.recorder, "entries") == 18
+    store2.close()
+
+
+def test_flush_relogs_surviving_mempool_transactions(tmp_path):
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    store1 = DurableStore(workdir, "sqlite")
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 4)
+    node1.pipeline.ingest(node1.generator.from_arrivals([3]))  # pooled, not mined
+    store1.flush()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite")
+    report = store2.recover_into(node2.pipeline)
+    assert report.mempool_seen == 3
+    assert report.readmitted == 3
+    store2.close()
+
+
+# --- images that must be refused ----------------------------------------------------
+
+
+def test_recovering_an_empty_directory_is_loud(tmp_path):
+    node = _node()
+    store = DurableStore(str(tmp_path / "fresh"), "sqlite")
+    with pytest.raises(RecoveryError, match="nothing to recover"):
+        store.recover_into(node.pipeline)
+    store.close()
+
+
+def test_wal_gap_is_loud(tmp_path):
+    workdir = tmp_path / "n"
+    workdir.mkdir()
+    wal = WriteAheadLog(str(workdir / "wal.log"))
+    empty_root = StateRootTracker().root
+    wal.append(
+        encode_value({"kind": "base", "height": 0, "root": empty_root, "accounts": {}}),
+        sync=True,
+    )
+    # block 2 with no block 1 before it: a stale or partial WAL image
+    wal.append(encode_value({"kind": "block", "number": 2}), sync=True)
+    wal.close()
+
+    node = _node()
+    store = DurableStore(str(workdir), "memory")
+    with pytest.raises(RecoveryError, match="WAL gap"):
+        store.recover_into(node.pipeline)
+    store.close()
+
+
+def test_unknown_wal_record_kind_is_loud(tmp_path):
+    workdir = tmp_path / "n"
+    workdir.mkdir()
+    wal = WriteAheadLog(str(workdir / "wal.log"))
+    wal.append(encode_value({"kind": "gossip"}), sync=True)
+    wal.close()
+    node = _node()
+    store = DurableStore(str(workdir), "memory")
+    with pytest.raises(RecoveryError, match="unknown WAL record kind"):
+        store.recover_into(node.pipeline)
+    store.close()
+
+
+def test_tampered_base_snapshot_fails_its_root_check(tmp_path):
+    workdir = tmp_path / "n"
+    workdir.mkdir()
+    wal = WriteAheadLog(str(workdir / "wal.log"))
+    wal.append(
+        encode_value(
+            {
+                "kind": "base",
+                "height": 0,
+                "root": b"\x00" * 32,  # wrong on purpose
+                "accounts": {},
+            }
+        ),
+        sync=True,
+    )
+    wal.close()
+    node = _node()
+    store = DurableStore(str(workdir), "memory")
+    with pytest.raises(RecoveryError, match="does not hash to its state root"):
+        store.recover_into(node.pipeline)
+    store.close()
+
+
+# --- resuming after recovery --------------------------------------------------------
+
+
+def test_recovered_node_resumes_issuance_without_index_reuse(tmp_path):
+    """The full restart loop: recover, fast-forward the counter, keep going."""
+    workdir = str(tmp_path / "n")
+    node1 = _node()
+    injector = DiskFaultInjector("crash-before-fsync")
+    store1 = DurableStore(workdir, "sqlite", fsync_on_admit=True, hooks=injector)
+    store1.attach(node1.pipeline)
+    _run_batch(node1, 6)
+    node1.pipeline.ingest(node1.generator.from_arrivals([5]))
+    injector.arm()
+    with pytest.raises(SimulatedCrash):
+        node1.pipeline.run_block()
+    store1.close()
+
+    node2 = _node()
+    store2 = DurableStore(workdir, "sqlite", fsync_on_admit=True)
+    report = store2.recover_into(node2.pipeline)
+    store2.attach(node2.pipeline)
+    node2.pipeline.drain()  # the re-admitted batch
+    node2.service.replicas[0].counter.restore(report.max_one_time_index + 1)
+    node2.generator.refresh_nonces()
+    _run_batch(node2, 6)  # fresh post-restart traffic
+
+    # block-derived one-time uniqueness across the restart boundary
+    from repro.core.token import Token
+
+    seen = set()
+    sources = [
+        (tx, ok)
+        for block in report.blocks
+        for tx, ok in zip(block.transactions, block.statuses)
+    ] + [
+        (tx, node2.chain.receipts[tx.hash()].success)
+        for block in node2.chain.blocks
+        for tx in block.transactions
+    ]
+    accepted = 0
+    for tx, ok in sources:
+        raw = tx.kwargs.get("token")
+        if not ok or not isinstance(raw, (bytes, bytearray)):
+            continue
+        token = Token.from_bytes(bytes(raw))
+        if not token.is_one_time:
+            continue
+        accepted += 1
+        key = (bytes(tx.to), token.index)
+        assert key not in seen, f"one-time index {token.index} accepted twice"
+        seen.add(key)
+    assert accepted == 17  # 6 durable + 5 re-admitted + 6 post-restart
+    assert node2.chain.read(node2.recorder, "entries") == 17
+    assert node2.chain.latest_block.state_root == state_root(node2.chain.state)
+    store2.close()

@@ -1,0 +1,316 @@
+"""Unit tests for the storage substrate: canonical codec, WAL, backends.
+
+The codec must be canonical (byte-identical re-encoding for equal values,
+dict order normalised away) because state roots are hashes over encodings;
+the WAL must implement the documented repair policy (torn tails truncated,
+mid-file corruption loud); backends must round-trip buffered writes and
+survive reopen.
+"""
+
+import pytest
+
+from repro.chain.state import AccountState
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import KeyPair
+from repro.storage import (
+    CorruptWal,
+    MemoryBackend,
+    SQLiteBackend,
+    WriteAheadLog,
+    open_backend,
+)
+from repro.storage.codec import (
+    CodecError,
+    StateRootTracker,
+    account_digest,
+    decode_transaction,
+    decode_value,
+    encode_account,
+    decode_account,
+    encode_transaction,
+    encode_value,
+)
+
+
+# --- canonical value codec ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        63,
+        64,
+        -64,
+        -65,
+        2**70,
+        -(2**70),
+        b"",
+        b"\x00\xff" * 17,
+        "",
+        "state é☃",
+        3.5,
+        -0.0,
+        (),
+        (1, b"two", "three"),
+        [1, [2, [3]]],
+        {},
+        {"b": 1, "a": (2, 3), b"\x00": None},
+        {("record", 7): (b"addr", 12, "memo"), "total": 2**40},
+    ],
+)
+def test_value_roundtrip(value):
+    encoded = encode_value(value)
+    decoded = decode_value(encoded)
+    if isinstance(value, list):
+        # lists keep their own tag but round-trip as lists
+        assert decoded == value
+    else:
+        assert decoded == value
+    assert encode_value(decoded) == encoded  # re-encoding is byte-stable
+
+
+def test_dict_encoding_is_order_independent():
+    a = encode_value({"x": 1, "y": 2, "z": 3})
+    b = encode_value({"z": 3, "x": 1, "y": 2})
+    assert a == b
+
+
+def test_int_boundaries_roundtrip():
+    for value in [-(2**63), 2**63, -(2**31) - 1, 2**31, 12345678901234567890]:
+        assert decode_value(encode_value(value)) == value
+
+
+def test_unsupported_type_is_loud():
+    with pytest.raises(CodecError):
+        encode_value({1, 2, 3})
+
+
+def test_truncated_encoding_is_loud():
+    encoded = encode_value({"k": b"x" * 50})
+    with pytest.raises(CodecError):
+        decode_value(encoded[:-3])
+
+
+# --- account + transaction codecs ---------------------------------------------------
+
+
+def _account():
+    record = AccountState(balance=10**18, nonce=7, is_contract=True, code_size=2048)
+    record.storage["total"] = 41
+    record.storage[("record", 3)] = (b"\x11" * 20, 41, "memo")
+    return record
+
+
+def test_account_roundtrip_and_digest_stability():
+    record = _account()
+    raw = encode_account(record)
+    back = decode_account(raw)
+    assert back.balance == record.balance
+    assert back.nonce == record.nonce
+    assert back.is_contract is True
+    assert back.code_size == 2048
+    assert dict(back.storage) == dict(record.storage)
+    assert account_digest(b"\x22" * 20, back) == account_digest(b"\x22" * 20, record)
+    assert account_digest(b"\x22" * 20, record) != account_digest(b"\x23" * 20, record)
+
+
+def test_transaction_roundtrip_preserves_hash_and_signature():
+    keypair = KeyPair.from_seed("wal-tx")
+    tx = Transaction(
+        sender=keypair.address,
+        to=b"\x42" * 20,
+        nonce=3,
+        method="submit",
+        args=(1, "two"),
+        kwargs={"amount": 9, "token": b"\x07" * 64},
+        gas_limit=400_000,
+    ).sign_with(keypair)
+    back = decode_transaction(encode_transaction(tx))
+    assert back.hash() == tx.hash()
+    assert back.signature is not None
+    assert back.signature.to_bytes() == tx.signature.to_bytes()
+    assert back.kwargs == tx.kwargs
+
+
+# --- state-root tracker -------------------------------------------------------------
+
+
+def test_tracker_is_order_independent_and_incremental():
+    from repro.chain.state import WorldState
+    from repro.storage.codec import state_root
+
+    a = WorldState()
+    a.set_balance(b"\x01" * 20, 5)
+    a.set_balance(b"\x02" * 20, 6)
+    b = WorldState()
+    b.set_balance(b"\x02" * 20, 6)
+    b.set_balance(b"\x01" * 20, 5)
+    assert state_root(a) == state_root(b)
+
+    tracker = StateRootTracker.from_state(a)
+    assert tracker.root == state_root(a)
+    a.storage_set(b"\x01" * 20, "k", 1)
+    tracker.update(a, {b"\x01" * 20: {"k"}})
+    assert tracker.root == state_root(a)
+    # deleting an account folds its digest back out
+    a.discard_account(b"\x02" * 20)
+    tracker.update(a, {b"\x02" * 20: set()})
+    assert tracker.root == state_root(a)
+
+
+# --- write-ahead log ----------------------------------------------------------------
+
+
+def test_wal_append_sync_replay(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(b"one", sync=True)
+    wal.append(b"two")
+    wal.append(b"three", sync=True)
+    wal.close()
+
+    wal2 = WriteAheadLog(path)
+    frames, summary = wal2.replay()
+    assert frames == [b"one", b"two", b"three"]
+    assert summary.frames == 3
+    assert not summary.torn_tail
+    wal2.close()
+
+
+def test_wal_torn_tail_is_truncated(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(b"keep-me", sync=True)
+    keep = wal.size
+    wal.append(b"torn-away" * 10, sync=True)
+    wal.truncate_to(keep + 5)  # cut inside the second frame
+    frames, summary = wal.replay()
+    assert frames == [b"keep-me"]
+    assert summary.torn_tail
+    assert summary.truncated_bytes == 5
+    assert wal.size == keep  # the torn bytes are gone from disk too
+    wal.close()
+
+
+def test_wal_bitflipped_final_frame_is_a_torn_tail(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(b"good", sync=True)
+    keep = wal.size
+    wal.append(b"flipped-payload", sync=True)
+    wal.corrupt_byte(wal.size - 3)
+    frames, summary = wal.replay()
+    assert frames == [b"good"]
+    assert summary.torn_tail
+    assert wal.size == keep
+    wal.close()
+
+
+def test_wal_midfile_corruption_is_loud(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    first_start = wal.size
+    wal.append(b"first-frame-payload", sync=True)
+    wal.append(b"second", sync=True)
+    wal.corrupt_byte(first_start + 8 + 2)  # inside the first payload
+    with pytest.raises(CorruptWal):
+        wal.replay()
+    wal.close()
+
+
+def test_wal_bad_magic_is_loud(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with open(path, "wb") as handle:
+        handle.write(b"NOTWAL-and-then-garbage")
+    wal = WriteAheadLog(path)
+    with pytest.raises(CorruptWal):
+        wal.replay()
+    wal.close()
+
+
+def test_wal_discard_unsynced_drops_exactly_the_page_cache(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(b"durable", sync=True)
+    wal.append(b"page-cache-only")
+    wal.discard_unsynced()
+    frames, _ = wal.replay()
+    assert frames == [b"durable"]
+    wal.close()
+
+
+def test_wal_reset_empties_the_log(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(b"gone", sync=True)
+    wal.reset()
+    frames, summary = wal.replay()
+    assert frames == []
+    assert summary.frames == 0
+    wal.append(b"fresh", sync=True)
+    assert wal.replay()[0] == [b"fresh"]
+    wal.close()
+
+
+def test_dead_wal_refuses_writes(tmp_path):
+    from repro.storage import WalError
+
+    wal = WriteAheadLog(str(tmp_path / "wal.log"))
+    wal.mark_dead()
+    with pytest.raises(WalError):
+        wal.append(b"nope")
+    with pytest.raises(WalError):
+        wal.sync()
+    wal.close()
+
+
+# --- backends -----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+def test_backend_roundtrip_and_delete(tmp_path, kind):
+    backend = open_backend(kind, str(tmp_path / "state.sqlite"))
+    assert backend.get(b"k") is None
+    backend.put(b"k", b"v1")
+    backend.put(b"a:1", b"acct")
+    backend.flush()
+    assert backend.get(b"k") == b"v1"
+    backend.put(b"k", b"v2")
+    backend.delete(b"a:1")
+    backend.flush()
+    assert backend.get(b"k") == b"v2"
+    assert backend.get(b"a:1") is None
+    assert dict(backend.items()) == {b"k": b"v2"}
+    backend.close()
+
+
+def test_sqlite_backend_persists_across_reopen(tmp_path):
+    path = str(tmp_path / "state.sqlite")
+    backend = SQLiteBackend(path)
+    backend.put(b"meta", b"\x01\x02")
+    backend.flush()
+    backend.close()
+    reopened = SQLiteBackend(path)
+    assert reopened.get(b"meta") == b"\x01\x02"
+    reopened.close()
+
+
+def test_memory_backend_buffered_writes_visible_and_flush_counted():
+    backend = MemoryBackend()
+    backend.put(b"k", b"v")
+    assert backend.get(b"k") == b"v"  # buffered writes are read-visible
+    assert backend._committed == {}  # but not yet committed
+    backend.flush()
+    assert backend._committed == {b"k": b"v"}
+    assert backend.flushes == 1
+
+
+def test_open_backend_rejects_unknown_kind(tmp_path):
+    with pytest.raises(ValueError):
+        open_backend("papyrus", str(tmp_path / "x"))
