@@ -51,6 +51,12 @@ WINDOW_SECONDS = env_int("SMACS_E2E_WINDOW", 8)
 SCENARIO_BURST = env_int("SMACS_E2E_SCENARIO_BURST", 24)
 CLIENTS = 12
 
+#: ``SMACS_OBS=0`` turns the overhead harness into a noise-floor measurement:
+#: both lanes run uninstrumented (the dormant ``obs is None`` checks only),
+#: which is what the CI gate holds to within 2%.  The default run instruments
+#: the second lane with full tracing + metrics and holds it to within 10%.
+OBS_ENABLED = env_int("SMACS_OBS", 1) == 1
+
 #: Tokens live long enough that the *serial* baseline's clock drift (one
 #: 13-second block per transaction) cannot expire them mid-run; the bitmap is
 #: still sized by the paper's rule for the paper's one-hour lifetime.
@@ -245,6 +251,112 @@ def test_end_to_end_trace_throughput(benchmark):
     assert bp_rate >= 2.0 * serial_rate
     # ...and even charging admission to the same wall clock must still win.
     assert e2e_rate >= 1.2 * serial_rate
+
+
+def _observability_lane(window, workdir, obs):
+    """One full client -> TS -> pipeline -> durable-store pass; returns tx/s.
+
+    The lane mirrors the pipelined leg of the trace benchmark plus a
+    :class:`~repro.storage.DurableStore`, so an instrumented run exercises
+    every profiled stage: gateway decode and issuance during load generation,
+    admission/build/pre-warm/execute in the pipeline, and the WAL fsync at
+    block commit.  Only ingest+drain are on the measured clock, matching the
+    throughput numbers the other harnesses report.
+    """
+    from repro.storage import DurableStore
+
+    cache = SignatureCache(maxsize=1 << 17)
+    chain, clients, service, endpoint, recorder = _setup(cache)
+    chain.auto_mine = False
+    pipeline = ExecutionPipeline(chain, signature_cache=cache)
+    store = DurableStore(str(workdir), "sqlite")
+    store.attach(pipeline)
+    if obs is not None:
+        obs.instrument_pipeline(pipeline)
+        endpoint.transport.gateway.observability = obs
+        endpoint.observability = obs  # client-side spans + wire trace context
+    txs, _ = _issue_trace_load(service, endpoint, recorder, clients, window)
+    t0 = time.perf_counter()
+    pipeline.ingest(txs)
+    results = pipeline.drain()
+    elapsed = time.perf_counter() - t0
+    store.close()
+    total = sum(r.executed for r in results)
+    assert sum(r.succeeded for r in results) == total == len(txs)
+    return total / elapsed
+
+
+def test_end_to_end_observability_overhead(benchmark, tmp_path):
+    """Per-stage latency breakdown + the cost of carrying it (BENCH_obs)."""
+    from repro.obs import STAGES, Observability
+
+    trace = trace_named("CryptoKitties", duration_seconds=3_600, seed=2019)
+    _, window = peak_window(trace, WINDOW_SECONDS)
+    measured = {}
+
+    def run():
+        obs = Observability() if OBS_ENABLED else None
+        rates = {"baseline": 0.0, "candidate": 0.0}
+        # Best-of-two per lane: one slow outlier (GC pause, scheduler slice)
+        # must not read as instrumentation overhead.
+        for attempt in range(2):
+            rates["baseline"] = max(
+                rates["baseline"],
+                _observability_lane(window, tmp_path / f"base-{attempt}", None),
+            )
+            rates["candidate"] = max(
+                rates["candidate"],
+                _observability_lane(window, tmp_path / f"cand-{attempt}", obs),
+            )
+        measured.update(rates=rates, obs=obs)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    baseline = measured["rates"]["baseline"]
+    candidate = measured["rates"]["candidate"]
+    relative = candidate / baseline
+    obs = measured["obs"]
+    stages = obs.stage_breakdown() if obs is not None else {}
+
+    mode = "tracing + metrics on" if OBS_ENABLED else "observability off (noise floor)"
+    lines = [
+        f"Observability overhead on the CryptoKitties peak ({mode}, "
+        f"{WINDOW_SECONDS}s window, best of two runs per lane)",
+        f"{'lane':<28}{'tx/s':>10}{'relative':>12}",
+        f"{'uninstrumented':<28}{baseline:>10.1f}{1.0:>12.3f}",
+        f"{'instrumented':<28}{candidate:>10.1f}{relative:>12.3f}",
+    ]
+    if stages:
+        lines.append(f"{'stage':<16}{'count':>8}{'p50 ms':>10}{'p99 ms':>10}")
+        for name, row in stages.items():
+            p50 = "-" if row["p50_ms"] is None else f"{row['p50_ms']:.3f}"
+            p99 = "-" if row["p99_ms"] is None else f"{row['p99_ms']:.3f}"
+            lines.append(f"{name:<16}{row['count']:>8}{p50:>10}{p99:>10}")
+    data = {
+        "enabled": OBS_ENABLED,
+        "window_seconds": WINDOW_SECONDS,
+        "baseline_tx_per_s": round(baseline, 1),
+        "instrumented_tx_per_s": round(candidate, 1),
+        "instrumented_relative": round(relative, 3),
+        "stages": stages,
+        "spans_finished": obs.tracer.finished_total if obs is not None else 0,
+    }
+    report("obs", lines, data=data)
+    benchmark.extra_info["instrumented_relative"] = data["instrumented_relative"]
+
+    # --- acceptance -----------------------------------------------------------
+    if OBS_ENABLED:
+        # Every profiled stage of the token pipeline produced samples.
+        for stage in STAGES:
+            assert stage in stages and stages[stage]["count"] >= 1, stage
+        assert obs.tracer.finished_total > 0
+        # The CI artifact gate (check_obs_overhead.py) holds 0.90; the
+        # in-harness floor is looser so one noisy local run doesn't fail.
+        assert relative >= 0.80, f"instrumented lane at {relative:.3f}x baseline"
+    else:
+        # Identical code paths: anything below this is machine noise, not
+        # the dormant attribute checks.  The artifact gate holds 0.98.
+        assert relative >= 0.85, f"uninstrumented lanes diverged: {relative:.3f}x"
 
 
 def test_end_to_end_scenario_mixes(benchmark):

@@ -349,16 +349,37 @@ def _check_codec(codec: str) -> None:
 
 
 def encode_request_envelope(
-    op: str, route: str, body: Mapping[str, Any], *, codec: str = CODEC_JSON
+    op: str,
+    route: str,
+    body: Mapping[str, Any],
+    *,
+    codec: str = CODEC_JSON,
+    trace: "Mapping[str, Any] | None" = None,
 ) -> bytes:
+    """Encode a request envelope, optionally carrying a trace context.
+
+    ``trace`` is the *optional* observability field (the
+    :meth:`repro.obs.trace.TraceContext.to_wire` dict).  Both lanes carry it
+    as one extra top-level key that decoders are free to ignore -- the wire
+    version is unchanged, so traced and untraced peers interoperate.
+    """
     _check_codec(codec)
+    envelope: dict[str, Any] = {"op": op, "route": route, "body": dict(body)}
+    if trace is not None:
+        envelope["trace"] = dict(trace)
     if codec == CODEC_BINARY:
-        return _pack_envelope({"op": op, "route": route, "body": dict(body)})
-    envelope = {"smacs": WIRE_VERSION, "op": op, "route": route, "body": dict(body)}
+        return _pack_envelope(envelope)
+    envelope["smacs"] = WIRE_VERSION
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
-def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
+def decode_request(raw: bytes) -> tuple[str, str, dict[str, Any], "dict[str, Any] | None"]:
+    """Decode a request envelope including the optional trace context.
+
+    Returns ``(op, route, body, trace)`` where ``trace`` is the raw wire
+    dict (or ``None`` when absent/malformed -- a bad trace never fails the
+    request, it just loses its telemetry).
+    """
     if sniff_codec(raw) == CODEC_BINARY:
         envelope = _unpack_envelope(raw)
     else:
@@ -374,7 +395,16 @@ def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
     body = envelope.get("body", {})
     if not isinstance(op, str) or not isinstance(route, str) or not isinstance(body, dict):
         raise _malformed("request envelope requires string op/route and object body")
-    return op, route, cast("dict[str, Any]", body)
+    trace = envelope.get("trace")
+    if not isinstance(trace, dict):
+        trace = None
+    return op, route, cast("dict[str, Any]", body), cast("dict[str, Any] | None", trace)
+
+
+def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
+    """Trace-blind decode (the pre-observability surface, kept stable)."""
+    op, route, body, _trace = decode_request(raw)
+    return op, route, body
 
 
 def encode_response_envelope(body: Mapping[str, Any], *, codec: str = CODEC_JSON) -> bytes:
@@ -428,6 +458,7 @@ __all__ = [
     "CODEC_JSON",
     "WIRE_VERSION",
     "decode_issuance_result",
+    "decode_request",
     "decode_request_envelope",
     "decode_response_envelope",
     "decode_token_request",

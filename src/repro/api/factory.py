@@ -25,6 +25,7 @@ from repro.core.replication import ReplicatedTokenService
 from repro.core.token_service import DEFAULT_TOKEN_LIFETIME, TokenService
 from repro.crypto.keys import KeyPair
 from repro.crypto.sigcache import SignatureCache
+from repro.obs import MetricsRegistry
 
 from repro.api.middleware import (
     Audit,
@@ -61,6 +62,7 @@ def build_service(
     rate_limit: "tuple[float, int] | None" = None,
     audit: bool = False,
     metrics: bool = False,
+    metrics_registry: "MetricsRegistry | None" = None,
 ) -> TokenIssuer:
     """Assemble an issuance stack for the requested deployment profile.
 
@@ -70,7 +72,10 @@ def build_service(
     and stacks a :class:`~repro.api.middleware.SignatureCachePrimer` instead.
     ``rate_limit`` is ``(rate_per_second, burst)``; ``audit`` and ``metrics``
     stack the corresponding layers (metrics outermost, so it observes
-    rate-limited results too).
+    rate-limited results too).  ``metrics_registry`` shares an existing
+    :class:`repro.obs.MetricsRegistry` with the metrics layer -- passing one
+    implies ``metrics=True`` -- so issuance counters land in the same
+    snapshot the ``metrics`` gateway route exports.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown service profile {profile!r}; pick one of {PROFILES}")
@@ -132,8 +137,8 @@ def build_service(
         issuer = RateLimiter(issuer, rate_per_second, burst, clock=clock)
     if audit:
         issuer = Audit(issuer)
-    if metrics:
-        issuer = Metrics(issuer)
+    if metrics or metrics_registry is not None:
+        issuer = Metrics(issuer, registry=metrics_registry)
     return issuer
 
 

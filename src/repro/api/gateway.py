@@ -40,6 +40,8 @@ from repro.core.token_service import IssuanceResult
 
 from repro.api import codec
 from repro.api.protocol import TokenIssuer, Transport
+from repro.obs import Observability
+from repro.obs.trace import TraceContext
 
 
 def _jsonable(value: Any) -> Any:
@@ -58,9 +60,13 @@ def _jsonable(value: Any) -> Any:
 class ServiceGateway:
     """Routes wire envelopes to registered issuer stacks."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, observability: "Observability | None" = None) -> None:
         self._routes: dict[str, TokenIssuer] = {}
         self._rule_epochs: dict[str, int] = {}
+        #: optional :class:`repro.obs.Observability` handle; when attached,
+        #: the gateway times ``gateway_decode``/``issuance`` stages, adopts
+        #: incoming trace contexts and serves the ``metrics`` route.
+        self.observability = observability
 
     # -- registry -------------------------------------------------------------
 
@@ -95,15 +101,27 @@ class ServiceGateway:
         the request arrived in (JSON stays the default; an envelope in no
         known lane gets a JSON ``MALFORMED_REQUEST``).
         """
+        obs = self.observability
         try:
             wire_codec = codec.sniff_codec(raw)
         except SmacsError as error:
             return codec.encode_error_envelope(error)
         try:
-            op, route, body = codec.decode_request_envelope(raw)
-            return codec.encode_response_envelope(
-                self._dispatch(op, route, body), codec=wire_codec
-            )
+            if obs is None:
+                op, route, body = codec.decode_request_envelope(raw)
+                return codec.encode_response_envelope(
+                    self._dispatch(op, route, body), codec=wire_codec
+                )
+            t0 = obs.clock()
+            op, route, body, trace = codec.decode_request(raw)
+            obs.record_stage("gateway_decode", obs.clock() - t0)
+            # Adopt the caller's trace (if any) so the server-side spans nest
+            # under the client's -- one trace id across the TCP boundary.
+            with obs.tracer.span(
+                "gateway.handle", context=TraceContext.from_wire(trace), op=op, route=route
+            ):
+                payload = self._dispatch(op, route, body)
+            return codec.encode_response_envelope(payload, codec=wire_codec)
         except SmacsError as error:
             return codec.encode_error_envelope(error, codec=wire_codec)
         except Exception as exc:  # never leak a raw traceback across the wire
@@ -112,6 +130,13 @@ class ServiceGateway:
     def _dispatch(self, op: str, route: str, body: dict[str, Any]) -> dict[str, Any]:
         if op == "describe":
             return {"version": codec.WIRE_VERSION, "routes": self.routes()}
+        if op == "metrics":
+            # Served before the route lookup: the registry snapshot is a
+            # gateway-wide view, not a per-issuer one.
+            obs = self.observability
+            if obs is None:
+                return {"metrics": {"enabled": False}}
+            return {"metrics": obs.snapshot()}
         issuer = self.issuer_for(route)
         if op == "submit":
             raw_requests = body.get("requests")
@@ -130,7 +155,12 @@ class ServiceGateway:
                 raise SmacsError(
                     f"undecodable token request: {exc}", ErrorCode.MALFORMED_REQUEST
                 ) from exc
-            results = issuer.submit(requests)
+            obs = self.observability
+            if obs is None:
+                results = issuer.submit(requests)
+            else:
+                with obs.stage("issuance"):
+                    results = issuer.submit(requests)
             return {"results": [codec.encode_issuance_result(result) for result in results]}
         if op == "address":
             return {"address": address_hex(issuer.address)}
@@ -265,6 +295,7 @@ class GatewayClient:
         wire_codec: str = codec.CODEC_JSON,
         backoff: "Backoff | None" = None,
         retry_codes: "frozenset[ErrorCode] | None" = None,
+        observability: "Observability | None" = None,
     ) -> None:
         if wire_codec not in codec.CODECS:
             raise ValueError(
@@ -278,24 +309,42 @@ class GatewayClient:
             DEFAULT_RETRY_CODES if retry_codes is None else frozenset(retry_codes)
         )
         self.retries_performed = 0
+        #: optional :class:`repro.obs.Observability`: when its tracer is
+        #: enabled, every call opens a ``client.<op>`` span and sends its
+        #: context on the envelope so server spans join the same trace.
+        self.observability = observability
         self._address: "Address | None" = None
 
     def _call(self, op: str, body: dict[str, Any]) -> dict[str, Any]:
-        raw = codec.encode_request_envelope(op, self.route, body, codec=self.wire_codec)
-        attempt = 0
-        while True:
-            try:
-                return codec.decode_response_envelope(self.transport.send(raw))
-            except SmacsError as error:
-                if (
-                    self.backoff is None
-                    or error.code not in self.retry_codes
-                    or attempt >= self.backoff.retries
-                ):
-                    raise
-                self.backoff.pause(attempt)
-                attempt += 1
-                self.retries_performed += 1
+        obs = self.observability
+        span = None
+        trace = None
+        if obs is not None and obs.tracer.enabled:
+            span = obs.tracer.start(f"client.{op}", route=self.route)
+            if span is not None:
+                trace = span.context().to_wire()
+        try:
+            raw = codec.encode_request_envelope(
+                op, self.route, body, codec=self.wire_codec, trace=trace
+            )
+            attempt = 0
+            while True:
+                try:
+                    return codec.decode_response_envelope(self.transport.send(raw))
+                except SmacsError as error:
+                    if (
+                        self.backoff is None
+                        or error.code not in self.retry_codes
+                        or attempt >= self.backoff.retries
+                    ):
+                        raise
+                    self.backoff.pause(attempt)
+                    attempt += 1
+                    self.retries_performed += 1
+        finally:
+            if span is not None:
+                assert obs is not None
+                obs.tracer.finish(span)
 
     # -- TokenIssuer ----------------------------------------------------------
 
@@ -355,6 +404,15 @@ class GatewayClient:
 
     def describe(self) -> dict[str, Any]:
         return self._call("describe", {})
+
+    def metrics(self) -> dict[str, Any]:
+        """Fetch the server's observability snapshot over the wire."""
+        payload = self._call("metrics", {})["metrics"]
+        if not isinstance(payload, dict):
+            raise SmacsError(
+                "metrics response must be an object", ErrorCode.MALFORMED_REQUEST
+            )
+        return payload
 
     def close(self) -> None:
         """Release the underlying transport (idempotent)."""

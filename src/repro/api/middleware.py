@@ -28,6 +28,7 @@ from repro.core.token import TokenType, signing_datagram
 from repro.core.token_request import TokenRequest
 from repro.core.token_service import IssuanceResult
 from repro.crypto.sigcache import SignatureCache
+from repro.obs import MetricsRegistry
 
 from repro.api.protocol import TokenIssuer
 
@@ -183,36 +184,79 @@ class RateLimiter(IssuerMiddleware):
 
 
 class Metrics(IssuerMiddleware):
-    """Uniform issuance metrics for any stack (what Fig. 9 harnesses read)."""
+    """Uniform issuance metrics for any stack (what Fig. 9 harnesses read).
+
+    Since the :mod:`repro.obs` subsystem landed, this layer is a thin facade
+    over a :class:`~repro.obs.MetricsRegistry` -- the repo has exactly one
+    metrics implementation, and a stack's issuance counters show up in the
+    same registry snapshot (``issuance.*`` names) the ``metrics`` gateway
+    route exports.  The public fields (``submissions``, ``requests``,
+    ``issued``, ``failed``, ``errors_by_code``, ``largest_batch``) and the
+    ``layer_stats()`` shape are unchanged.
+    """
 
     layer = "metrics"
 
-    def __init__(self, inner: TokenIssuer) -> None:
+    def __init__(
+        self, inner: TokenIssuer, *, registry: "MetricsRegistry | None" = None
+    ) -> None:
         super().__init__(inner)
-        self.submissions = 0
-        self.requests = 0
-        self.issued = 0
-        self.failed = 0
-        self.errors_by_code: dict[str, int] = {}
-        self.largest_batch = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submissions = self.registry.counter("issuance.submissions")
+        self._requests = self.registry.counter("issuance.requests")
+        self._issued = self.registry.counter("issuance.issued")
+        self._failed = self.registry.counter("issuance.failed")
+        self._largest_batch = self.registry.gauge("issuance.largest_batch")
 
     def submit(
         self, requests: "TokenRequest | Sequence[TokenRequest]"
     ) -> list[IssuanceResult]:
         request_list = _as_list(requests)
         results = self.inner.submit(request_list)
-        self.submissions += 1
-        self.requests += len(request_list)
-        self.largest_batch = max(self.largest_batch, len(request_list))
+        self._submissions.inc()
+        self._requests.inc(len(request_list))
+        self._largest_batch.set_max(len(request_list))
         for result in results:
             if result.issued:
-                self.issued += 1
+                self._issued.inc()
             else:
-                self.failed += 1
+                self._failed.inc()
                 code = result.code
                 name = code.value if code is not None else ErrorCode.DENIED.value
-                self.errors_by_code[name] = self.errors_by_code.get(name, 0) + 1
+                self.registry.counter(f"issuance.errors.{name}").inc()
         return results
+
+    # -- the pre-repro.obs public fields, kept byte-compatible ----------------
+
+    @property
+    def submissions(self) -> int:
+        return self._submissions.value
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def issued(self) -> int:
+        return self._issued.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
+
+    @property
+    def errors_by_code(self) -> dict[str, int]:
+        prefix = "issuance.errors."
+        snap = self.registry.snapshot()["counters"]
+        return {
+            name[len(prefix):]: count
+            for name, count in snap.items()
+            if name.startswith(prefix)
+        }
 
     def layer_stats(self) -> dict[str, Any]:
         return {
@@ -220,7 +264,7 @@ class Metrics(IssuerMiddleware):
             "requests": self.requests,
             "issued": self.issued,
             "failed": self.failed,
-            "errors_by_code": dict(self.errors_by_code),
+            "errors_by_code": self.errors_by_code,
             "largest_batch": self.largest_batch,
         }
 

@@ -1,0 +1,132 @@
+"""``python -m repro.obs.dump`` -- render an observability snapshot.
+
+Sources, in order of how the snapshot got to you:
+
+- a JSON file written by a benchmark or a prior dump (``dump.py snap.json``)
+- stdin (``... | python -m repro.obs.dump -``)
+- a live gateway over TCP: ``python -m repro.obs.dump tcp://127.0.0.1:8821``
+  fetches the ``metrics`` route (the import of ``repro.api`` is lazy, so the
+  obs package itself stays dependency-free).
+
+``--format text`` (default) prints counters, gauges and the per-stage
+latency table; ``--format json`` re-emits the snapshot for piping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Mapping
+
+__all__ = ["fetch_snapshot", "load_snapshot", "render_text", "main"]
+
+
+def fetch_snapshot(url: str, *, route: str = "") -> Dict[str, Any]:
+    """Fetch the ``metrics`` route from a live gateway at ``tcp://host:port``."""
+    from repro.api import connect  # lazy: keeps repro.obs standalone
+
+    client = connect(url, route=route)
+    try:
+        return client.metrics()
+    finally:
+        client.close()
+
+
+def load_snapshot(source: str) -> Dict[str, Any]:
+    if source.startswith("tcp://"):
+        return fetch_snapshot(source)
+    if source == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{source}: expected a JSON object snapshot")
+    # Accept a raw Observability.snapshot(), a wire response body
+    # ({"metrics": {...}}), or a bare registry snapshot.
+    if "metrics" in doc and isinstance(doc["metrics"], dict) and "enabled" in doc["metrics"]:
+        return doc["metrics"]
+    return doc
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_text(snapshot: Mapping[str, Any]) -> str:
+    lines = []
+    if not snapshot.get("enabled", True):
+        return "observability: disabled (no handle attached on the server)"
+    tracing = snapshot.get("tracing")
+    if tracing is not None:
+        lines.append(
+            f"observability: enabled (tracing {'on' if tracing else 'off'}, "
+            f"{snapshot.get('spans_finished', 0)} spans finished)"
+        )
+    metrics = snapshot.get("metrics", snapshot)
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40} {counters[name]}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40} {_fmt(gauges[name])}")
+    stages = snapshot.get("stages", {})
+    if stages:
+        lines.append("")
+        header = f"{'stage':<16} {'count':>8} {'p50 ms':>10} {'p99 ms':>10} {'p999 ms':>10} {'max ms':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for stage, row in stages.items():
+            lines.append(
+                f"{stage:<16} {row['count']:>8} {_fmt(row['p50_ms']):>10} "
+                f"{_fmt(row['p99_ms']):>10} {_fmt(row['p999_ms']):>10} "
+                f"{_fmt(row['max_ms']):>10}"
+            )
+    histograms = metrics.get("histograms", {})
+    other = [n for n in sorted(histograms) if not n.startswith("stage.")]
+    if other:
+        lines.append("")
+        lines.append("other histograms:")
+        for name in other:
+            h = histograms[name]
+            lines.append(
+                f"  {name:<38} count={h['count']} p50={_fmt(h['p50'])} "
+                f"p99={_fmt(h['p99'])}"
+            )
+    return "\n".join(lines) if lines else "observability: empty snapshot"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dump",
+        description="Render a repro.obs snapshot from a file, stdin or a live gateway.",
+    )
+    parser.add_argument(
+        "source",
+        help="JSON file path, '-' for stdin, or tcp://host:port for a live gateway",
+    )
+    parser.add_argument(
+        "--format", "-f", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+    snapshot = load_snapshot(args.source)
+    if args.fmt == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_text(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

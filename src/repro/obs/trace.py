@@ -1,0 +1,226 @@
+"""Structured tracing: nested spans with stage tags and a wire context.
+
+A :class:`Tracer` hands out :class:`Span` objects kept on a thread-local
+stack, so ``gateway.handle`` -> issuance middleware -> pipeline stages nest
+naturally without any explicit plumbing (the TCP server dispatches each
+envelope synchronously on its loop thread, so the stack survives the whole
+request).  The piece that crosses processes is :class:`TraceContext`: two
+ids serialised as one small dict that rides an *optional* ``"trace"`` field
+on request envelopes in both codec lanes.  Old peers never look at the
+field, so the codec version is unchanged and mixed fleets interoperate.
+
+Ids come from deterministic per-tracer counters rather than ``uuid4`` --
+unique within a process, reproducible in tests, and cheap.  Cross-process
+uniqueness is not needed: a trace is always rooted on exactly one client.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+from time import monotonic as _monotonic
+
+__all__ = ["Span", "TraceContext", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The two ids a span sends over the wire so the server can nest under it."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"id": self.trace_id, "span": self.span_id}
+
+    @staticmethod
+    def from_wire(payload: Any) -> "TraceContext | None":
+        """Lenient decode: anything malformed degrades to ``None`` (no trace).
+
+        An envelope with a bad trace field still carries a valid request;
+        refusing to serve it would turn a telemetry hiccup into an outage.
+        """
+        if not isinstance(payload, Mapping):
+            return None
+        trace_id = payload.get("id")
+        span_id = payload.get("span")
+        if isinstance(trace_id, str) and isinstance(span_id, str) and trace_id and span_id:
+            return TraceContext(trace_id, span_id)
+        return None
+
+
+@dataclass
+class Span:
+    """One timed, tagged section of work inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: "str | None"
+    start: float
+    end: "float | None" = None
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> "float | None":
+        return None if self.end is None else self.end - self.start
+
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+        }
+
+
+class _SpanHandle:
+    """Context-manager wrapper so ``with tracer.span(...)`` needs no guard."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: "Span | None") -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> "Span | None":
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.span is not None:
+            if exc_type is not None:
+                self.span.tags.setdefault("error", exc_type.__name__)
+            self._tracer.finish(self.span)
+
+
+class Tracer:
+    """Produces nested spans; disabled tracers hand back ``None`` for free.
+
+    ``keep`` bounds the finished-span buffer (a deque) so a long-running
+    instrumented process never grows without bound; benchmarks read counts
+    from the metrics registry, not from the span buffer.
+    """
+
+    def __init__(
+        self,
+        *,
+        now: Callable[[], float] = _monotonic,
+        enabled: bool = True,
+        keep: int = 4096,
+    ) -> None:
+        self.now = now
+        self.enabled = enabled
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._finished: Deque[Span] = deque(maxlen=keep)
+        self._finished_total = 0
+        self._lock = threading.Lock()
+
+    # -- span lifecycle --------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> "Span | None":
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def context(self) -> "TraceContext | None":
+        span = self.current()
+        return None if span is None else span.context()
+
+    def start(
+        self,
+        name: str,
+        *,
+        context: "TraceContext | None" = None,
+        **tags: str,
+    ) -> "Span | None":
+        """Open a span (child of the current one, or of a remote context)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            serial = next(self._ids)
+        span_id = f"{serial:08x}"
+        parent = self.current()
+        if context is not None:
+            trace_id, parent_id = context.trace_id, context.span_id
+        elif parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = f"t{serial:015x}", None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=self.now(),
+            tags=dict(tags),
+        )
+        self._stack().append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        if span.end is not None:
+            return
+        span.end = self.now()
+        stack = self._stack()
+        if span in stack:
+            # Pop through any abandoned children so the stack stays sane even
+            # if a callee forgot to finish (they are finished implicitly).
+            while stack:
+                top = stack.pop()
+                if top is span:
+                    break
+                if top.end is None:
+                    top.end = span.end
+                with self._lock:
+                    self._finished.append(top)
+                    self._finished_total += 1
+        with self._lock:
+            self._finished.append(span)
+            self._finished_total += 1
+
+    def span(
+        self,
+        name: str,
+        *,
+        context: "TraceContext | None" = None,
+        **tags: str,
+    ) -> _SpanHandle:
+        """``with tracer.span("gateway.handle", op="submit"): ...``"""
+        return _SpanHandle(self, self.start(name, context=context, **tags))
+
+    # -- inspection ------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def finished_total(self) -> int:
+        return self._finished_total
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """All retained spans of one trace, in finish order."""
+        with self._lock:
+            return [s for s in self._finished if s.trace_id == trace_id]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._finished_total = 0
+        self._local = threading.local()

@@ -49,6 +49,9 @@ class BlockBuilder:
         self.mempool = mempool
         self.block_gas_limit = block_gas_limit
         self.blocks_planned = 0
+        #: optional :class:`repro.obs.Observability` handle; when attached,
+        #: :meth:`build` is timed into the ``build`` stage histogram.
+        self.obs = None
 
     def build(self) -> BlockPlan:
         """Plan the next block from the current pool contents.
@@ -57,6 +60,13 @@ class BlockBuilder:
         reports them included (crash safety: an executor that dies mid-block
         loses no transactions).
         """
+        obs = self.obs
+        if obs is None:
+            return self._build()
+        with obs.stage("build"):
+            return self._build()
+
+    def _build(self) -> BlockPlan:
         plan = BlockPlan(gas_limit=self.block_gas_limit)
         skipped_senders: set[bytes] = set()
         for tx in self.mempool.transactions():

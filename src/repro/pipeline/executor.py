@@ -130,6 +130,10 @@ class BlockExecutor:
         self.signature_cache = (
             signature_cache if signature_cache is not None else chain.evm.signature_cache
         )
+        #: optional :class:`repro.obs.Observability` handle; when attached,
+        #: the ``pre_warm`` and ``execute`` stages are timed separately so a
+        #: block's cache-warming cost is attributable apart from the EVM run.
+        self.obs = None
 
     # -- the batched pre-warm pass ----------------------------------------------
 
@@ -147,6 +151,13 @@ class BlockExecutor:
         here -- once, outside any gas-metered frame -- instead of inside
         the EVM.
         """
+        obs = self.obs
+        if obs is None:
+            return self._pre_warm(transactions)
+        with obs.stage("pre_warm"):
+            return self._pre_warm(transactions)
+
+    def _pre_warm(self, transactions: list[Transaction]) -> tuple[int, int]:
         cache = self.signature_cache
         hits = 0
         pending: list[tuple[bytes, Signature]] = []
@@ -193,6 +204,14 @@ class BlockExecutor:
             return result
         if pre_warm:
             result.prewarm_hits, result.prewarm_misses = self.pre_warm(transactions)
+        obs = self.obs
+        if obs is None:
+            return self._execute(transactions, result)
+        # Timed after pre-warm, so "execute" is the enqueue + EVM mine alone.
+        with obs.stage("execute"):
+            return self._execute(transactions, result)
+
+    def _execute(self, transactions: list[Transaction], result: BlockResult) -> BlockResult:
         for tx in transactions:
             self.chain.enqueue_validated(tx)
         result.receipts = self.chain.mine_block()

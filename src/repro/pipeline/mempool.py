@@ -161,6 +161,10 @@ class Mempool:
         #: called with each successfully admitted transaction -- the seam
         #: the durability layer uses to write mempool WAL records.
         self.admission_listener: "Any | None" = None
+        #: optional :class:`repro.obs.Observability`; when attached (via
+        #: ``Observability.instrument_pipeline``), :meth:`admit` records the
+        #: ``admission`` stage histogram.  ``None`` costs one attribute check.
+        self.obs: "Any | None" = None
 
     # -- introspection ---------------------------------------------------------
 
@@ -189,6 +193,18 @@ class Mempool:
 
     def admit(self, tx: Transaction) -> AdmissionDecision:
         """Run all admission checks; pool the transaction when they pass."""
+        obs = self.obs
+        if obs is None:
+            return self._admit(tx)
+        # Direct stage recording (no context manager, no span): admission is
+        # the per-transaction hot path, so the instrumented cost is two clock
+        # reads and one histogram observe.
+        t0 = obs.clock()
+        decision = self._admit(tx)
+        obs.record_stage("admission", obs.clock() - t0)
+        return decision
+
+    def _admit(self, tx: Transaction) -> AdmissionDecision:
         tx_hash = tx.hash()
         if tx_hash in self._pool or tx_hash in self.chain.receipts:
             return self._reject("duplicate transaction")

@@ -44,12 +44,19 @@ from repro.core.errors import ErrorCode, SmacsError
 from repro.core.token_request import TokenRequest
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of an unsorted sample."""
-    if not values:
-        raise ValueError("percentile of an empty sample")
+def percentile(values: Sequence[float], q: float) -> "float | None":
+    """Nearest-rank percentile (``q`` in [0, 1]) of an unsorted sample.
+
+    An empty sample has no percentile: the documented sentinel is ``None``
+    (never ``0.0``, which would read as "zero latency" in a report, and
+    never an exception, which would abort a run that merely recorded no
+    arrivals).  A single-sample train returns that sample for every ``q``.
+    A ``q`` outside [0, 1] is a caller bug and still raises.
+    """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1], got {q}")
+    if not values:
+        return None
     ordered = sorted(values)
     rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
     return ordered[rank - 1]
@@ -66,19 +73,24 @@ def arrival_offsets(rate_per_second: float, arrivals: int) -> list[float]:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """The tail-first view of one latency sample, in milliseconds."""
+    """The tail-first view of one latency sample, in milliseconds.
+
+    An empty sample (``count == 0``) carries ``None`` for every latency
+    field -- "no data" and "0 ms" are different answers, and a summary
+    that silently reported zeros made an idle run look infinitely fast.
+    """
 
     count: int
-    p50_ms: float
-    p99_ms: float
-    p999_ms: float
-    mean_ms: float
-    max_ms: float
+    p50_ms: "float | None"
+    p99_ms: "float | None"
+    p999_ms: "float | None"
+    mean_ms: "float | None"
+    max_ms: "float | None"
 
     @classmethod
     def from_seconds(cls, samples: Sequence[float]) -> "LatencySummary":
         if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, None, None, None, None, None)
         in_ms = [value * 1000.0 for value in samples]
         return cls(
             count=len(in_ms),
@@ -89,13 +101,16 @@ class LatencySummary:
             max_ms=max(in_ms),
         )
 
-    def to_data(self, prefix: str) -> dict[str, float]:
+    def to_data(self, prefix: str) -> "dict[str, float | None]":
+        def rounded(value: "float | None") -> "float | None":
+            return None if value is None else round(value, 3)
+
         return {
-            f"{prefix}_p50_ms": round(self.p50_ms, 3),
-            f"{prefix}_p99_ms": round(self.p99_ms, 3),
-            f"{prefix}_p999_ms": round(self.p999_ms, 3),
-            f"{prefix}_mean_ms": round(self.mean_ms, 3),
-            f"{prefix}_max_ms": round(self.max_ms, 3),
+            f"{prefix}_p50_ms": rounded(self.p50_ms),
+            f"{prefix}_p99_ms": rounded(self.p99_ms),
+            f"{prefix}_p999_ms": rounded(self.p999_ms),
+            f"{prefix}_mean_ms": rounded(self.mean_ms),
+            f"{prefix}_max_ms": rounded(self.max_ms),
         }
 
 

@@ -58,6 +58,10 @@ class ExecutionPipeline:
         #: by its ``attach()`` -- the pipeline only drives the block-commit
         #: protocol, it never imports the storage layer.
         self.durability = None
+        #: optional :class:`repro.obs.Observability` handle; set by
+        #: ``Observability.instrument_pipeline`` (which also attaches it to
+        #: the mempool, builder, executor and -- when present -- the WAL).
+        self.obs = None
 
     # -- ingest -----------------------------------------------------------------
 
@@ -78,6 +82,15 @@ class ExecutionPipeline:
         only the in-memory block, which recovery rebuilds from the admission
         log (the crash-before-fsync scenario of the fault matrix).
         """
+        obs = self.obs
+        if obs is None:
+            return self._run_block(pre_warm)
+        # Root span for the block: the build / pre_warm / execute /
+        # commit_fsync stage timers nest under it when tracing is enabled.
+        with obs.tracer.span("pipeline.run_block"):
+            return self._run_block(pre_warm)
+
+    def _run_block(self, pre_warm: bool = True) -> "BlockResult | None":
         plan = self.builder.build()
         if not plan:
             return None

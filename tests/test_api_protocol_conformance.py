@@ -42,6 +42,12 @@ STACKS = [
     "gateway-replicated",
     "tcp-serial",
     "tcp-replicated",
+    # Observability cells: full tracing on both ends of the wire, in each
+    # codec lane.  The conformance bar is that instrumentation (trace
+    # contexts on the envelopes, stage timers in the gateway) is invisible
+    # to every behavioural test in this file.
+    "tcp-traced",
+    "tcp-traced-binary",
 ]
 
 
@@ -66,6 +72,21 @@ def _build_stack(name: str, *, keypair, rules, clock, cleanups=None) -> TokenIss
         gateway = ServiceGateway()
         gateway.register("https://ts.conformance.example", base)
         return gateway.client_for("https://ts.conformance.example")
+    if name.startswith("tcp-traced"):
+        from repro.api import codec
+        from repro.obs import Observability
+
+        base = build_service("serial", **kwargs)
+        gateway = ServiceGateway(observability=Observability())
+        gateway.register("https://ts.conformance.example", base)
+        server = serve(gateway)
+        lane = codec.CODEC_BINARY if name.endswith("binary") else codec.CODEC_JSON
+        client = connect(server.url, wire_codec=lane)
+        client.observability = Observability()
+        if cleanups is not None:
+            cleanups.append(client.close)
+            cleanups.append(server.close)
+        return client
     if name.startswith("tcp-"):
         # The same gateway, but reached through real sockets: an asyncio
         # GatewayServer and a pooled TcpTransport.  The conformance bar is

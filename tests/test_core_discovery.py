@@ -188,6 +188,51 @@ def test_api_public_surface_matches_snapshot():
         assert getattr(repro.api, name, None) is not None, name
 
 
+#: The public surface of repro.obs -- the observability subsystem.  Pinned
+#: like repro.api: additions update the snapshot, removals are breaking.
+OBS_SURFACE_SNAPSHOT = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "STAGES",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "disable",
+    "enable",
+    "merge_histogram_snapshots",
+    "observability",
+    "set_observability",
+]
+
+
+def test_obs_public_surface_matches_snapshot():
+    import repro.obs
+
+    assert sorted(repro.obs.__all__) == OBS_SURFACE_SNAPSHOT
+    for name in repro.obs.__all__:
+        assert getattr(repro.obs, name, None) is not None, name
+    # Layering: the observability package must stay importable without the
+    # api/pipeline/storage layers (they depend on it, never the reverse).
+    import pathlib
+    import subprocess
+    import sys
+
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    probe = (
+        "import sys, repro.obs; "
+        "banned = [m for m in sys.modules if m.startswith(('repro.api', "
+        "'repro.pipeline', 'repro.storage'))]; "
+        "sys.exit(1 if banned else 0)"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe], env={"PYTHONPATH": str(src)}
+    )
+    assert result.returncode == 0, "repro.obs pulled in a higher layer"
+
+
 def test_api_error_codes_are_stable():
     """The wire-visible error codes are part of the public contract."""
     assert {code.value for code in repro.api.ErrorCode} == {

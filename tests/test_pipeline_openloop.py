@@ -41,11 +41,26 @@ def test_percentile_ignores_input_order():
     assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
 
 
+def test_percentile_empty_sample_returns_the_none_sentinel():
+    """No data is ``None``, never 0.0 and never an exception (regression:
+    the empty train used to raise and the summary used to report 0 ms)."""
+    assert percentile([], 0.5) is None
+    assert percentile([], 0.0) is None
+    assert percentile([], 1.0) is None
+
+
+def test_percentile_single_sample_returns_the_sample():
+    for q in (0.0, 0.5, 0.999, 1.0):
+        assert percentile([7.5], q) == 7.5
+
+
 def test_percentile_validates():
-    with pytest.raises(ValueError):
-        percentile([], 0.5)
+    # Range validation still raises -- even on an empty sample, a bad q is
+    # a caller bug, not missing data.
     with pytest.raises(ValueError):
         percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        percentile([], -0.1)
 
 
 # --- arrival schedule ---------------------------------------------------------------
@@ -81,7 +96,18 @@ def test_latency_summary_from_seconds_and_to_data():
 def test_latency_summary_handles_the_empty_sample():
     summary = LatencySummary.from_seconds([])
     assert summary.count == 0
-    assert summary.p999_ms == 0.0
+    assert summary.p50_ms is None
+    assert summary.p999_ms is None
+    assert summary.mean_ms is None
+    assert summary.max_ms is None
+    data = summary.to_data("e2e")
+    assert data["e2e_p999_ms"] is None  # JSON null, not a fake 0 ms
+
+
+def test_latency_summary_single_sample():
+    summary = LatencySummary.from_seconds([0.004])
+    assert summary.count == 1
+    assert summary.p50_ms == summary.p999_ms == summary.max_ms == 4.0
 
 
 def test_report_rates():

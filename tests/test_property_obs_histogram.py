@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the repro.obs histogram.
+
+Two guarantees the profiling layer leans on:
+
+1. **Bounded quantile error.**  For arbitrary sample sets, every quantile
+   estimate is within one bucket boundary of the exact nearest-rank
+   percentile: the estimate never under-reports, and over-reports by at
+   most one bucket's growth factor (``10**(1/buckets_per_decade)``), with
+   the underflow/overflow buckets pinned to the range floor / observed max.
+2. **Merge equals single-stream.**  Recording two streams into separate
+   histograms and merging gives byte-identical buckets (and therefore
+   identical quantiles) to recording both streams into one histogram.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram, merge_histogram_snapshots
+from repro.pipeline.openloop import percentile
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
+
+# Positive durations across the histogram's whole dynamic range, plus the
+# out-of-range edges (sub-microsecond underflow, kilo-second overflow).
+samples = st.lists(
+    st.floats(min_value=1e-8, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+quantiles = st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0])
+
+
+@given(values=samples, q=quantiles)
+@settings(max_examples=200, deadline=None)
+def test_quantile_estimate_is_within_one_bucket_of_exact(values, q):
+    hist = Histogram("prop")
+    for value in values:
+        hist.observe(value)
+    exact = percentile(values, q)
+    assert exact is not None
+    estimate = hist.quantile(q)
+    assert estimate is not None
+
+    growth = 10.0 ** (1.0 / hist.buckets_per_decade)
+    top = hist.lower * 10.0 ** hist.decades
+    if exact < hist.lower:
+        # Underflow bucket: the estimate is pinned to the range floor (or
+        # the observed max when every sample underflowed).
+        assert estimate <= hist.lower * (1 + 1e-9)
+    elif exact >= top:
+        # Overflow bucket: the estimate is the observed max, which the
+        # exact nearest-rank value can never exceed.
+        assert exact <= estimate * (1 + 1e-9)
+        assert estimate <= max(values) * (1 + 1e-9)
+    else:
+        # In-range: never under-reports, over-reports by at most one
+        # bucket's growth factor (fp slack for samples exactly on an edge).
+        assert estimate >= exact * (1 - 1e-9)
+        assert estimate <= exact * growth * (1 + 1e-9)
+
+
+@given(left=samples, right=samples)
+@settings(max_examples=200, deadline=None)
+def test_merge_equals_single_stream_recording(left, right):
+    separate_left, separate_right, single = (
+        Histogram(name) for name in ("left", "right", "single")
+    )
+    for value in left:
+        separate_left.observe(value)
+        single.observe(value)
+    for value in right:
+        separate_right.observe(value)
+        single.observe(value)
+
+    separate_left.merge(separate_right)
+    merged, direct = separate_left.snapshot(), single.snapshot()
+    assert merged["buckets"] == direct["buckets"]
+    assert merged["underflow"] == direct["underflow"]
+    assert merged["overflow"] == direct["overflow"]
+    assert merged["count"] == direct["count"]
+    assert merged["min"] == direct["min"]
+    assert merged["max"] == direct["max"]
+    assert math.isclose(merged["sum"], direct["sum"], rel_tol=1e-9, abs_tol=1e-12)
+    for key in ("p50", "p99", "p999"):
+        assert merged[key] == direct[key]
+
+
+@given(left=samples, right=samples)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_merge_equals_instance_merge(left, right):
+    a, b, c, d = (Histogram(name) for name in "abcd")
+    for value in left:
+        a.observe(value)
+        c.observe(value)
+    for value in right:
+        b.observe(value)
+        d.observe(value)
+    via_snapshots = merge_histogram_snapshots(a.snapshot(), b.snapshot())
+    c.merge(d)
+    via_instances = c.snapshot()
+    assert via_snapshots["buckets"] == via_instances["buckets"]
+    assert via_snapshots["p999"] == via_instances["p999"]
+    assert via_snapshots["count"] == via_instances["count"]
