@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fail CI when overload resilience regresses against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_overload_regression.py \
+        benchmarks/baselines/BENCH_overload.json \
+        benchmarks/results/BENCH_overload.json \
+        [--tolerance 0.35]
+
+The gated numbers are *ratios within one run* (4x-overload goodput vs 1x
+goodput, 4x accepted p99 vs 1x accepted p99), so they survive hardware
+changes that shift every absolute latency together -- the benchmark pins
+its capacity with a fixed per-submit sleep for exactly this reason.  The
+goodput ratio is higher-is-better (admission control must keep the service
+at capacity under overload); the accepted-p99 ratio is lower-is-better
+(accepted requests must not feel the overload).  Absolute goodputs are
+gated too -- a machine-independent ~``rate x completion`` by construction
+-- while the raw millisecond percentiles are context only.
+
+The benchmark itself hard-asserts the ISSUE-level SLO floors (goodput
+ratio >= 0.7, accepted p99 ratio <= 3.0); this gate pins the committed
+numbers much tighter so a slow drift toward those cliffs is caught early.
+"""
+
+from __future__ import annotations
+
+try:  # invoked as `python benchmarks/check_overload_regression.py`
+    from regression_gate import run_gate
+except ImportError:  # imported as part of the benchmarks package
+    from benchmarks.regression_gate import run_gate
+
+GATED_METRICS = (
+    "goodput_ratio_4x",
+    "goodput_1x_per_s",
+    "goodput_4x_per_s",
+)
+GATED_LOWER_METRICS = ("accepted_p99_ratio_4x",)
+CONTEXT_METRICS = (
+    "goodput_2x_per_s",
+    "shed_rate_1x",
+    "shed_rate_4x",
+    "overloaded_4x",
+    "accepted_p99_ms_1x",
+    "accepted_p99_ms_4x",
+    "shed_p99_ms_4x",
+)
+
+
+def main() -> int:
+    return run_gate(
+        description=__doc__,
+        gated_metrics=GATED_METRICS,
+        gated_lower_metrics=GATED_LOWER_METRICS,
+        context_metrics=CONTEXT_METRICS,
+        workload_keys=(
+            "base_rate_per_s",
+            "base_arrivals",
+            "workers",
+            "service_time_ms",
+            "target_delay_ms",
+        ),
+        default_tolerance=0.35,
+        failure_title="overload resilience regression",
+        baseline_path_hint="benchmarks/baselines/BENCH_overload.json",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

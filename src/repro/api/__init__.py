@@ -25,6 +25,14 @@ wire-level gateway:
   ``TcpTransport``, behind ``serve(gateway, addr)`` / ``connect(url)``
   factories and the ``dial`` hook for ``ServiceDiscovery``.
 
+Overload resilience (:mod:`repro.resilience`) is re-exported here because
+it is part of the wire contract: ``AdmissionController`` (gateway-edge
+load shedding answering ``OVERLOADED`` + ``retry_after_s``),
+``CircuitBreaker`` (per-endpoint closed/open/half-open ejection inside
+``TcpTransport``) and ``RetryBudget`` (client retries capped to a fraction
+of successful traffic), plus the optional absolute-deadline envelope field
+checked at every hop (``DEADLINE_EXCEEDED``).
+
 The public names below are covered by an API-stability snapshot test; grow
 the surface deliberately.
 """
@@ -59,10 +67,13 @@ from repro.api.middleware import (
 )
 from repro.api.protocol import TokenIssuer, Transport, conforms, issue_one, try_issue_one
 from repro.api.transport import GatewayServer, TcpTransport, connect, dial, serve
+from repro.resilience import AdmissionController, CircuitBreaker, RetryBudget
 
 __all__ = [
+    "AdmissionController",
     "Audit",
     "Backoff",
+    "CircuitBreaker",
     "CODECS",
     "CODEC_BINARY",
     "CODEC_JSON",
@@ -78,6 +89,7 @@ __all__ = [
     "PROFILES",
     "RETRYABLE_CODES",
     "RateLimiter",
+    "RetryBudget",
     "RetryFailover",
     "ServiceGateway",
     "SignatureCachePrimer",

@@ -41,6 +41,7 @@ from repro.core.errors import ErrorCode, SmacsError
 from repro.core.token import Token, TokenType
 from repro.core.token_request import TokenRequest
 from repro.core.token_service import IssuanceResult, TokenDenied
+from repro.resilience.deadline import decode_deadline
 
 #: the wire protocol version this codec speaks
 WIRE_VERSION = 1
@@ -355,30 +356,43 @@ def encode_request_envelope(
     *,
     codec: str = CODEC_JSON,
     trace: "Mapping[str, Any] | None" = None,
+    deadline: "float | None" = None,
 ) -> bytes:
-    """Encode a request envelope, optionally carrying a trace context.
+    """Encode a request envelope, optionally carrying trace and deadline.
 
     ``trace`` is the *optional* observability field (the
-    :meth:`repro.obs.trace.TraceContext.to_wire` dict).  Both lanes carry it
+    :meth:`repro.obs.trace.TraceContext.to_wire` dict).  ``deadline`` is the
+    *optional* resilience field: the absolute wall-clock time
+    (``time.time()`` seconds) after which the caller no longer wants the
+    answer -- hops that see it expired shed the request with
+    ``DEADLINE_EXCEEDED`` instead of doing the work.  Both lanes carry each
     as one extra top-level key that decoders are free to ignore -- the wire
-    version is unchanged, so traced and untraced peers interoperate.
+    version is unchanged, so new and legacy peers interoperate (an envelope
+    without either field is byte-identical to the pre-resilience encoding).
     """
     _check_codec(codec)
     envelope: dict[str, Any] = {"op": op, "route": route, "body": dict(body)}
     if trace is not None:
         envelope["trace"] = dict(trace)
+    if deadline is not None:
+        envelope["deadline"] = float(deadline)
     if codec == CODEC_BINARY:
         return _pack_envelope(envelope)
     envelope["smacs"] = WIRE_VERSION
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
-def decode_request(raw: bytes) -> tuple[str, str, dict[str, Any], "dict[str, Any] | None"]:
-    """Decode a request envelope including the optional trace context.
+def decode_request_full(
+    raw: bytes,
+) -> tuple[str, str, dict[str, Any], "dict[str, Any] | None", "float | None"]:
+    """Decode a request envelope with every optional field.
 
-    Returns ``(op, route, body, trace)`` where ``trace`` is the raw wire
-    dict (or ``None`` when absent/malformed -- a bad trace never fails the
-    request, it just loses its telemetry).
+    Returns ``(op, route, body, trace, deadline)``.  ``trace`` is the raw
+    wire dict (or ``None`` when absent/malformed -- a bad trace never fails
+    the request, it just loses its telemetry); ``deadline`` is the absolute
+    deadline (or ``None`` when absent/malformed, with the same never-fail
+    leniency -- a garbled deadline degrades to "no deadline", exactly what a
+    legacy peer sends).
     """
     if sniff_codec(raw) == CODEC_BINARY:
         envelope = _unpack_envelope(raw)
@@ -398,7 +412,20 @@ def decode_request(raw: bytes) -> tuple[str, str, dict[str, Any], "dict[str, Any
     trace = envelope.get("trace")
     if not isinstance(trace, dict):
         trace = None
-    return op, route, cast("dict[str, Any]", body), cast("dict[str, Any] | None", trace)
+    deadline = decode_deadline(envelope.get("deadline"))
+    return (
+        op,
+        route,
+        cast("dict[str, Any]", body),
+        cast("dict[str, Any] | None", trace),
+        deadline,
+    )
+
+
+def decode_request(raw: bytes) -> tuple[str, str, dict[str, Any], "dict[str, Any] | None"]:
+    """Deadline-blind decode (the PR 9 observability surface, kept stable)."""
+    op, route, body, trace, _deadline = decode_request_full(raw)
+    return op, route, body, trace
 
 
 def decode_request_envelope(raw: bytes) -> tuple[str, str, dict[str, Any]]:
@@ -460,6 +487,7 @@ __all__ = [
     "decode_issuance_result",
     "decode_request",
     "decode_request_envelope",
+    "decode_request_full",
     "decode_response_envelope",
     "decode_token_request",
     "decode_value",

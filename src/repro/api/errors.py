@@ -9,7 +9,15 @@ error-shaped from one place::
 
 Stable codes: ``DENIED``, ``COUNTER_TIMEOUT``, ``NO_REPLICA``,
 ``EXPIRED_RULESET``, ``MALFORMED_REQUEST``, ``UNKNOWN_ROUTE``,
-``RATE_LIMITED``, ``UNSUPPORTED``, ``INTERNAL``.
+``RATE_LIMITED``, ``UNAVAILABLE``, ``UNSUPPORTED``, ``DEADLINE_EXCEEDED``,
+``OVERLOADED``, ``INTERNAL``.
+
+Retry classification of the two overload codes is deliberate:
+``OVERLOADED`` is in :data:`RETRYABLE_CODES` (a transient queueing
+condition carrying a ``retry_after_s`` hint; retry it -- within a
+:class:`~repro.resilience.RetryBudget`), ``DEADLINE_EXCEEDED`` is not
+(the deadline that killed the first attempt is just as dead on the
+second).
 """
 
 from __future__ import annotations

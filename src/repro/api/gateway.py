@@ -42,6 +42,8 @@ from repro.api import codec
 from repro.api.protocol import TokenIssuer, Transport
 from repro.obs import Observability
 from repro.obs.trace import TraceContext
+from repro.resilience import AdmissionController, RetryBudget
+from repro.resilience.deadline import check_deadline, deadline_in, remaining
 
 
 def _jsonable(value: Any) -> Any:
@@ -60,13 +62,35 @@ def _jsonable(value: Any) -> Any:
 class ServiceGateway:
     """Routes wire envelopes to registered issuer stacks."""
 
-    def __init__(self, *, observability: "Observability | None" = None) -> None:
+    def __init__(
+        self,
+        *,
+        observability: "Observability | None" = None,
+        admission: "AdmissionController | None" = None,
+        now: "Callable[[], float] | None" = None,
+    ) -> None:
         self._routes: dict[str, TokenIssuer] = {}
         self._rule_epochs: dict[str, int] = {}
         #: optional :class:`repro.obs.Observability` handle; when attached,
         #: the gateway times ``gateway_decode``/``issuance`` stages, adopts
         #: incoming trace contexts and serves the ``metrics`` route.
         self.observability = observability
+        #: optional :class:`repro.resilience.AdmissionController`; when
+        #: attached, ``submit`` envelopes are shed with ``OVERLOADED`` (plus
+        #: a ``retry_after_s`` hint) before dispatch once the estimated
+        #: queueing delay exceeds the controller's budget.  Control-plane
+        #: ops (``describe``, ``health``, ``metrics``, rule management) are
+        #: never shed -- an operator must be able to see an overloaded
+        #: gateway.
+        self.admission = admission
+        #: wall clock for deadline checks (``time.time`` -- deadlines are
+        #: absolute wall-clock instants so they survive the wire); injectable
+        #: for deterministic tests.
+        self._now: Callable[[], float] = now if now is not None else time.time
+        #: requests shed at this edge, by reason (also mirrored into the
+        #: observability registry as ``gateway.shed.*`` counters when
+        #: instrumented).
+        self.shed: dict[str, int] = {"deadline": 0, "overloaded": 0}
 
     # -- registry -------------------------------------------------------------
 
@@ -94,12 +118,18 @@ class ServiceGateway:
 
     # -- the wire entry point -------------------------------------------------
 
-    def handle(self, raw: bytes) -> bytes:
+    def handle(self, raw: bytes, *, preadmitted: bool = False) -> bytes:
         """Process one request envelope; always answers with an envelope.
 
         Codec negotiation is per-envelope: the response travels in the lane
         the request arrived in (JSON stays the default; an envelope in no
         known lane gets a JSON ``MALFORMED_REQUEST``).
+
+        ``preadmitted`` is set by servers that already ran
+        :meth:`shed_check` for this frame on their read loop -- the
+        admission edge must not be charged twice for one request.  (The
+        pre-issuance deadline re-check in dispatch still runs: time kept
+        passing while the frame sat in the dispatch queue.)
         """
         obs = self.observability
         try:
@@ -108,28 +138,97 @@ class ServiceGateway:
             return codec.encode_error_envelope(error)
         try:
             if obs is None:
-                op, route, body = codec.decode_request_envelope(raw)
+                op, route, body, _trace, deadline = codec.decode_request_full(raw)
+                if not preadmitted:
+                    self._admission_check(op, deadline)
                 return codec.encode_response_envelope(
-                    self._dispatch(op, route, body), codec=wire_codec
+                    self._dispatch(op, route, body, deadline), codec=wire_codec
                 )
             t0 = obs.clock()
-            op, route, body, trace = codec.decode_request(raw)
+            op, route, body, trace, deadline = codec.decode_request_full(raw)
             obs.record_stage("gateway_decode", obs.clock() - t0)
+            if not preadmitted:
+                self._admission_check(op, deadline)
             # Adopt the caller's trace (if any) so the server-side spans nest
             # under the client's -- one trace id across the TCP boundary.
             with obs.tracer.span(
                 "gateway.handle", context=TraceContext.from_wire(trace), op=op, route=route
             ):
-                payload = self._dispatch(op, route, body)
+                payload = self._dispatch(op, route, body, deadline)
             return codec.encode_response_envelope(payload, codec=wire_codec)
         except SmacsError as error:
             return codec.encode_error_envelope(error, codec=wire_codec)
         except Exception as exc:  # never leak a raw traceback across the wire
             return codec.encode_error_envelope(classify(exc), codec=wire_codec)
 
-    def _dispatch(self, op: str, route: str, body: dict[str, Any]) -> dict[str, Any]:
+    def _admission_check(self, op: str, deadline: "float | None") -> None:
+        """The pre-dispatch shedding edge: dead work first, then overload.
+
+        Runs after envelope decode but before any request-body decode,
+        route lookup or issuance -- shedding here costs microseconds, the
+        work it avoids costs an ecrecover.
+        """
+        try:
+            check_deadline(deadline, stage="gateway", now=self._now)
+        except SmacsError:
+            self._count_shed("deadline")
+            raise
+        if self.admission is not None and op == "submit":
+            hint = self.admission.admit()
+            if hint is not None:
+                self._count_shed("overloaded")
+                raise SmacsError(
+                    f"gateway overloaded (estimated queueing exceeds the "
+                    f"{self.admission.target_delay_s * 1000:.0f} ms budget); "
+                    f"retry after {hint:.3f}s",
+                    ErrorCode.OVERLOADED,
+                    retry_after_s=round(hint, 6),
+                )
+
+    def shed_check(self, raw: bytes) -> "bytes | None":
+        """Arrival-paced shedding probe for concurrent-dispatch servers.
+
+        A server that hands :meth:`handle` to a dispatch pool calls this on
+        its read loop the moment a frame arrives: the deadline + overload
+        checks run *at arrival pace*, which is the whole point -- a
+        dispatch-serialised admission check only ever fires at drain pace
+        and can never see a queue building in front of it.  Returns a
+        ready-to-send error envelope when the request must be shed, or
+        ``None`` to proceed (the caller then passes ``preadmitted=True`` to
+        :meth:`handle`).  Undecodable frames return ``None`` so the
+        ``MALFORMED_REQUEST`` answer keeps coming from one place.
+        """
+        try:
+            wire_codec = codec.sniff_codec(raw)
+            op, _route, _body, _trace, deadline = codec.decode_request_full(raw)
+        except SmacsError:
+            return None
+        try:
+            self._admission_check(op, deadline)
+        except SmacsError as error:
+            return codec.encode_error_envelope(error, codec=wire_codec)
+        return None
+
+    def _count_shed(self, reason: str) -> None:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        obs = self.observability
+        if obs is not None:
+            obs.registry.counter(f"gateway.shed.{reason}").inc()
+
+    def _dispatch(
+        self, op: str, route: str, body: dict[str, Any], deadline: "float | None" = None
+    ) -> dict[str, Any]:
         if op == "describe":
             return {"version": codec.WIRE_VERSION, "routes": self.routes()}
+        if op == "health":
+            # The liveness probe circuit breakers drive: served before the
+            # route lookup, never shed by admission control (a drowning
+            # gateway must still say it is alive -- "alive but overloaded"
+            # and "dead" are different answers to a balancer).
+            payload: dict[str, Any] = {"status": "ok", "routes": self.routes()}
+            if self.admission is not None:
+                payload["admission"] = _jsonable(self.admission.stats())
+            return payload
         if op == "metrics":
             # Served before the route lookup: the registry snapshot is a
             # gateway-wide view, not a per-issuer one.
@@ -137,31 +236,19 @@ class ServiceGateway:
             if obs is None:
                 return {"metrics": {"enabled": False}}
             return {"metrics": obs.snapshot()}
-        issuer = self.issuer_for(route)
         if op == "submit":
-            raw_requests = body.get("requests")
-            if not isinstance(raw_requests, list):
-                raise SmacsError(
-                    "submit body requires a 'requests' array", ErrorCode.MALFORMED_REQUEST
-                )
+            # Every admitted submit owes the controller exactly one
+            # completion report -- including the ones that die on an unknown
+            # route, a malformed body or an expired deadline.  A leaked
+            # in-flight slot would shed traffic forever.
+            admission = self.admission
+            measured: list[float] = []
             try:
-                requests = [codec.decode_token_request(item) for item in raw_requests]
-            except SmacsError:
-                raise
-            except (ValueError, TypeError, KeyError) as exc:
-                # Structurally valid JSON carrying undecodable content (a
-                # corrupted address, a bad enum value) is the *caller's*
-                # malformed request, not a gateway fault.
-                raise SmacsError(
-                    f"undecodable token request: {exc}", ErrorCode.MALFORMED_REQUEST
-                ) from exc
-            obs = self.observability
-            if obs is None:
-                results = issuer.submit(requests)
-            else:
-                with obs.stage("issuance"):
-                    results = issuer.submit(requests)
-            return {"results": [codec.encode_issuance_result(result) for result in results]}
+                return self._dispatch_submit(route, body, deadline, measured)
+            finally:
+                if admission is not None:
+                    admission.observe(measured[0] if measured else None)
+        issuer = self.issuer_for(route)
         if op == "address":
             return {"address": address_hex(issuer.address)}
         if op == "stats":
@@ -194,6 +281,51 @@ class ServiceGateway:
             self._rule_epochs[route] = expected + 1
             return {"epoch": self._rule_epochs[route]}
         raise SmacsError(f"unknown operation {op!r}", ErrorCode.UNSUPPORTED)
+
+    def _dispatch_submit(
+        self,
+        route: str,
+        body: dict[str, Any],
+        deadline: "float | None",
+        measured: list[float],
+    ) -> dict[str, Any]:
+        """The submit dispatch; appends the service duration to ``measured``
+        only when the issuer actually ran (the admission EWMA must not learn
+        from requests that failed before service)."""
+        issuer = self.issuer_for(route)
+        raw_requests = body.get("requests")
+        if not isinstance(raw_requests, list):
+            raise SmacsError(
+                "submit body requires a 'requests' array", ErrorCode.MALFORMED_REQUEST
+            )
+        try:
+            requests = [codec.decode_token_request(item) for item in raw_requests]
+        except SmacsError:
+            raise
+        except (ValueError, TypeError, KeyError) as exc:
+            # Structurally valid JSON carrying undecodable content (a
+            # corrupted address, a bad enum value) is the *caller's*
+            # malformed request, not a gateway fault.
+            raise SmacsError(
+                f"undecodable token request: {exc}", ErrorCode.MALFORMED_REQUEST
+            ) from exc
+        # Re-check right before the expensive work: request-body decode
+        # may have eaten the remaining budget, and issuing tokens the
+        # caller already abandoned wastes counter indexes.
+        try:
+            check_deadline(deadline, stage="issuance", now=self._now)
+        except SmacsError:
+            self._count_shed("deadline")
+            raise
+        obs = self.observability
+        started = time.monotonic()
+        if obs is None:
+            results = issuer.submit(requests)
+        else:
+            with obs.stage("issuance"):
+                results = issuer.submit(requests)
+        measured.append(time.monotonic() - started)
+        return {"results": [codec.encode_issuance_result(result) for result in results]}
 
 
 class InProcessTransport:
@@ -284,7 +416,20 @@ class GatewayClient:
     failures: a :class:`~repro.core.errors.SmacsError` whose code is in
     ``retry_codes`` (default :data:`DEFAULT_RETRY_CODES`) is re-sent after a
     jittered pause, up to ``backoff.retries`` extra attempts.  Without a
-    backoff the client fails fast, exactly as before.
+    backoff the client fails fast, exactly as before.  Three resilience
+    knobs refine the retry loop:
+
+    * ``deadline_s`` -- a per-call budget; every envelope is stamped with
+      the absolute deadline and retries stop (locally, with
+      ``DEADLINE_EXCEEDED``) once it passes, so a retrying client never
+      outlives its caller's patience;
+    * ``retry_budget`` -- a shared :class:`~repro.resilience.RetryBudget`;
+      when it cannot afford a retry the original error is raised instead,
+      capping fleet-wide retry amplification during an outage;
+    * server ``retry_after_s`` hints (``RATE_LIMITED`` / ``OVERLOADED``)
+      are honored in place of blind exponential backoff: the client sleeps
+      the server-computed horizon (capped at ``backoff.cap``) instead of
+      guessing.
     """
 
     def __init__(
@@ -296,11 +441,16 @@ class GatewayClient:
         backoff: "Backoff | None" = None,
         retry_codes: "frozenset[ErrorCode] | None" = None,
         observability: "Observability | None" = None,
+        deadline_s: "float | None" = None,
+        retry_budget: "RetryBudget | None" = None,
+        now: "Callable[[], float] | None" = None,
     ) -> None:
         if wire_codec not in codec.CODECS:
             raise ValueError(
                 f"unknown wire codec {wire_codec!r}; pick one of {codec.CODECS}"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         self.transport = transport
         self.route = route
         self.wire_codec = wire_codec
@@ -309,6 +459,11 @@ class GatewayClient:
             DEFAULT_RETRY_CODES if retry_codes is None else frozenset(retry_codes)
         )
         self.retries_performed = 0
+        self.retries_denied = 0
+        self.retry_hints_honored = 0
+        self.deadline_s = deadline_s
+        self.retry_budget = retry_budget
+        self._now: Callable[[], float] = now if now is not None else time.time
         #: optional :class:`repro.obs.Observability`: when its tracer is
         #: enabled, every call opens a ``client.<op>`` span and sends its
         #: context on the envelope so server spans join the same trace.
@@ -323,14 +478,25 @@ class GatewayClient:
             span = obs.tracer.start(f"client.{op}", route=self.route)
             if span is not None:
                 trace = span.context().to_wire()
+        deadline = (
+            deadline_in(self.deadline_s, now=self._now)
+            if self.deadline_s is not None
+            else None
+        )
         try:
             raw = codec.encode_request_envelope(
-                op, self.route, body, codec=self.wire_codec, trace=trace
+                op, self.route, body, codec=self.wire_codec, trace=trace, deadline=deadline
             )
             attempt = 0
             while True:
+                # Pre-send shed: a retry loop that slept past the deadline
+                # must not burn a round-trip announcing it.
+                check_deadline(deadline, stage="client", now=self._now)
                 try:
-                    return codec.decode_response_envelope(self.transport.send(raw))
+                    payload = codec.decode_response_envelope(self.transport.send(raw))
+                    if self.retry_budget is not None:
+                        self.retry_budget.record_success()
+                    return payload
                 except SmacsError as error:
                     if (
                         self.backoff is None
@@ -338,13 +504,36 @@ class GatewayClient:
                         or attempt >= self.backoff.retries
                     ):
                         raise
-                    self.backoff.pause(attempt)
+                    if self.retry_budget is not None and not self.retry_budget.try_spend():
+                        # Out of budget: surface the server's answer rather
+                        # than amplify the outage with another attempt.
+                        self.retries_denied += 1
+                        raise
+                    self._pause_before_retry(error, attempt, deadline)
                     attempt += 1
                     self.retries_performed += 1
         finally:
             if span is not None:
                 assert obs is not None
                 obs.tracer.finish(span)
+
+    def _pause_before_retry(
+        self, error: SmacsError, attempt: int, deadline: "float | None"
+    ) -> None:
+        """Sleep before a retry: the server's hint when offered, jitter else.
+
+        Never sleeps past the call deadline -- the pre-send check would only
+        convert the overrun into ``DEADLINE_EXCEEDED`` after the fact.
+        """
+        assert self.backoff is not None
+        if error.retry_after_s is not None:
+            delay = min(max(0.0, error.retry_after_s), self.backoff.cap)
+            self.retry_hints_honored += 1
+        else:
+            delay = self.backoff.delay(attempt)
+        if deadline is not None:
+            delay = min(delay, remaining(deadline, now=self._now))
+        self.backoff.sleep(delay)
 
     # -- TokenIssuer ----------------------------------------------------------
 
@@ -404,6 +593,15 @@ class GatewayClient:
 
     def describe(self) -> dict[str, Any]:
         return self._call("describe", {})
+
+    def health(self) -> dict[str, Any]:
+        """The gateway's liveness answer (the ``health`` wire op)."""
+        payload = self._call("health", {})
+        if not isinstance(payload.get("status"), str):
+            raise SmacsError(
+                "health response requires a 'status' string", ErrorCode.MALFORMED_REQUEST
+            )
+        return payload
 
     def metrics(self) -> dict[str, Any]:
         """Fetch the server's observability snapshot over the wire."""

@@ -127,6 +127,18 @@ class TokenBucket:
         self._tokens -= granted
         return granted
 
+    def retry_after(self, wanted: int = 1) -> float:
+        """Seconds until ``wanted`` tokens will have refilled (>= 0.0).
+
+        The server-computed backoff hint a ``RATE_LIMITED`` answer carries:
+        the bucket refills at ``rate_per_second``, so a caller retrying
+        after this long meets a bucket that can grant the request (absent
+        competing traffic -- the hint is an estimate, not a reservation).
+        """
+        self._refill()
+        deficit = float(wanted) - self._tokens
+        return max(0.0, deficit / self.rate_per_second)
+
 
 class RateLimiter(IssuerMiddleware):
     """Token-bucket admission control in front of an issuer.
@@ -169,14 +181,19 @@ class RateLimiter(IssuerMiddleware):
         self.admitted += allowed
         self.limited += len(request_list) - allowed
         results = self.inner.submit(request_list[:allowed]) if allowed else []
-        error = SmacsError(
-            f"rate limit exceeded ({self.rate_per_second}/s, burst {self.burst})",
-            ErrorCode.RATE_LIMITED,
-        )
-        results.extend(
-            IssuanceResult.failure(request, error)
-            for request in request_list[allowed:]
-        )
+        if allowed < len(request_list):
+            # One hint for the whole refused suffix: when the *first* refused
+            # token will have refilled (clients resubmit the suffix as one
+            # batch, so the earliest-usable moment is the honest answer).
+            error = SmacsError(
+                f"rate limit exceeded ({self.rate_per_second}/s, burst {self.burst})",
+                ErrorCode.RATE_LIMITED,
+                retry_after_s=round(self._bucket.retry_after(1), 6),
+            )
+            results.extend(
+                IssuanceResult.failure(request, error)
+                for request in request_list[allowed:]
+            )
         return results
 
     def layer_stats(self) -> dict[str, Any]:

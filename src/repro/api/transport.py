@@ -32,9 +32,14 @@ envelopes are small and Nagle/delayed-ACK interaction would otherwise put
 tens of milliseconds on every issuance.
 
 The gateway (and therefore every registered issuer stack) is driven
-entirely from the server's event-loop thread, which serialises issuance
-exactly like the in-process path does -- replica counters and bitmap words
-never see concurrent mutation from the wire.
+entirely from the server's event-loop thread by default, which serialises
+issuance exactly like the in-process path does -- replica counters and
+bitmap words never see concurrent mutation from the wire.  With
+``dispatch_workers=1`` issuance stays single-threaded but moves to a
+dispatch thread, freeing the read loop to run the gateway's
+arrival-paced ``shed_check`` -- the configuration overload experiments
+need, since a dispatch-serialised admission check can only ever observe
+its own drain pace, never the arrival rate.
 
 Factories: :func:`serve` starts a server for a gateway, :func:`connect`
 returns a protocol-speaking :class:`~repro.api.gateway.GatewayClient` for
@@ -48,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence, Union
 
 from repro.core.errors import ErrorCode, SmacsError
@@ -56,6 +62,7 @@ from repro.api import codec
 from repro.api.gateway import GatewayClient, ServiceGateway
 from repro.api.middleware import TokenBucket
 from repro.api.protocol import TokenIssuer
+from repro.resilience import CircuitBreaker
 
 #: bytes in the big-endian length prefix of every frame
 FRAME_HEADER_BYTES = 4
@@ -119,12 +126,15 @@ class GatewayServer:
         idle_timeout: float = 30.0,
         write_timeout: float = 10.0,
         rate_limit: "tuple[float, int] | None" = None,
+        dispatch_workers: int = 0,
         now: "Callable[[], float] | None" = None,
     ) -> None:
         if max_frame_bytes <= 0:
             raise ValueError("max_frame_bytes must be positive")
         if idle_timeout <= 0 or write_timeout <= 0:
             raise ValueError("timeouts must be positive")
+        if dispatch_workers < 0:
+            raise ValueError("dispatch_workers must be >= 0")
         self.gateway = gateway
         self.host = host
         self.port = port
@@ -136,6 +146,17 @@ class GatewayServer:
             if rate_limit is not None
             else None
         )
+        #: 0 (default) dispatches ``gateway.handle`` inline on the event
+        #: loop -- issuance is serialised and never sees concurrency.  > 0
+        #: hands dispatch to a thread pool of that size so the read loop
+        #: keeps decoding while issuance runs, and every arriving frame is
+        #: first offered to ``gateway.shed_check`` *at arrival pace* --
+        #: required for admission control to see load before it queues
+        #: (``dispatch_workers=1`` keeps issuance single-threaded while
+        #: still un-blinding the admission edge).
+        self.dispatch_workers = int(dispatch_workers)
+        self._executor: "ThreadPoolExecutor | None" = None
+        self.frames_shed = 0
         # Counters are only mutated on the loop thread; cross-thread reads
         # are monotonic-counter reads, safe under the GIL.
         self.connections_accepted = 0
@@ -204,6 +225,19 @@ class GatewayServer:
 
     async def _main(self) -> None:
         self._stop = asyncio.Event()
+        if self.dispatch_workers:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.dispatch_workers, thread_name_prefix="gw-dispatch"
+            )
+        try:
+            await self._serve_until_stopped()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    async def _serve_until_stopped(self) -> None:
+        assert self._stop is not None
         try:
             server = await asyncio.start_server(
                 self._serve_connection, self.host, self.port
@@ -278,13 +312,28 @@ class GatewayServer:
                         SmacsError(
                             "gateway edge rate limit exceeded",
                             ErrorCode.RATE_LIMITED,
+                            retry_after_s=round(self._bucket.retry_after(1), 6),
                         ),
                         codec=self._safe_sniff(payload),
                     )
-                else:
+                elif self._executor is None:
                     # The gateway never raises: malformed envelopes, unknown
                     # routes and issuer failures all come back as envelopes.
                     response = self.gateway.handle(payload)
+                    self.frames_served += 1
+                else:
+                    # Concurrent dispatch: shed at arrival pace on the read
+                    # loop (the admission edge must see frames *before* they
+                    # queue), then hand the admitted frame to the pool.  The
+                    # await keeps responses ordered per connection.
+                    shed = self.gateway.shed_check(payload)
+                    if shed is not None:
+                        response = shed
+                        self.frames_shed += 1
+                    else:
+                        response = await asyncio.get_running_loop().run_in_executor(
+                            self._executor, self._dispatch_preadmitted, payload
+                        )
                     self.frames_served += 1
                 if not await self._write_frame(writer, response):
                     break
@@ -302,6 +351,9 @@ class GatewayServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    def _dispatch_preadmitted(self, payload: bytes) -> bytes:
+        return self.gateway.handle(payload, preadmitted=True)
 
     async def _write_frame(
         self, writer: asyncio.StreamWriter, payload: bytes
@@ -333,6 +385,8 @@ class GatewayServer:
             "connections_open": self.connections_open,
             "frames_served": self.frames_served,
             "frames_limited": self.frames_limited,
+            "frames_shed": self.frames_shed,
+            "dispatch_workers": self.dispatch_workers,
             "malformed_frames": self.malformed_frames,
             "idle_closes": self.idle_closes,
             "backpressure_closes": self.backpressure_closes,
@@ -358,6 +412,18 @@ class TcpTransport:
     §VII-B fail-over; one-time indexes stay unique because the counter, not
     the transport, allocates them).
 
+    Balancing is *health-aware*: each endpoint carries a
+    :class:`~repro.resilience.CircuitBreaker` (closed -> open -> half-open;
+    ``breaker_failure_threshold`` consecutive ``UNAVAILABLE`` outcomes eject
+    it, half-open probing re-admits it), so round-robin skips endpoints that
+    are down or drowning instead of paying a dial timeout per request.
+    When *every* breaker is open the transport fails fast with
+    ``UNAVAILABLE`` carrying a ``retry_after_s`` hint -- the soonest
+    half-open probe time.  :meth:`probe_endpoints` drives the ``health``
+    wire op through each endpoint to re-close breakers without waiting for
+    user traffic.  Pass ``breaker_failure_threshold=0`` to disable
+    breakers entirely (the pre-resilience behavior).
+
     Thread-safe: workers of an open-loop load generator can share one
     transport, each request checking out its own socket.
     """
@@ -370,6 +436,10 @@ class TcpTransport:
         request_timeout: float = 30.0,
         pool_size: int = 2,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 0.25,
+        breaker_half_open_probes: int = 1,
+        now: "Callable[[], float] | None" = None,
     ) -> None:
         if isinstance(endpoints, (str, tuple)):
             endpoints = [endpoints]
@@ -382,6 +452,19 @@ class TcpTransport:
         self.request_timeout = float(request_timeout)
         self.pool_size = int(pool_size)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.breakers: "list[CircuitBreaker] | None" = (
+            [
+                CircuitBreaker(
+                    failure_threshold=breaker_failure_threshold,
+                    reset_timeout=breaker_reset_timeout,
+                    half_open_probes=breaker_half_open_probes,
+                    now=now,
+                )
+                for _ in self.endpoints
+            ]
+            if breaker_failure_threshold > 0
+            else None
+        )
         self._pools: "list[list[socket.socket]]" = [[] for _ in self.endpoints]
         self._lock = threading.Lock()
         self._cursor = 0
@@ -392,6 +475,7 @@ class TcpTransport:
         self.dials = 0
         self.reconnects = 0
         self.failovers = 0
+        self.breaker_skips = 0
 
     # -- Transport -------------------------------------------------------------
 
@@ -408,19 +492,69 @@ class TcpTransport:
             start = self._cursor
             self._cursor += 1
         last_error: "SmacsError | None" = None
-        for attempt in range(len(self.endpoints)):
-            index = (start + attempt) % len(self.endpoints)
-            if attempt:
+        attempted = 0
+        for offset in range(len(self.endpoints)):
+            index = (start + offset) % len(self.endpoints)
+            breaker = self.breakers[index] if self.breakers is not None else None
+            if breaker is not None and not breaker.allow():
+                with self._lock:
+                    self.breaker_skips += 1
+                continue
+            if attempted:
                 with self._lock:
                     self.failovers += 1
+            attempted += 1
             try:
-                return self._exchange(index, raw)
+                payload = self._exchange(index, raw)
             except SmacsError as error:
                 if error.code is not ErrorCode.UNAVAILABLE:
+                    # The endpoint answered (badly); that is a framing
+                    # problem, not an availability signal for the breaker.
                     raise
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = error
-        assert last_error is not None
-        raise last_error
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return payload
+        if last_error is not None:
+            raise last_error
+        # Every endpoint was skipped by its breaker: fail fast (no dial, no
+        # timeout wait) and tell the caller when the next probe can go.
+        assert self.breakers is not None
+        hint = min(breaker.retry_after() for breaker in self.breakers)
+        raise SmacsError(
+            f"all {len(self.endpoints)} endpoints are circuit-broken; "
+            f"next half-open probe in {hint:.3f}s",
+            ErrorCode.UNAVAILABLE,
+            retry_after_s=round(hint, 6),
+        )
+
+    def probe_endpoints(self) -> "dict[str, bool]":
+        """Probe every endpoint with the ``health`` wire op.
+
+        Any response at all -- even an error envelope from a pre-health
+        gateway -- counts as alive; only ``UNAVAILABLE`` (unreachable, timed
+        out) counts as dead.  Outcomes feed the breakers, so a probe sweep
+        re-closes breakers around recovered endpoints without waiting for
+        user traffic to half-open them.
+        """
+        raw = codec.encode_request_envelope("health", "", {})
+        results: "dict[str, bool]" = {}
+        for index, (host, port) in enumerate(self.endpoints):
+            try:
+                self._exchange(index, raw)
+                alive = True
+            except SmacsError as error:
+                alive = error.code is not ErrorCode.UNAVAILABLE
+            if self.breakers is not None:
+                if alive:
+                    self.breakers[index].record_success()
+                else:
+                    self.breakers[index].record_failure()
+            results[endpoint_url(host, port)] = alive
+        return results
 
     def close(self) -> None:
         with self._lock:
@@ -442,6 +576,12 @@ class TcpTransport:
                 "dials": self.dials,
                 "reconnects": self.reconnects,
                 "failovers": self.failovers,
+                "breaker_skips": self.breaker_skips,
+                "breakers": (
+                    [breaker.stats() for breaker in self.breakers]
+                    if self.breakers is not None
+                    else None
+                ),
                 "pooled": sum(len(pool) for pool in self._pools),
             }
 

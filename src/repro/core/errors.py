@@ -51,13 +51,29 @@ class ErrorCode(str, enum.Enum):
     UNAVAILABLE = "UNAVAILABLE"
     #: The operation or wire version is not supported by this endpoint.
     UNSUPPORTED = "UNSUPPORTED"
+    #: The request's propagated deadline expired before the work was done.
+    #: *Not* retryable: the caller already gave up, re-sending the same dead
+    #: deadline can only waste a second trip.
+    DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+    #: The endpoint shed the request before dispatch because measured
+    #: queueing exceeded its budget (transient: back off for the carried
+    #: ``retry_after_s`` hint, then retry -- within a retry budget).
+    OVERLOADED = "OVERLOADED"
     #: Anything that is a bug rather than a request/infrastructure condition.
     INTERNAL = "INTERNAL"
 
 
 #: Codes a front end may transparently retry (possibly on another replica).
+#: ``OVERLOADED`` belongs here -- it is a *transient* queueing condition with
+#: an explicit retry hint -- but ``DEADLINE_EXCEEDED`` does not: the deadline
+#: that killed the first attempt is just as dead on the second.
 RETRYABLE_CODES = frozenset(
-    {ErrorCode.COUNTER_TIMEOUT, ErrorCode.RATE_LIMITED, ErrorCode.UNAVAILABLE}
+    {
+        ErrorCode.COUNTER_TIMEOUT,
+        ErrorCode.RATE_LIMITED,
+        ErrorCode.UNAVAILABLE,
+        ErrorCode.OVERLOADED,
+    }
 )
 
 
@@ -72,11 +88,22 @@ class SmacsError(Exception):
 
     code: ErrorCode = ErrorCode.INTERNAL
 
-    def __init__(self, message: str = "", code: "ErrorCode | None" = None):
+    def __init__(
+        self,
+        message: str = "",
+        code: "ErrorCode | None" = None,
+        *,
+        retry_after_s: "float | None" = None,
+    ):
         super().__init__(message)
         if code is not None:
             self.code = ErrorCode(code)
         self.message = message
+        #: optional server-computed backoff hint in seconds (``RATE_LIMITED``
+        #: carries the bucket's refill horizon, ``OVERLOADED`` the admission
+        #: controller's estimated queue drain).  ``None`` means the server
+        #: offered no hint; clients fall back to exponential backoff.
+        self.retry_after_s = retry_after_s
 
     @property
     def retryable(self) -> bool:
@@ -85,8 +112,13 @@ class SmacsError(Exception):
 
     # -- wire format ---------------------------------------------------------
 
-    def to_dict(self) -> dict[str, str]:
-        return {"code": self.code.value, "message": self.message}
+    def to_dict(self) -> "dict[str, Any]":
+        payload: "dict[str, Any]" = {"code": self.code.value, "message": self.message}
+        if self.retry_after_s is not None:
+            # Serialised only when set, so hint-free envelopes stay
+            # byte-identical to what pre-resilience peers emitted.
+            payload["retry_after_s"] = self.retry_after_s
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SmacsError":
@@ -97,7 +129,9 @@ class SmacsError(Exception):
             raise SmacsError(
                 f"undecodable error payload {payload!r}", ErrorCode.MALFORMED_REQUEST
             ) from exc
-        return cls(message, code)
+        raw_hint = payload.get("retry_after_s")
+        hint = float(raw_hint) if isinstance(raw_hint, (int, float)) else None
+        return cls(message, code, retry_after_s=hint)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.code.value}: {self.message!r})"

@@ -9,7 +9,10 @@ Two layers:
   that :mod:`repro.workloads.matrix` applies around a cell's load batches;
 * :mod:`repro.faults.disk` -- disk-fault injectors that crash a durable
   node at the write-ahead log's fsync boundary (crash-before-fsync, torn
-  writes, bit flips, stale logs) for the crash-restart cells.
+  writes, bit flips, stale logs) for the crash-restart cells;
+* :mod:`repro.faults.netem` -- deterministic network emulation at the
+  Transport seam (latency, jitter, frame drop, duplication) for the
+  lossy-network cells and the resilience layer's proofs.
 """
 
 from repro.faults.byzantine import (
@@ -25,11 +28,13 @@ from repro.faults.injectors import (
     EquivocationPlan,
     FaultPlan,
     LeaderCrashPlan,
+    NetemPlan,
     PartitionPlan,
     StaleLeaderPlan,
     TransientTimeoutPlan,
     UntrustedSignerPlan,
 )
+from repro.faults.netem import NetemTransport
 
 __all__ = [
     "CorruptFramesPlan",
@@ -42,6 +47,8 @@ __all__ = [
     "SimulatedCrash",
     "FaultPlan",
     "LeaderCrashPlan",
+    "NetemPlan",
+    "NetemTransport",
     "PartitionPlan",
     "StaleLeaderCounter",
     "StaleLeaderPlan",

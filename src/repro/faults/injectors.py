@@ -30,12 +30,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.consensus.counter import CounterTimeout
+from repro.core.errors import ErrorCode
 from repro.faults.byzantine import (
     CorruptingTransport,
     EquivocatingCounter,
     StaleLeaderCounter,
 )
 from repro.faults.disk import DiskFaultInjector
+from repro.faults.netem import NetemTransport
 
 
 class FaultPlan:
@@ -55,6 +57,11 @@ class FaultPlan:
     #: mid-workload and demand a recovery (the disk seam); the matrix runs
     #: such cells through its two-phase crash-restart driver
     needs_durability = False
+    #: error codes the matrix's re-sending client retries for this plan --
+    #: corrupt-frame plans surface ``MALFORMED_REQUEST``, netem drops
+    #: surface ``UNAVAILABLE``; everything else must propagate so a cell
+    #: cannot paper over an unexpected failure by retrying it
+    retry_codes: "frozenset[ErrorCode]" = frozenset({ErrorCode.MALFORMED_REQUEST})
 
     # -- stack assembly seams ---------------------------------------------------
 
@@ -284,6 +291,58 @@ class CorruptFramesPlan(FaultPlan):
         return {
             "frames_sent": self.harness.requests,
             "frames_corrupted": self.harness.corrupted,
+        }
+
+
+class NetemPlan(FaultPlan):
+    """Impaired network path: latency, jitter, frame drop, duplication.
+
+    Wraps the cell's transport in a :class:`~repro.faults.netem.NetemTransport`.
+    Dropped frames surface as ``UNAVAILABLE`` -- the re-sending client
+    retries those (and only those, beyond the default), which is exactly
+    what the client resilience layer (retry budgets, breakers) is for.
+    """
+
+    kind = "network"
+    needs_transport_seam = True
+    retry_codes = frozenset({ErrorCode.MALFORMED_REQUEST, ErrorCode.UNAVAILABLE})
+
+    def __init__(
+        self,
+        latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        drop_every: int = 0,
+        duplicate_every: int = 0,
+        seed: int = 0,
+        name: str = "netem",
+    ):
+        self.name = name
+        self.latency_s = latency_s
+        self.jitter_s = jitter_s
+        self.drop_every = drop_every
+        self.duplicate_every = duplicate_every
+        self.seed = seed
+        self.harness: "NetemTransport | None" = None
+
+    def wrap_transport(self, transport: Any) -> Any:
+        self.harness = NetemTransport(
+            transport,
+            latency_s=self.latency_s,
+            jitter_s=self.jitter_s,
+            drop_every=self.drop_every,
+            duplicate_every=self.duplicate_every,
+            seed=self.seed,
+        )
+        return self.harness
+
+    def observations(self, env: Any) -> dict[str, Any]:
+        if self.harness is None:
+            return {}
+        return {
+            "frames_sent": self.harness.requests,
+            "frames_dropped": self.harness.dropped,
+            "frames_duplicated": self.harness.duplicated,
+            "netem_delay_total_s": round(self.harness.delay_total_s, 6),
         }
 
 

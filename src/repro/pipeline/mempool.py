@@ -28,6 +28,7 @@ recovery is paid exactly once per transaction.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -165,6 +166,11 @@ class Mempool:
         #: ``Observability.instrument_pipeline``), :meth:`admit` records the
         #: ``admission`` stage histogram.  ``None`` costs one attribute check.
         self.obs: "Any | None" = None
+        #: wall clock for propagated-deadline checks.  Deliberately *not*
+        #: ``chain.clock`` (simulated block time): deadlines are stamped by
+        #: wire clients from ``time.time()`` and must be compared against
+        #: the same timebase.  Injectable for deterministic tests.
+        self.wall_clock = time.time
 
     # -- introspection ---------------------------------------------------------
 
@@ -191,23 +197,40 @@ class Mempool:
 
     # -- admission -------------------------------------------------------------
 
-    def admit(self, tx: Transaction) -> AdmissionDecision:
-        """Run all admission checks; pool the transaction when they pass."""
+    def admit(
+        self, tx: Transaction, *, deadline: "float | None" = None
+    ) -> AdmissionDecision:
+        """Run all admission checks; pool the transaction when they pass.
+
+        ``deadline`` is an optional propagated absolute deadline
+        (``time.time()`` seconds, the wire envelope's ``deadline`` field):
+        a transaction whose submitter already gave up is shed *before* the
+        expensive signature recovery in :meth:`_check_node_rules` -- under
+        overload, ecrecover cycles must go to work someone still wants.
+        """
         obs = self.obs
         if obs is None:
-            return self._admit(tx)
+            return self._admit(tx, deadline)
         # Direct stage recording (no context manager, no span): admission is
         # the per-transaction hot path, so the instrumented cost is two clock
         # reads and one histogram observe.
         t0 = obs.clock()
-        decision = self._admit(tx)
+        decision = self._admit(tx, deadline)
         obs.record_stage("admission", obs.clock() - t0)
         return decision
 
-    def _admit(self, tx: Transaction) -> AdmissionDecision:
+    def _admit(
+        self, tx: Transaction, deadline: "float | None" = None
+    ) -> AdmissionDecision:
         tx_hash = tx.hash()
         if tx_hash in self._pool or tx_hash in self.chain.receipts:
             return self._reject("duplicate transaction")
+
+        if deadline is not None and self.wall_clock() >= deadline:
+            # Checked after the O(1) dedup but before ecrecover: shedding
+            # dead work here costs microseconds, admitting it costs a curve
+            # recovery plus a pool slot nobody will claim.
+            return self._reject("deadline exceeded before admission")
 
         decision = self._check_node_rules(tx)
         if decision is not None:
@@ -233,8 +256,10 @@ class Mempool:
             self.admission_listener(tx)
         return AdmissionDecision(True)
 
-    def admit_many(self, txs: Iterable[Transaction]) -> list[AdmissionDecision]:
-        return [self.admit(tx) for tx in txs]
+    def admit_many(
+        self, txs: Iterable[Transaction], *, deadline: "float | None" = None
+    ) -> list[AdmissionDecision]:
+        return [self.admit(tx, deadline=deadline) for tx in txs]
 
     def _reject(self, reason: str) -> AdmissionDecision:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1

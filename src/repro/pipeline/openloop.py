@@ -114,9 +114,21 @@ class LatencySummary:
         }
 
 
+def _empty_summary() -> LatencySummary:
+    return LatencySummary.from_seconds([])
+
+
 @dataclass
 class OpenLoopReport:
-    """What one open-loop run measured."""
+    """What one open-loop run measured.
+
+    ``service`` / ``end_to_end`` summarise *every* arrival; the
+    ``accepted_*`` twins summarise only successful issuances and ``shed``
+    only the failures.  The split matters under overload: an admission
+    controller answers shed requests in microseconds, and folding those
+    fast failures into one sample would make a drowning service's p99 look
+    *better* as it sheds more -- the accepted-only tail is the honest SLO.
+    """
 
     offered_rate_per_s: float
     arrivals: int
@@ -126,6 +138,9 @@ class OpenLoopReport:
     service: LatencySummary
     end_to_end: LatencySummary
     errors_by_code: dict[str, int] = field(default_factory=dict)
+    accepted_service: LatencySummary = field(default_factory=_empty_summary)
+    accepted_e2e: LatencySummary = field(default_factory=_empty_summary)
+    shed: LatencySummary = field(default_factory=_empty_summary)
 
     @property
     def error_rate(self) -> float:
@@ -153,7 +168,15 @@ class OpenLoopReport:
         }
         data.update(self.service.to_data("issuance"))
         data.update(self.end_to_end.to_data("e2e"))
+        data.update(self.accepted_service.to_data("accepted"))
+        data.update(self.accepted_e2e.to_data("accepted_e2e"))
+        data.update(self.shed.to_data("shed"))
         return data
+
+    @property
+    def goodput_per_s(self) -> float:
+        """Successful completions per second -- what overload gates pin."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
 
 
 class _Recorder:
@@ -163,6 +186,9 @@ class _Recorder:
         self.lock = threading.Lock()
         self.service: list[float] = []
         self.end_to_end: list[float] = []
+        self.accepted_service: list[float] = []
+        self.accepted_e2e: list[float] = []
+        self.shed_service: list[float] = []
         self.completed = 0
         self.failed = 0
         self.errors_by_code: dict[str, int] = {}
@@ -175,8 +201,11 @@ class _Recorder:
             self.end_to_end.append(end_to_end_s)
             if code is None:
                 self.completed += 1
+                self.accepted_service.append(service_s)
+                self.accepted_e2e.append(end_to_end_s)
             else:
                 self.failed += 1
+                self.shed_service.append(service_s)
                 self.errors_by_code[code.value] = (
                     self.errors_by_code.get(code.value, 0) + 1
                 )
@@ -261,6 +290,9 @@ def run_open_loop(
         service=LatencySummary.from_seconds(recorder.service),
         end_to_end=LatencySummary.from_seconds(recorder.end_to_end),
         errors_by_code=recorder.errors_by_code,
+        accepted_service=LatencySummary.from_seconds(recorder.accepted_service),
+        accepted_e2e=LatencySummary.from_seconds(recorder.accepted_e2e),
+        shed=LatencySummary.from_seconds(recorder.shed_service),
     )
 
 

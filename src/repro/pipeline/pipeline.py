@@ -65,11 +65,21 @@ class ExecutionPipeline:
 
     # -- ingest -----------------------------------------------------------------
 
-    def ingest(self, txs: "Transaction | Iterable[Transaction]") -> list[AdmissionDecision]:
-        """Admit transactions into the mempool (signature, nonce, SMACS checks)."""
+    def ingest(
+        self,
+        txs: "Transaction | Iterable[Transaction]",
+        *,
+        deadline: "float | None" = None,
+    ) -> list[AdmissionDecision]:
+        """Admit transactions into the mempool (signature, nonce, SMACS checks).
+
+        ``deadline`` is an optional propagated absolute wall-clock deadline
+        (the wire envelope's ``deadline`` field): expired submissions are
+        shed at the mempool edge before signature recovery.
+        """
         if isinstance(txs, Transaction):
             txs = [txs]
-        return self.mempool.admit_many(txs)
+        return self.mempool.admit_many(txs, deadline=deadline)
 
     # -- block production ----------------------------------------------------------
 

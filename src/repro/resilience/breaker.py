@@ -1,0 +1,156 @@
+"""Per-endpoint circuit breaker: closed -> open -> half-open.
+
+The classic three-state machine (Nygard's *Release It!* pattern, the shape
+gRPC/Envoy outlier ejection uses) for the client side of the wire:
+
+* **closed** -- traffic flows; ``failure_threshold`` *consecutive* failures
+  trip the breaker (one success resets the streak);
+* **open** -- traffic is refused locally (no dial, no timeout wait) until
+  ``reset_timeout`` elapses;
+* **half-open** -- exactly ``half_open_probes`` probe requests are admitted;
+  a probe success closes the breaker, a probe failure re-opens it and the
+  reset timeout starts over.
+
+The clock is injectable (``time.monotonic`` by default) and the machine
+never sleeps, so the hypothesis suite can drive arbitrary
+success/failure/clock interleavings and pin the two liveness/safety
+properties: a breaker facing a healthy endpoint can always close again
+(never wedges open), and half-open admits exactly the probe quota.
+
+Thread-safe: ``TcpTransport`` workers share one breaker per endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure ejection with timed half-open probing."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 0.25,
+        half_open_probes: int = 1,
+        now: "Callable[[], float] | None" = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self._now: Callable[[], float] = now if now is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # Cumulative counters (monotonic; read via stats()).
+        self.trips = 0
+        self.rejections = 0
+        self.probes_sent = 0
+
+    # -- admission -------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request go to this endpoint right now?
+
+        Open breakers transition to half-open once the reset timeout
+        elapses; half-open admits until the probe quota is in flight.
+        """
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                if self._now() - self._opened_at < self.reset_timeout:
+                    self.rejections += 1
+                    return False
+                self._state = BREAKER_HALF_OPEN
+                self._probes_in_flight = 0
+            # half-open: admit exactly the probe quota
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                self.probes_sent += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until this breaker will next admit a request (>= 0).
+
+        Closed and half-open breakers admit now (0.0); an open breaker
+        reports the remainder of its reset timeout.
+        """
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            return max(0.0, self.reset_timeout - (self._now() - self._opened_at))
+
+    # -- outcomes --------------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != BREAKER_CLOSED:
+                self._state = BREAKER_CLOSED
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                # A failed probe re-opens immediately; the streak that
+                # tripped the breaker is still standing.
+                self._state = BREAKER_OPEN
+                self._opened_at = self._now()
+                self._probes_in_flight = 0
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._now()
+                self.trips += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The observable state (open reads as half-open once probe-able)."""
+        with self._lock:
+            if (
+                self._state == BREAKER_OPEN
+                and self._now() - self._opened_at >= self.reset_timeout
+            ):
+                return BREAKER_HALF_OPEN
+            return self._state
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+            "rejections": self.rejections,
+            "probes_sent": self.probes_sent,
+        }
+
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+]

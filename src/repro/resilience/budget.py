@@ -1,0 +1,79 @@
+"""Client retry budgets: retries as a fraction of successful traffic.
+
+Blind per-request retry caps (``Backoff.retries``) bound the *amplification
+factor* but not the *aggregate*: during a full outage, every request still
+fails its way through every retry, multiplying the offered load exactly when
+the service can least afford it.  A retry *budget* (the gRPC
+retry-throttling construction) fixes that globally: successes deposit
+``deposit_per_success`` tokens into a shared bucket, each retry withdraws
+one, and when the bucket is empty retries are simply not sent.  In steady
+state retries are capped at ``deposit_per_success`` of the success rate
+(10% by default); in a total outage the bucket drains once and the client
+fleet falls back to first attempts only.
+
+Thread-safe and shared by design: one budget per client process (or per
+target service), passed to every :class:`~repro.api.gateway.GatewayClient`
+that talks to the same backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class RetryBudget:
+    """A token bucket where successes earn the right to retry."""
+
+    def __init__(
+        self,
+        *,
+        deposit_per_success: float = 0.1,
+        max_balance: float = 10.0,
+        initial_balance: "float | None" = None,
+    ) -> None:
+        if deposit_per_success <= 0:
+            raise ValueError("deposit_per_success must be positive")
+        if max_balance < 1:
+            raise ValueError("max_balance must be >= 1 (no retry could ever be afforded)")
+        self.deposit_per_success = float(deposit_per_success)
+        self.max_balance = float(max_balance)
+        self._balance = (
+            self.max_balance if initial_balance is None else float(initial_balance)
+        )
+        self._lock = threading.Lock()
+        self.granted = 0
+        self.denied = 0
+
+    def record_success(self) -> None:
+        """A first-attempt (or any) success deposits a fractional token."""
+        with self._lock:
+            self._balance = min(self.max_balance, self._balance + self.deposit_per_success)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False means the retry must not be sent."""
+        with self._lock:
+            if self._balance >= 1.0:
+                self._balance -= 1.0
+                self.granted += 1
+                return True
+            self.denied += 1
+            return False
+
+    @property
+    def balance(self) -> float:
+        with self._lock:
+            return self._balance
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "balance": self._balance,
+                "max_balance": self.max_balance,
+                "deposit_per_success": self.deposit_per_success,
+                "granted": self.granted,
+                "denied": self.denied,
+            }
+
+
+__all__ = ["RetryBudget"]

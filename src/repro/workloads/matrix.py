@@ -75,6 +75,7 @@ from repro.faults.injectors import (
     EquivocationPlan,
     FaultPlan,
     LeaderCrashPlan,
+    NetemPlan,
     PartitionPlan,
     StaleLeaderPlan,
     TransientTimeoutPlan,
@@ -173,12 +174,25 @@ class _ResendingClient:
 
     A corrupted frame comes back as a ``MALFORMED_REQUEST`` error envelope
     and the gateway client raises the carried error; a real client re-sends
-    the (uncorrupted) request.  Every other error propagates.
+    the (uncorrupted) request.  A netem-dropped frame surfaces as
+    ``UNAVAILABLE`` and is re-sent for plans that declare it retryable.
+    Every other error propagates -- the plan's ``retry_codes`` is the
+    whole policy, so a cell cannot paper over an unexpected failure.
     """
 
-    def __init__(self, inner: GatewayClient, attempts: int = 6):
+    def __init__(
+        self,
+        inner: GatewayClient,
+        attempts: int = 6,
+        retry_codes: "frozenset[ErrorCode] | None" = None,
+    ):
         self.inner = inner
         self.attempts = attempts
+        self.retry_codes = (
+            frozenset({ErrorCode.MALFORMED_REQUEST})
+            if retry_codes is None
+            else retry_codes
+        )
         self.resends = 0
 
     @property
@@ -199,10 +213,7 @@ class _ResendingClient:
             try:
                 return operation()
             except SmacsError as error:
-                if (
-                    error.code is not ErrorCode.MALFORMED_REQUEST
-                    or attempt == self.attempts - 1
-                ):
+                if error.code not in self.retry_codes or attempt == self.attempts - 1:
                     raise
                 self.resends += 1
         raise RuntimeError("unreachable")  # pragma: no cover
@@ -264,7 +275,11 @@ def _build_env(spec: CellSpec, plan: "FaultPlan | None" = None) -> CellEnv:
         gateway.register("ts", issuer)
         transport = plan.wrap_transport(InProcessTransport(gateway))
         client = GatewayClient(transport, "ts")
-        service = _ResendingClient(client) if plan.needs_transport_seam else client
+        service = (
+            _ResendingClient(client, retry_codes=plan.retry_codes)
+            if plan.needs_transport_seam
+            else client
+        )
         extra["gateway"] = gateway
         if spec.workload == "rule-churn":
             # A second, independent client for the conflicting updater.
@@ -921,6 +936,14 @@ def default_cells() -> list[CellSpec]:
     # the operation on every client retry and never converge.
     corrupt_rmw = lambda: CorruptFramesPlan(corrupt_every=3)  # noqa: E731
     untrusted = lambda: UntrustedSignerPlan(forgeries_per_batch=2)  # noqa: E731
+    # Lossy-path plans: count-based drops keep the record deterministic.
+    # Odd stride for the rule-churn cell (two frames per read-modify-write
+    # update, same reasoning as ``corrupt_rmw``).
+    netem_loss = lambda: NetemPlan(drop_every=4, name="netem-loss")  # noqa: E731
+    netem_dup = lambda: NetemPlan(duplicate_every=3, name="netem-dup")  # noqa: E731
+    netem_slow_loss = lambda: NetemPlan(  # noqa: E731
+        latency_s=0.0002, jitter_s=0.0003, drop_every=5, seed=7, name="netem-slow-loss"
+    )
     disk_crash = lambda: DiskCrashPlan(mode="crash-before-fsync", crash_after_batch=1)  # noqa: E731
     torn_wal = lambda: DiskCrashPlan(  # noqa: E731
         mode="torn-write", crash_after_batch=1, name="torn-wal-restart"
@@ -940,11 +963,13 @@ def default_cells() -> list[CellSpec]:
         spec("flash-sale", "equivocating-counter", equiv, seed=4),
         spec("flash-sale", "untrusted-signer", untrusted, seed=5),
         spec("flash-sale", "crash-restart", disk_crash, seed=27),
+        spec("flash-sale", "netem-loss", netem_loss, seed=30),
         # replay storm (non-one-time: issuance-side replay pressure)
         spec("replay-storm", "none", none, seed=6),
         spec("replay-storm", "transient-timeouts", timeouts, seed=7),
         spec("replay-storm", "corrupt-frames", corrupt, seed=8),
         spec("replay-storm", "untrusted-signer", untrusted, seed=9),
+        spec("replay-storm", "netem-dup", netem_dup, seed=31),
         # multi-contract fan-out sharing one TS fleet
         spec("fan-out", "none", none, tenants=3, seed=10),
         spec("fan-out", "leader-crash", crash, tenants=3, seed=11),
@@ -964,6 +989,7 @@ def default_cells() -> list[CellSpec]:
         spec("rule-churn", "none", none, seed=20),
         spec("rule-churn", "transient-timeouts", timeouts, seed=21),
         spec("rule-churn", "corrupt-frames", corrupt_rmw, seed=22),
+        spec("rule-churn", "netem-slow-loss", netem_slow_loss, seed=32),
         # multi-tenant fairness under one TS fleet
         spec("multi-tenant", "none", none, seed=23, **multi),
         spec("multi-tenant", "leader-crash", crash, seed=24, **multi),
@@ -975,6 +1001,7 @@ def default_cells() -> list[CellSpec]:
 #: the small, fast subset the CI smoke lane runs on every push
 SMOKE_CELLS = [
     "flash-sale/none",
+    "flash-sale/netem-loss",
     "replay-storm/corrupt-frames",
     "fan-out/stale-leader",
     "state-stress/equivocating-counter",

@@ -48,6 +48,12 @@ STACKS = [
     # to every behavioural test in this file.
     "tcp-traced",
     "tcp-traced-binary",
+    # Resilience cells: every envelope carries the optional absolute
+    # ``deadline`` field (a budget generous enough never to fire), in each
+    # codec lane.  The conformance bar is that a deadline-bearing peer and
+    # a legacy peer are behaviourally indistinguishable on this wire.
+    "tcp-deadline",
+    "tcp-deadline-binary",
 ]
 
 
@@ -83,6 +89,20 @@ def _build_stack(name: str, *, keypair, rules, clock, cleanups=None) -> TokenIss
         lane = codec.CODEC_BINARY if name.endswith("binary") else codec.CODEC_JSON
         client = connect(server.url, wire_codec=lane)
         client.observability = Observability()
+        if cleanups is not None:
+            cleanups.append(client.close)
+            cleanups.append(server.close)
+        return client
+    if name.startswith("tcp-deadline"):
+        from repro.api import codec
+
+        base = build_service("serial", **kwargs)
+        gateway = ServiceGateway()
+        gateway.register("https://ts.conformance.example", base)
+        server = serve(gateway)
+        lane = codec.CODEC_BINARY if name.endswith("binary") else codec.CODEC_JSON
+        client = connect(server.url, wire_codec=lane)
+        client.deadline_s = 30.0  # stamped on every envelope, never expires
         if cleanups is not None:
             cleanups.append(client.close)
             cleanups.append(server.close)

@@ -1,0 +1,439 @@
+"""Resilience behaviour at the wire: deadlines, overload, breakers, budgets.
+
+``test_resilience.py`` proves the primitives in isolation; this file proves
+them *wired through the seams*: the gateway sheds expired deadlines before
+issuance and overload before dispatch (with ``retry_after_s`` hints the
+client honors), the mempool sheds dead work before signature recovery, the
+TCP transport's per-endpoint breakers eject dead servers and re-close after
+probing, and a server restart on the same port is invisible to pooled
+clients (stale sockets redial; only requests that received zero response
+bytes are replayed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AdmissionController,
+    Backoff,
+    ErrorCode,
+    GatewayClient,
+    RetryBudget,
+    ServiceGateway,
+    SmacsError,
+    build_service,
+    codec,
+    connect,
+    serve,
+)
+from repro.api.transport import endpoint_url
+from repro.chain import Blockchain
+from repro.chain.transaction import Transaction
+from repro.core.acr import RuleSet
+from repro.core.token_request import TokenRequest
+from repro.crypto.keys import KeyPair
+from repro.pipeline.mempool import Mempool
+from repro.resilience import BREAKER_CLOSED
+
+ROUTE = "https://ts.resilience.example"
+
+
+def _gateway(**gateway_kwargs) -> ServiceGateway:
+    service = build_service(
+        "serial", keypair=KeyPair.from_seed("resilience-ts"), rules=RuleSet()
+    )
+    gateway = ServiceGateway(**gateway_kwargs)
+    gateway.register(ROUTE, service)
+    return gateway
+
+
+def _request() -> TokenRequest:
+    return TokenRequest.method_token(
+        b"\xaa" * 20, b"\xbb" * 20, "submit", one_time=True
+    )
+
+
+def _submit_body() -> dict:
+    return {"requests": [codec.encode_token_request(_request())]}
+
+
+class _ScriptedTransport:
+    """Answers ``send`` from a fixed script of envelopes and exceptions."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent: list[bytes] = []
+
+    def send(self, raw: bytes) -> bytes:
+        self.sent.append(raw)
+        item = self.script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def close(self) -> None:
+        pass
+
+    def describe(self):
+        return {"kind": "scripted"}
+
+
+# --- the deadline envelope field ----------------------------------------------------
+
+
+@pytest.mark.parametrize("lane", sorted(codec.CODECS))
+def test_deadline_field_round_trips_in_both_codec_lanes(lane):
+    stamped = codec.encode_request_envelope(
+        "submit", ROUTE, _submit_body(), codec=lane, deadline=1234.5
+    )
+    op, route, _body, _trace, deadline = codec.decode_request_full(stamped)
+    assert (op, route, deadline) == ("submit", ROUTE, 1234.5)
+    # A deadline-less envelope carries no trace of the field at all: legacy
+    # peers and deadline-bearing peers produce interchangeable bytes.
+    bare = codec.encode_request_envelope("submit", ROUTE, _submit_body(), codec=lane)
+    *_, absent = codec.decode_request_full(bare)
+    assert absent is None
+    assert b"deadline" not in bare
+
+
+def test_gateway_sheds_expired_deadlines_before_any_dispatch():
+    gateway = _gateway(now=lambda: 1000.0)
+    raw = codec.encode_request_envelope(
+        "submit", ROUTE, _submit_body(), deadline=999.0
+    )
+    with pytest.raises(SmacsError) as failure:
+        codec.decode_response_envelope(gateway.handle(raw))
+    assert failure.value.code is ErrorCode.DEADLINE_EXCEEDED
+    assert not failure.value.retryable  # the budget is gone; a retry stays dead
+    assert "gateway" in str(failure.value)
+    assert gateway.shed["deadline"] == 1
+    # An unexpired deadline is invisible.
+    live = codec.encode_request_envelope(
+        "submit", ROUTE, _submit_body(), deadline=1001.0
+    )
+    payload = codec.decode_response_envelope(gateway.handle(live))
+    results = [codec.decode_issuance_result(item) for item in payload["results"]]
+    assert results[0].issued
+
+
+def test_gateway_rechecks_the_deadline_at_the_issuance_stage():
+    # The clock advances between the envelope-decode check and the
+    # pre-issuance check: request-body decode ate the remaining budget.
+    clock = {"t": 1000.0}
+
+    def ticking_now():
+        clock["t"] += 0.4
+        return clock["t"]
+
+    gateway = _gateway(now=ticking_now)
+    # Alive at the gateway check (t=1000.4), dead at the issuance re-check
+    # (t=1000.8): exactly the window the second checkpoint exists for.
+    raw = codec.encode_request_envelope(
+        "submit", ROUTE, _submit_body(), deadline=1000.6
+    )
+    with pytest.raises(SmacsError) as failure:
+        codec.decode_response_envelope(gateway.handle(raw))
+    assert failure.value.code is ErrorCode.DEADLINE_EXCEEDED
+    assert "issuance" in str(failure.value)
+    assert gateway.shed["deadline"] == 1
+
+
+def test_mempool_sheds_expired_deadlines_before_signature_recovery():
+    chain = Blockchain(auto_mine=False)
+    mempool = Mempool(chain)
+    mempool.wall_clock = lambda: 1000.0
+    sender = chain.create_account(seed="deadline-sender")
+    sink = chain.create_account(seed="deadline-sink")
+    tx = Transaction(
+        sender=sender.address, to=sink.address, nonce=0, value=0
+    ).sign_with(sender.keypair)
+    decision = mempool.admit(tx, deadline=999.0)
+    assert not decision.admitted
+    assert mempool.rejected == {"deadline exceeded before admission": 1}
+    # The same transaction with budget left admits cleanly (the shed never
+    # consumed its nonce, reserved an index or touched the pool).
+    assert mempool.admit(tx, deadline=1001.0).admitted
+
+
+# --- adaptive admission control at the gateway edge ---------------------------------
+
+
+def test_gateway_sheds_overload_with_a_retry_after_hint():
+    admission = AdmissionController(target_delay_s=0.01, initial_service_s=1.0)
+    gateway = _gateway(admission=admission)
+    client = gateway.client_for(ROUTE)
+    assert client.submit(_request())[0].issued  # uncontended: invisible
+    assert admission.admit() is None  # hold a slot: ~1s estimated delay
+    with pytest.raises(SmacsError) as failure:
+        client.submit(_request())
+    assert failure.value.code is ErrorCode.OVERLOADED
+    assert failure.value.retryable
+    assert failure.value.retry_after_s is not None
+    assert failure.value.retry_after_s > 0
+    assert gateway.shed["overloaded"] == 1
+    # The control plane is never shed: an overloaded gateway still answers
+    # health (and reports the shedding it is doing).
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["admission"]["shed"] == 1
+    admission.observe(None)  # the held slot drains: traffic flows again
+    assert client.submit(_request())[0].issued
+
+
+def test_failed_dispatches_release_their_admission_slot():
+    admission = AdmissionController(target_delay_s=10.0, initial_service_s=0.001)
+    gateway = _gateway(admission=admission)
+    for raw, expected in [
+        (
+            codec.encode_request_envelope("submit", ROUTE, {"requests": "nope"}),
+            ErrorCode.MALFORMED_REQUEST,
+        ),
+        (
+            codec.encode_request_envelope("submit", "no-such-route", _submit_body()),
+            ErrorCode.UNKNOWN_ROUTE,
+        ),
+    ]:
+        with pytest.raises(SmacsError) as failure:
+            codec.decode_response_envelope(gateway.handle(raw))
+        assert failure.value.code is expected
+    stats = admission.stats()
+    assert stats["admitted"] == 2
+    assert stats["inflight"] == 0  # both slots released despite the failures
+    assert stats["service_ewma_s"] == 0.001  # failures never teach the EWMA
+
+
+def test_shed_check_charges_admission_once_per_request():
+    admission = AdmissionController(target_delay_s=0.01, initial_service_s=1.0)
+    gateway = _gateway(admission=admission)
+    raw = codec.encode_request_envelope("submit", ROUTE, _submit_body())
+    assert gateway.shed_check(raw) is None  # admitted: the slot is held
+    shed = gateway.shed_check(raw)  # a second arrival while the first queues
+    assert shed is not None
+    with pytest.raises(SmacsError) as failure:
+        codec.decode_response_envelope(shed)
+    assert failure.value.code is ErrorCode.OVERLOADED
+    # Dispatching the admitted frame must not charge the edge twice.
+    payload = codec.decode_response_envelope(gateway.handle(raw, preadmitted=True))
+    results = [codec.decode_issuance_result(item) for item in payload["results"]]
+    assert results[0].issued
+    stats = admission.stats()
+    assert stats["admitted"] == 1
+    assert stats["shed"] == 1
+    assert stats["inflight"] == 0
+    # Undecodable frames pass through: MALFORMED_REQUEST keeps coming from
+    # handle(), and the garbage never holds an admission slot.
+    assert gateway.shed_check(b"\x00garbage") is None
+    assert admission.stats()["inflight"] == 0
+
+
+def test_dispatch_pool_serves_and_sheds_at_arrival_pace():
+    admission = AdmissionController(target_delay_s=0.01, initial_service_s=1.0)
+    gateway = _gateway(admission=admission)
+    with serve(gateway, dispatch_workers=1) as server:
+        client = connect(server.url)
+        try:
+            assert client.submit(_request())[0].issued
+            stats = server.stats()
+            assert stats["dispatch_workers"] == 1
+            assert stats["frames_shed"] == 0
+            assert admission.admit() is None  # hold a slot
+            with pytest.raises(SmacsError) as failure:
+                client.submit(_request())
+            assert failure.value.code is ErrorCode.OVERLOADED
+            assert server.stats()["frames_shed"] == 1  # shed on the read loop
+            admission.observe(None)
+            assert client.submit(_request())[0].issued
+        finally:
+            client.close()
+
+
+# --- retry_after hints end to end (S1) ----------------------------------------------
+
+
+def test_edge_rate_limit_carries_a_retry_after_hint():
+    fake = {"t": 0.0}
+    with serve(_gateway(), rate_limit=(10, 2), now=lambda: fake["t"]) as server:
+        client = connect(server.url)  # the route-discovery probe spends 1 token
+        try:
+            assert client.submit(_request())[0].issued  # spends the 2nd token
+            with pytest.raises(SmacsError) as failure:
+                client.submit(_request())
+            assert failure.value.code is ErrorCode.RATE_LIMITED
+            assert failure.value.retry_after_s is not None
+            # Rate 10/s, one token needed: the refill horizon is ~0.1s.
+            assert failure.value.retry_after_s == pytest.approx(0.1, rel=0.01)
+        finally:
+            client.close()
+
+
+def test_client_sleeps_the_server_hint_instead_of_guessing():
+    ok = codec.encode_response_envelope(
+        {"version": codec.WIRE_VERSION, "routes": [ROUTE]}
+    )
+    transport = _ScriptedTransport(
+        [SmacsError("busy", ErrorCode.OVERLOADED, retry_after_s=0.123), ok]
+    )
+    slept: list[float] = []
+    client = GatewayClient(
+        transport,
+        ROUTE,
+        backoff=Backoff(retries=2, cap=1.0, sleep=slept.append),
+        retry_codes=frozenset({ErrorCode.OVERLOADED}),
+    )
+    assert client.describe()["routes"] == [ROUTE]
+    assert slept == [0.123]  # the hint, not a jitter draw
+    assert client.retry_hints_honored == 1
+    assert client.retries_performed == 1
+
+
+def test_client_caps_the_server_hint_at_the_backoff_cap():
+    ok = codec.encode_response_envelope(
+        {"version": codec.WIRE_VERSION, "routes": [ROUTE]}
+    )
+    transport = _ScriptedTransport(
+        [SmacsError("busy", ErrorCode.OVERLOADED, retry_after_s=60.0), ok]
+    )
+    slept: list[float] = []
+    client = GatewayClient(
+        transport,
+        ROUTE,
+        backoff=Backoff(retries=2, cap=0.25, sleep=slept.append),
+        retry_codes=frozenset({ErrorCode.OVERLOADED}),
+    )
+    client.describe()
+    assert slept == [0.25]  # a server cannot park a client for a minute
+
+
+# --- client deadlines and retry budgets ---------------------------------------------
+
+
+def test_client_stamps_envelopes_and_stops_retrying_at_the_deadline():
+    clock = {"t": 100.0}
+    ok = codec.encode_response_envelope(
+        {"version": codec.WIRE_VERSION, "routes": [ROUTE]}
+    )
+    transport = _ScriptedTransport([ok])
+    client = GatewayClient(transport, ROUTE, deadline_s=5.0, now=lambda: clock["t"])
+    client.describe()
+    *_, deadline = codec.decode_request_full(transport.sent[0])
+    assert deadline == pytest.approx(105.0)  # the absolute deadline, stamped
+
+    # A retry loop whose pause outlives the budget stops locally: the dead
+    # retry is never sent and the caller sees DEADLINE_EXCEEDED.
+    failing = _ScriptedTransport([SmacsError("down", ErrorCode.UNAVAILABLE)] * 4)
+    client = GatewayClient(
+        failing,
+        ROUTE,
+        deadline_s=5.0,
+        now=lambda: clock["t"],
+        backoff=Backoff(retries=3, sleep=lambda _delay: clock.__setitem__("t", 200.0)),
+    )
+    with pytest.raises(SmacsError) as failure:
+        client.describe()
+    assert failure.value.code is ErrorCode.DEADLINE_EXCEEDED
+    assert len(failing.sent) == 1
+    with pytest.raises(ValueError):
+        GatewayClient(failing, ROUTE, deadline_s=0.0)
+
+
+def test_retry_budget_caps_retry_amplification():
+    down = [SmacsError("down", ErrorCode.UNAVAILABLE) for _ in range(4)]
+    transport = _ScriptedTransport(down)
+    budget = RetryBudget(initial_balance=1.0)
+    client = GatewayClient(
+        transport,
+        ROUTE,
+        backoff=Backoff(retries=3, sleep=lambda _delay: None),
+        retry_budget=budget,
+    )
+    with pytest.raises(SmacsError) as failure:
+        client.describe()
+    assert failure.value.code is ErrorCode.UNAVAILABLE
+    assert len(transport.sent) == 2  # one retry afforded, then the denial
+    assert client.retries_denied == 1
+    assert budget.stats()["granted"] == 1
+    assert budget.stats()["denied"] == 1
+
+
+def test_successes_replenish_the_shared_budget():
+    ok = codec.encode_response_envelope(
+        {"version": codec.WIRE_VERSION, "routes": [ROUTE]}
+    )
+    transport = _ScriptedTransport([ok, ok, ok])
+    budget = RetryBudget(deposit_per_success=0.5, initial_balance=0.0)
+    client = GatewayClient(transport, ROUTE, retry_budget=budget)
+    for _ in range(3):
+        client.describe()
+    assert budget.balance == pytest.approx(1.5)  # three successes at 0.5 each
+
+
+# --- circuit breakers on the TCP pool (incl. the S4 restart regression) -------------
+
+
+def test_stale_pooled_sockets_redial_transparently_across_a_restart():
+    with serve(_gateway()) as server:
+        port = server.port
+        client = connect(server.url, breaker_reset_timeout=0.05)
+        assert client.submit(_request())[0].issued  # warms the pool
+    # The server died and a replacement binds the same port.  The pooled
+    # socket is now stale: the next request gets zero response bytes on it,
+    # which is the one case that is provably safe to replay on a fresh dial.
+    with serve(_gateway(), ("127.0.0.1", port)):
+        try:
+            assert client.submit(_request())[0].issued
+            wire = client.transport.describe()
+            assert wire["reconnects"] >= 1  # the stale checkout was redialed
+            assert wire["breakers"][0]["state"] == BREAKER_CLOSED
+        finally:
+            client.close()
+
+
+def test_breakers_fail_fast_and_reclose_after_probing():
+    clock = {"t": 0.0}
+    with serve(_gateway()) as server:
+        port = server.port
+        client = connect(
+            server.url,
+            breaker_failure_threshold=2,
+            breaker_reset_timeout=30.0,
+            connect_timeout=0.5,
+            request_timeout=2.0,
+            now=lambda: clock["t"],
+        )
+        assert client.submit(_request())[0].issued
+    # Hard outage: consecutive dial failures trip the breaker...
+    for _ in range(2):
+        with pytest.raises(SmacsError) as failure:
+            client.submit(_request())
+        assert failure.value.code is ErrorCode.UNAVAILABLE
+        assert failure.value.retry_after_s is None  # real dials, really failing
+    # ...after which the transport fails fast: no dial, no timeout wait,
+    # just UNAVAILABLE with the next-probe horizon.
+    with pytest.raises(SmacsError) as failure:
+        client.submit(_request())
+    assert failure.value.code is ErrorCode.UNAVAILABLE
+    assert failure.value.retry_after_s == pytest.approx(30.0)
+    assert client.transport.describe()["breaker_skips"] == 1
+    # The server comes back on the same port.  A probe sweep re-closes the
+    # breaker immediately -- no waiting out the reset timeout, no user
+    # traffic sacrificed to half-open discovery.
+    with serve(_gateway(), ("127.0.0.1", port)):
+        try:
+            probed = client.transport.probe_endpoints()
+            assert probed == {endpoint_url("127.0.0.1", port): True}
+            assert client.transport.breakers[0].state == BREAKER_CLOSED
+            assert client.submit(_request())[0].issued
+        finally:
+            client.close()
+
+
+def test_breakers_can_be_disabled_for_the_pre_resilience_behaviour():
+    with serve(_gateway()) as server:
+        client = connect(server.url, breaker_failure_threshold=0)
+        try:
+            assert client.transport.breakers is None
+            assert client.submit(_request())[0].issued
+            assert client.transport.describe()["breakers"] is None
+        finally:
+            client.close()

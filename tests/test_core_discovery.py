@@ -143,11 +143,13 @@ def test_known_urls_sorted(chain, discovery, token_service):
 #: The public surface of repro.api.  Growing it is fine -- update the
 #: snapshot deliberately; renaming or removing a symbol is a breaking change.
 API_SURFACE_SNAPSHOT = [
+    "AdmissionController",
     "Audit",
     "Backoff",
     "CODECS",
     "CODEC_BINARY",
     "CODEC_JSON",
+    "CircuitBreaker",
     "CounterTimeout",
     "DEFAULT_RETRY_CODES",
     "ErrorCode",
@@ -160,6 +162,7 @@ API_SURFACE_SNAPSHOT = [
     "PROFILES",
     "RETRYABLE_CODES",
     "RateLimiter",
+    "RetryBudget",
     "RetryFailover",
     "ServiceGateway",
     "SignatureCachePrimer",
@@ -245,6 +248,8 @@ def test_api_error_codes_are_stable():
         "RATE_LIMITED",
         "UNSUPPORTED",
         "UNAVAILABLE",
+        "DEADLINE_EXCEEDED",
+        "OVERLOADED",
         "INTERNAL",
     }
     # str-valued enum: codes serialise as their own names.

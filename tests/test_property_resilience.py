@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the resilience state machines.
+
+The two guarantees the wire fleet leans on:
+
+1. **A circuit breaker never wedges.**  Whatever interleaving of successes,
+   failures and clock ticks a breaker has seen, once the endpoint is healthy
+   again (the reset timeout passes and probes succeed) the breaker closes
+   and admits traffic.  An unrecoverable breaker would silently remove an
+   endpoint from the pool forever.
+2. **Half-open admits exactly the probe quota.**  After the reset timeout a
+   tripped breaker lets through ``half_open_probes`` requests and not one
+   more until a probe outcome is recorded -- the recovering server gets a
+   trickle, not the thundering herd that knocked it over.
+
+Plus the deadline arithmetic the timeouts ride on: remaining budget is
+monotonically non-increasing as the clock advances and is never negative
+(every value is a legal socket timeout), and ``check_deadline`` fires
+exactly when the clock reaches the absolute deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ErrorCode, SmacsError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    CircuitBreaker,
+    check_deadline,
+    deadline_in,
+    remaining,
+)
+
+pytestmark = pytest.mark.slow  # hypothesis-heavy: the CI slow lane
+
+breaker_ops = st.lists(
+    st.sampled_from(["success", "failure", "tick"]), min_size=0, max_size=60
+)
+
+
+@given(
+    ops=breaker_ops,
+    threshold=st.integers(min_value=1, max_value=5),
+    probes=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_breaker_never_wedges_open_against_a_healthy_endpoint(ops, threshold, probes):
+    """Liveness: any history + (timeout elapses, probes succeed) => closed."""
+    clock = {"t": 0.0}
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout=1.0,
+        half_open_probes=probes,
+        now=lambda: clock["t"],
+    )
+    for op in ops:
+        if op == "success":
+            breaker.record_success()
+        elif op == "failure":
+            breaker.record_failure()
+        else:
+            clock["t"] += 0.4
+    # The endpoint recovers: the reset timeout passes (with margin -- the
+    # 0.4 ticks accumulate float dust) and probes succeed.
+    clock["t"] += 1.5
+    if not breaker.allow():
+        # Only legitimate refusal now: the probe quota is already in flight
+        # from the history above -- and a healthy endpoint answers probes.
+        assert breaker.state == BREAKER_HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allow()
+
+
+@given(
+    threshold=st.integers(min_value=1, max_value=4),
+    probes=st.integers(min_value=1, max_value=5),
+    extra_attempts=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_half_open_admits_exactly_the_probe_quota(threshold, probes, extra_attempts):
+    clock = {"t": 0.0}
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout=1.0,
+        half_open_probes=probes,
+        now=lambda: clock["t"],
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert not breaker.allow()  # open: refused without touching the wire
+    clock["t"] += 1.0
+    attempts = [breaker.allow() for _ in range(probes + extra_attempts)]
+    assert attempts[:probes] == [True] * probes
+    assert not any(attempts[probes:])
+    # A failed probe re-opens and the reset timer starts over: still no
+    # admission until another full timeout elapses.
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock["t"] += 0.5
+    assert not breaker.allow()
+    clock["t"] += 0.5
+    assert breaker.allow()
+
+
+@given(
+    ops=breaker_ops,
+    threshold=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_closed_breaker_trips_only_at_the_consecutive_failure_threshold(ops, threshold):
+    """Model check: the closed->open transition matches a streak counter."""
+    clock = {"t": 0.0}
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=1e9, now=lambda: clock["t"]
+    )
+    streak = 0
+    tripped = False
+    for op in ops:
+        if op == "success":
+            breaker.record_success()
+            if not tripped:
+                streak = 0
+        elif op == "failure":
+            breaker.record_failure()
+            if not tripped:
+                streak += 1
+                if streak >= threshold:
+                    tripped = True
+        else:
+            clock["t"] += 0.1  # far below the reset timeout: state is stable
+        expected = "open" if tripped else BREAKER_CLOSED
+        # Once tripped with an effectively infinite reset timeout the breaker
+        # must stay open no matter what outcomes straggler requests report --
+        # except an explicit success, which closes it by design.
+        if tripped and op == "success":
+            tripped = False
+            streak = 0
+            expected = BREAKER_CLOSED
+        assert (breaker.state == BREAKER_CLOSED) == (expected == BREAKER_CLOSED)
+
+
+# --- deadline arithmetic ------------------------------------------------------------
+
+clocks = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+@given(deadline=clocks, times=st.lists(clocks, min_size=1, max_size=20))
+@settings(max_examples=300, deadline=None)
+def test_remaining_budget_is_monotone_and_never_negative(deadline, times):
+    budgets = [remaining(deadline, now=lambda t=t: t) for t in sorted(times)]
+    assert all(budget >= 0.0 for budget in budgets)  # always a legal timeout
+    assert all(a >= b for a, b in zip(budgets, budgets[1:]))  # hops never gain
+
+
+@given(
+    budget=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    start=clocks,
+    at=clocks,
+)
+@settings(max_examples=300, deadline=None)
+def test_check_deadline_fires_exactly_at_the_absolute_deadline(budget, start, at):
+    deadline = deadline_in(budget, now=lambda: start)
+    assert deadline >= start  # a positive budget never points into the past
+    if at >= deadline:
+        with pytest.raises(SmacsError) as failure:
+            check_deadline(deadline, stage="prop", now=lambda: at)
+        assert failure.value.code is ErrorCode.DEADLINE_EXCEEDED
+        assert remaining(deadline, now=lambda: at) == 0.0
+    else:
+        check_deadline(deadline, stage="prop", now=lambda: at)
+        assert remaining(deadline, now=lambda: at) > 0.0
